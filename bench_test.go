@@ -1,0 +1,213 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper (regenerating it at quick scale and reporting its headline metric
+// where one exists), plus ablation benchmarks for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute throughput of these benchmarks measures the simulator, not the
+// hardware; the interesting outputs are the custom metrics (us latencies,
+// percentage reductions) and the regenerated tables from cmd/ullsim.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/nbd"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// benchExperiment regenerates one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opts := experiments.Options{Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(opts)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B)  { benchExperiment(b, "fig23") }
+
+// --- Ablations: turn the paper's architectural features off one at a
+// time and report the read latency of the interference workload (the
+// metric those features protect). ---
+
+// interferenceReadLatency measures mean read latency under a 40%-write
+// random mix on a preconditioned device.
+func interferenceReadLatency(dev ssd.Config) sim.Time {
+	cfg := core.DefaultConfig(dev)
+	cfg.Stack = core.KernelAsync
+	cfg.Precondition = 0.9
+	sys := core.NewSystem(cfg)
+	region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+	res := workload.Run(sys, workload.Job{
+		Pattern:       workload.RandRW,
+		WriteFraction: 0.4,
+		BlockSize:     4096,
+		QueueDepth:    4,
+		TotalIOs:      4000,
+		WarmupIOs:     400,
+		Region:        region,
+		Seed:          42,
+	})
+	return res.Read.Mean()
+}
+
+func BenchmarkAblationSuspendResume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ssd.ZSSD()
+		off := ssd.ZSSD()
+		off.NAND.ProgramSuspend = false
+		off.NAND.EraseSuspend = false
+		latOn := interferenceReadLatency(on)
+		latOff := interferenceReadLatency(off)
+		b.ReportMetric(latOn.Micros(), "us-with-suspend")
+		b.ReportMetric(latOff.Micros(), "us-without-suspend")
+	}
+}
+
+func BenchmarkAblationSuperChannel(b *testing.B) {
+	read4K := func(cfg ssd.Config) sim.Time {
+		sys := core.NewSystem(core.Config{
+			Device: cfg, Stack: core.KernelSync, Mode: kernel.Interrupt,
+			Precondition: 0.9,
+		})
+		region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+		res := workload.Run(sys, workload.Job{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: 2000, WarmupIOs: 200, Region: region, Seed: 7,
+		})
+		return res.All.Mean()
+	}
+	for i := 0; i < b.N; i++ {
+		paired := ssd.ZSSD()
+		flat := ssd.ZSSD()
+		flat.SuperChannels = false
+		flat.SplitDMACost = 0
+		b.ReportMetric(read4K(paired).Micros(), "us-superchannel")
+		b.ReportMetric(read4K(flat).Micros(), "us-flat")
+	}
+}
+
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	writeLat := func(bufBytes int64) sim.Time {
+		cfg := ssd.NVMe750()
+		cfg.WriteBufferBytes = bufBytes
+		sys := core.NewSystem(core.Config{
+			Device: cfg, Stack: core.KernelAsync, Precondition: 0.9,
+		})
+		region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+		res := workload.Run(sys, workload.Job{
+			Pattern: workload.RandWrite, BlockSize: 4096, QueueDepth: 8,
+			TotalIOs: 4000, WarmupIOs: 400, Region: region, Seed: 11,
+		})
+		return res.Write.Mean()
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(writeLat(1<<20).Micros(), "us-1MB-buffer")
+		b.ReportMetric(writeLat(8<<20).Micros(), "us-8MB-buffer")
+		b.ReportMetric(writeLat(64<<20).Micros(), "us-64MB-buffer")
+	}
+}
+
+func BenchmarkAblationHybridSleep(b *testing.B) {
+	hybridLat := func(factor float64) sim.Time {
+		costs := kernel.DefaultCosts()
+		costs.HybridSleepFactor = factor
+		sys := core.NewSystem(core.Config{
+			Device: ssd.ZSSD(), Stack: core.KernelSync, Mode: kernel.Hybrid,
+			Kernel: costs, Precondition: 0.9,
+		})
+		region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+		res := workload.Run(sys, workload.Job{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: 3000, WarmupIOs: 300, Region: region, Seed: 13,
+		})
+		return res.All.Mean()
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(hybridLat(0.25).Micros(), "us-sleep25")
+		b.ReportMetric(hybridLat(0.5).Micros(), "us-sleep50")
+		b.ReportMetric(hybridLat(0.75).Micros(), "us-sleep75")
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulator speed: simulated
+// 4KB random reads per second of wall time on the ULL device.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := core.DefaultConfig(ssd.ZSSD())
+	cfg.Stack = core.KernelAsync
+	cfg.Precondition = 0.9
+	sys := core.NewSystem(cfg)
+	region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	var issue func()
+	rng := sim.NewRNG(3)
+	issue = func() {
+		off := rng.Int63n(region/4096) * 4096
+		sys.Submit(false, off, 4096, func() {
+			done++
+			if done < b.N {
+				issue()
+			}
+		})
+	}
+	issue()
+	sys.Eng.Run()
+}
+
+// BenchmarkNBDModel reports the cost of one simulated NBD file read.
+func BenchmarkNBDModel(b *testing.B) {
+	m := nbd.NewModel(nbd.SPDKNBD(ssd.ZSSD()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	var issue func()
+	issue = func() {
+		m.FileRead(int64(done)*4096, 4096, func() {
+			done++
+			if done < b.N {
+				issue()
+			}
+		})
+	}
+	issue()
+	m.Engine().Run()
+}

@@ -1,0 +1,207 @@
+// Command fioemu runs ad-hoc FIO-style jobs against the simulated devices
+// and prints a FIO-like report — the paper's microbenchmark workflow
+// (Section III-A) without the figure harness.
+//
+// Examples:
+//
+//	fioemu -dev ull -rw randread -bs 4096 -iodepth 1 -engine pvsync2 -completion poll -ios 100000
+//	fioemu -dev nvme -rw randwrite -bs 4096 -iodepth 32 -engine libaio -runtime 500ms
+//	fioemu -dev ull -rw randrw -rwmixwrite 20 -bs 4096 -iodepth 4 -engine libaio -ios 50000
+//
+// Traces: -trace-out records the run's per-I/O trace as CSV;
+// -replay re-issues a recorded trace (open loop) instead of a synthetic
+// pattern, so a stream captured on one device can be replayed on another:
+//
+//	fioemu -dev nvme -rw randrw -ios 20000 -trace-out nvme.csv
+//	fioemu -dev ull -replay nvme.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	dev := flag.String("dev", "ull", "device: ull | nvme")
+	rw := flag.String("rw", "randread", "pattern: read | randread | write | randwrite | randrw")
+	mixWrite := flag.Int("rwmixwrite", 50, "write percentage for randrw")
+	bs := flag.Int("bs", 4096, "block size in bytes")
+	depth := flag.Int("iodepth", 1, "queue depth (libaio/spdk)")
+	engine := flag.String("engine", "pvsync2", "engine: pvsync2 | libaio | spdk")
+	completion := flag.String("completion", "interrupt", "pvsync2 completion: interrupt | poll | hybrid")
+	ios := flag.Int("ios", 0, "total I/Os (0 = use -runtime)")
+	runtime := flag.Duration("runtime", 0, "simulated runtime (e.g. 500ms)")
+	precond := flag.Float64("precondition", 0.9, "fraction of LPN space preconditioned")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	traceOut := flag.String("trace-out", "", "record the run's I/O trace to this CSV file")
+	replay := flag.String("replay", "", "replay a recorded trace instead of a synthetic pattern")
+	flag.Parse()
+
+	cfg := repro.DefaultSystemConfig(deviceConfig(*dev))
+	cfg.Precondition = *precond
+	switch *engine {
+	case "pvsync2":
+		cfg.Stack = repro.KernelSync
+		switch *completion {
+		case "interrupt":
+			cfg.Mode = repro.Interrupt
+		case "poll":
+			cfg.Mode = repro.Poll
+		case "hybrid":
+			cfg.Mode = repro.Hybrid
+		default:
+			fatal("unknown completion %q", *completion)
+		}
+	case "libaio":
+		cfg.Stack = repro.KernelAsync
+	case "spdk":
+		cfg.Stack = repro.SPDK
+	default:
+		fatal("unknown engine %q", *engine)
+	}
+
+	job := repro.Job{
+		BlockSize:  *bs,
+		QueueDepth: *depth,
+		TotalIOs:   *ios,
+		Duration:   repro.Time(runtime.Nanoseconds()),
+		WarmupIOs:  *ios / 10,
+		Seed:       *seed,
+	}
+	switch *rw {
+	case "read":
+		job.Pattern = repro.SeqRead
+	case "randread":
+		job.Pattern = repro.RandRead
+	case "write":
+		job.Pattern = repro.SeqWrite
+	case "randwrite":
+		job.Pattern = repro.RandWrite
+	case "randrw":
+		job.Pattern = repro.RandRW
+		job.WriteFraction = float64(*mixWrite) / 100
+	default:
+		fatal("unknown rw %q", *rw)
+	}
+	if job.TotalIOs == 0 && job.Duration == 0 {
+		job.TotalIOs = 10000
+		job.WarmupIOs = 1000
+	}
+	if cfg.Stack == repro.KernelSync && *depth != 1 {
+		fatal("pvsync2 is synchronous; use -iodepth 1 or -engine libaio/spdk")
+	}
+
+	sys := repro.NewSystem(cfg)
+	// Confine I/O to the preconditioned region so reads touch media.
+	if *precond > 0 {
+		job.Region = int64(*precond*float64(sys.ExportedBytes())) >> 20 << 20
+	}
+	if *traceOut != "" {
+		job.Trace = trace.NewRecorder()
+	}
+
+	start := time.Now()
+	var res *repro.Result
+	if *replay != "" {
+		res = replayTrace(sys, *replay)
+	} else {
+		res = repro.RunJob(sys, job)
+	}
+	elapsed := time.Since(start)
+
+	if job.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := job.Trace.WriteCSV(f); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", job.Trace.Len(), *traceOut)
+	}
+
+	s := res.All.Summarize()
+	fmt.Printf("%s: %s bs=%d depth=%d engine=%s\n", *dev, *rw, *bs, *depth, *engine)
+	if cfg.Stack == repro.KernelSync {
+		fmt.Printf("  completion=%s\n", cfg.Mode)
+	}
+	fmt.Printf("  ios=%d bw=%.1f MB/s iops=%.0f\n", res.IOs, res.BandwidthMBps(), res.IOPS())
+	fmt.Printf("  lat (us): mean=%.2f p50=%.2f p99=%.2f p99.99=%.2f p99.999=%.2f max=%.2f\n",
+		s.Mean.Micros(), s.P50.Micros(), s.P99.Micros(), s.P9999.Micros(), s.P5N.Micros(), s.Max.Micros())
+	if res.Read.Count() > 0 && res.Write.Count() > 0 {
+		fmt.Printf("  read lat mean=%.2fus (n=%d)  write lat mean=%.2fus (n=%d)\n",
+			res.Read.Mean().Micros(), res.Read.Count(),
+			res.Write.Mean().Micros(), res.Write.Count())
+	}
+	u := sys.Core.Utilization(sys.Eng.Now())
+	fmt.Printf("  cpu: user=%.1f%% kernel=%.1f%% idle=%.1f%%\n", u.User, u.Kernel, u.Idle)
+	fmt.Printf("  device power: %.2f W avg\n", sys.Dev.Meter().AvgWatts(sys.Eng.Now()))
+	fmt.Printf("  simulated %v in %v wall\n", sys.Eng.Now(), elapsed.Round(time.Millisecond))
+}
+
+// replayTrace re-issues a recorded trace against sys and synthesizes a
+// Result from the replayed latencies.
+func replayTrace(sys *repro.System, path string) *repro.Result {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	events, err := trace.ReadCSV(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	out := trace.NewRecorder()
+	trace.Replay(sys.Eng, sysTarget{sys}, events, out)
+	sys.Eng.Run()
+	sys.Finalize()
+	res := &repro.Result{}
+	for _, e := range out.Events() {
+		res.All.Record(e.Latency)
+		if e.Write {
+			res.Write.Record(e.Latency)
+		} else {
+			res.Read.Record(e.Latency)
+		}
+		res.Bytes += int64(e.Len)
+		res.IOs++
+		if end := e.Issue + e.Latency; end > res.Wall {
+			res.Wall = end
+		}
+	}
+	fmt.Printf("replayed %d events from %s\n", len(events), path)
+	return res
+}
+
+// sysTarget adapts core.System to trace.Target.
+type sysTarget struct{ sys *core.System }
+
+func (t sysTarget) Submit(write bool, off int64, n int, done func()) {
+	t.sys.Submit(write, off, n, done)
+}
+
+func deviceConfig(name string) repro.DeviceConfig {
+	switch name {
+	case "ull", "zssd":
+		return repro.ZSSD()
+	case "nvme", "750":
+		return repro.NVMe750()
+	default:
+		fatal("unknown device %q (want ull or nvme)", name)
+		panic("unreachable")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fioemu: "+format+"\n", args...)
+	os.Exit(2)
+}

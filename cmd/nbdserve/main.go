@@ -1,0 +1,61 @@
+// Command nbdserve exports an in-memory block store over TCP using the
+// repository's wire protocol — the functional half of the paper's
+// server-client study (Section VI-C). Pair it with examples/nbd for a
+// live client.
+//
+//	nbdserve -listen 127.0.0.1:10809 -size 256MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/nbd"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:10809", "address to listen on")
+	size := flag.String("size", "256MiB", "exported size (e.g. 64MiB, 1GiB)")
+	flag.Parse()
+
+	bytes, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbdserve:", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbdserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("nbdserve: exporting %d bytes on %s\n", bytes, ln.Addr())
+	store := nbd.NewMemStore(bytes)
+	if err := nbd.ServeWire(ln, store); err != nil {
+		fmt.Fprintln(os.Stderr, "nbdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suffix := range []struct {
+		tag string
+		m   int64
+	}{{"GIB", 1 << 30}, {"MIB", 1 << 20}, {"KIB", 1 << 10}, {"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}} {
+		if strings.HasSuffix(upper, suffix.tag) {
+			mult = suffix.m
+			upper = strings.TrimSuffix(upper, suffix.tag)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

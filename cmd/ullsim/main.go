@@ -1,0 +1,106 @@
+// Command ullsim regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	ullsim list                 # show available experiments
+//	ullsim run fig4a [fig5 ...] # run specific experiments
+//	ullsim run all              # run everything
+//
+// Flags:
+//
+//	-full       paper-scale sample counts (slow, stable tails)
+//	-seed N     override the experiment seed
+//	-csv DIR    also write each table as DIR/<id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale sample counts (slow)")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	csvDir := flag.String("csv", "", "directory to write CSV tables into")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "ullsim: run needs experiment ids (or 'all')")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		}
+		opts := experiments.Options{Quick: !*full, Seed: *seed}
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ullsim: unknown experiment %q (try 'ullsim list')\n", id)
+				os.Exit(2)
+			}
+			fmt.Printf("running %s: %s\n", e.ID, e.Title)
+			for _, t := range e.Run(opts) {
+				if err := t.Render(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "ullsim:", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+				if *csvDir != "" {
+					if err := writeCSV(*csvDir, t); err != nil {
+						fmt.Fprintln(os.Stderr, "ullsim:", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func writeCSV(dir string, t *metrics.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(t.ID, "/", "_") + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ullsim — "Faster than Flash" (IISWC 2019) reproduction harness
+
+usage:
+  ullsim list
+  ullsim [-full] [-seed N] [-csv DIR] run <id>... | all
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,140 @@
+// Package core composes the full system under test: a simulated SSD
+// behind an NVMe queue pair, driven by one of the host storage stacks
+// (kernel sync with a chosen completion method, kernel async/libaio, or
+// SPDK), with CPU, power, and latency instrumentation — the simulated
+// equivalent of the paper's testbed (Section III).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/spdk"
+	"repro/internal/ssd"
+)
+
+// StackKind selects the host I/O path.
+type StackKind int
+
+// The host stacks the paper evaluates.
+const (
+	// KernelSync is the pvsync2 path; its completion method is chosen by
+	// Config.Mode.
+	KernelSync StackKind = iota
+	// KernelAsync is the libaio path (interrupt completion, queue depth
+	// managed by the submitter).
+	KernelAsync
+	// SPDK is the kernel-bypass userspace path (poll-only).
+	SPDK
+)
+
+func (k StackKind) String() string {
+	switch k {
+	case KernelSync:
+		return "pvsync2"
+	case KernelAsync:
+		return "libaio"
+	case SPDK:
+		return "spdk"
+	default:
+		return fmt.Sprintf("StackKind(%d)", int(k))
+	}
+}
+
+// Target is the submission interface every stack exposes.
+type Target interface {
+	Submit(write bool, offset int64, length int, done func())
+}
+
+// Config assembles a system.
+type Config struct {
+	Device ssd.Config
+	NVMe   nvme.Config
+	Stack  StackKind
+	Mode   kernel.Mode  // completion method for KernelSync
+	Kernel kernel.Costs // zero value -> DefaultCosts
+	SPDK   spdk.Costs   // zero value -> DefaultCosts
+
+	// Precondition is the fraction of the LPN space instantly mapped
+	// before the run (sequential layout), so reads touch real media and
+	// the free-block population matches an aged device.
+	Precondition float64
+}
+
+// DefaultConfig returns a system on the given device with the kernel
+// sync stack and interrupt completion.
+func DefaultConfig(dev ssd.Config) Config {
+	return Config{
+		Device: dev,
+		NVMe:   nvme.DefaultConfig(),
+		Stack:  KernelSync,
+		Mode:   kernel.Interrupt,
+		Kernel: kernel.DefaultCosts(),
+		SPDK:   spdk.DefaultCosts(),
+	}
+}
+
+// System is a fully wired host + device.
+type System struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	Dev  *ssd.Device
+	QP   *nvme.QueuePair
+	Core *cpu.Core
+
+	target    Target
+	spdkStack *spdk.Stack
+}
+
+// NewSystem builds and wires a system.
+func NewSystem(cfg Config) *System {
+	if cfg.NVMe.Depth == 0 {
+		cfg.NVMe = nvme.DefaultConfig()
+	}
+	if cfg.Kernel.PollIter() == 0 {
+		cfg.Kernel = kernel.DefaultCosts()
+	}
+	if cfg.SPDK.PollIter() == 0 {
+		cfg.SPDK = spdk.DefaultCosts()
+	}
+	eng := sim.NewEngine()
+	dev := ssd.NewDevice(cfg.Device, eng)
+	if cfg.Precondition > 0 {
+		dev.Precondition(cfg.Precondition)
+	}
+	qp := nvme.New(eng, dev, cfg.NVMe)
+	core := cpu.NewCore()
+	s := &System{Cfg: cfg, Eng: eng, Dev: dev, QP: qp, Core: core}
+	switch cfg.Stack {
+	case KernelSync:
+		s.target = kernel.NewSyncStack(eng, qp, core, cfg.Kernel, cfg.Mode)
+	case KernelAsync:
+		s.target = kernel.NewAsyncStack(eng, qp, core, cfg.Kernel)
+	case SPDK:
+		st := spdk.NewStack(eng, qp, core, cfg.SPDK)
+		s.spdkStack = st
+		s.target = st
+	default:
+		panic(fmt.Sprintf("core: unknown stack kind %d", cfg.Stack))
+	}
+	return s
+}
+
+// Submit issues one I/O through the configured stack.
+func (s *System) Submit(write bool, offset int64, length int, done func()) {
+	s.target.Submit(write, offset, length, done)
+}
+
+// ExportedBytes reports the device's host-visible capacity.
+func (s *System) ExportedBytes() int64 { return s.Dev.ExportedBytes() }
+
+// Finalize settles deferred accounting (the SPDK continuous poll spin).
+// Call once after the run's events have drained.
+func (s *System) Finalize() {
+	if s.spdkStack != nil {
+		s.spdkStack.Finalize(s.Eng.Now())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+func smallULL() ssd.Config {
+	cfg := ssd.ZSSD()
+	cfg.Channels = 4
+	cfg.WaysPerChannel = 2
+	cfg.PlanesPerDie = 1
+	cfg.PagesPerBlock = 16
+	cfg.BlocksPerUnit = 16
+	return cfg
+}
+
+func runOne(s *System, write bool) sim.Time {
+	start := s.Eng.Now()
+	var lat sim.Time
+	s.Submit(write, 0, 4096, func() { lat = s.Eng.Now() - start })
+	s.Eng.Run()
+	s.Finalize()
+	return lat
+}
+
+func TestNewSystemAllStacks(t *testing.T) {
+	for _, kind := range []StackKind{KernelSync, KernelAsync, SPDK} {
+		cfg := DefaultConfig(smallULL())
+		cfg.Stack = kind
+		sys := NewSystem(cfg)
+		if lat := runOne(sys, false); lat <= 0 {
+			t.Errorf("%v: no completion", kind)
+		}
+	}
+}
+
+func TestNewSystemFillsZeroConfigs(t *testing.T) {
+	sys := NewSystem(Config{Device: smallULL()})
+	if sys.Cfg.NVMe.Depth == 0 {
+		t.Error("NVMe config not defaulted")
+	}
+	if sys.Cfg.Kernel.PollIter() == 0 {
+		t.Error("kernel costs not defaulted")
+	}
+	if sys.Cfg.SPDK.PollIter() == 0 {
+		t.Error("SPDK costs not defaulted")
+	}
+	if lat := runOne(sys, true); lat <= 0 {
+		t.Error("zero-config system does not complete I/O")
+	}
+}
+
+func TestSystemPrecondition(t *testing.T) {
+	cfg := DefaultConfig(smallULL())
+	cfg.Precondition = 1.0
+	sys := NewSystem(cfg)
+	if _, ok := sys.Dev.FTL().Lookup(0); !ok {
+		t.Fatal("precondition did not map LPN 0")
+	}
+	if sys.Eng.Now() != 0 {
+		t.Fatal("precondition consumed simulated time")
+	}
+}
+
+func TestSystemCompletionMethodsDiffer(t *testing.T) {
+	lat := map[kernel.Mode]sim.Time{}
+	for _, m := range []kernel.Mode{kernel.Interrupt, kernel.Poll} {
+		cfg := DefaultConfig(smallULL())
+		cfg.Mode = m
+		cfg.Precondition = 1.0
+		sys := NewSystem(cfg)
+		total := sim.Time(0)
+		n := 0
+		var issue func()
+		issue = func() {
+			start := sys.Eng.Now()
+			sys.Submit(false, int64(n%32)*4096, 4096, func() {
+				total += sys.Eng.Now() - start
+				n++
+				if n < 30 {
+					issue()
+				}
+			})
+		}
+		issue()
+		sys.Eng.Run()
+		lat[m] = total / 30
+	}
+	if lat[kernel.Poll] >= lat[kernel.Interrupt] {
+		t.Fatalf("poll %v not below interrupt %v", lat[kernel.Poll], lat[kernel.Interrupt])
+	}
+}
+
+func TestSystemExportedBytes(t *testing.T) {
+	sys := NewSystem(DefaultConfig(smallULL()))
+	if sys.ExportedBytes() != sys.Dev.ExportedBytes() {
+		t.Fatal("ExportedBytes mismatch")
+	}
+}

@@ -1,0 +1,186 @@
+// Package cpu models the host CPU as an accounting target: per-function
+// busy time and memory-instruction (load/store) counters, split into user
+// and kernel mode. It reproduces what the paper measured with Intel VTune
+// and the FIO reports: CPU utilization (Figures 12, 13, 20), cycle
+// breakdowns (Figure 14), and memory-instruction counts and breakdowns
+// (Figures 15, 21, 22).
+//
+// The core does not arbitrate execution — the stacks charge it as work
+// happens — but it owns the scheduler-tick model that penalizes busy
+// polling (Figure 11's tail inversion).
+package cpu
+
+import "repro/internal/sim"
+
+// Fn identifies an attributable function or code region, mirroring the
+// symbol names VTune reported in the paper.
+type Fn uint8
+
+// The attribution targets.
+const (
+	FnAppUser     Fn = iota // benchmark/user code (fio engine)
+	FnSyscall               // syscall entry/exit
+	FnVFS                   // VFS + file-system request setup
+	FnExt4                  // ext4 metadata/journaling work (NBD client)
+	FnBlkMQSubmit           // blk-mq software/hardware queue handling
+	FnNVMeDriver            // SQE build + doorbell
+	FnBlkMQPoll             // blk_mq_poll()
+	FnNVMePoll              // nvme_poll()
+	FnISR                   // MSI handling + softirq completion
+	FnCtxSwitch             // sleep/wake context switching
+	FnTimer                 // hybrid-polling hrtimer program/wake
+	FnSPDKSubmit            // SPDK userspace submission
+	FnSPDKProcess           // spdk_nvme_qpair_process_completions()
+	FnPCIeProcess           // nvme_pcie_qpair_process_completions()
+	FnQpairCheck            // nvme_qpair_check_enabled()
+	FnOther                 // everything else (tick work, misc kernel)
+	NumFns
+)
+
+var fnNames = [NumFns]string{
+	"app_user", "syscall", "vfs", "ext4", "blk_mq_submit", "nvme_driver",
+	"blk_mq_poll", "nvme_poll", "isr", "context_switch", "hrtimer",
+	"spdk_submit", "spdk_nvme_qpair_process_completions",
+	"nvme_pcie_qpair_process_completions", "nvme_qpair_check_enabled",
+	"other",
+}
+
+func (f Fn) String() string { return fnNames[f] }
+
+// Kernel reports whether the function executes in kernel mode. SPDK code
+// and the application run in userland.
+func (f Fn) Kernel() bool {
+	switch f {
+	case FnAppUser, FnSPDKSubmit, FnSPDKProcess, FnPCIeProcess, FnQpairCheck:
+		return false
+	default:
+		return true
+	}
+}
+
+// Driver reports whether the function belongs to the NVMe driver module
+// (as opposed to the rest of the storage stack) — Figure 14a's split.
+func (f Fn) Driver() bool {
+	switch f {
+	case FnNVMeDriver, FnNVMePoll:
+		return true
+	default:
+		return false
+	}
+}
+
+// Counters accumulates one function's activity.
+type Counters struct {
+	Time   sim.Time
+	Loads  uint64
+	Stores uint64
+	Calls  uint64
+}
+
+// Core is one CPU hardware thread's accounting state.
+type Core struct {
+	// TickInterval is the scheduler-tick period (CONFIG_HZ=1000 → 1ms);
+	// TickWork is how long tick processing steals from a busy poller.
+	TickInterval sim.Time
+	TickWork     sim.Time
+
+	acct [NumFns]Counters
+}
+
+// NewCore returns a core with the Linux-default 1ms tick.
+func NewCore() *Core {
+	return &Core{
+		TickInterval: 1 * sim.Millisecond,
+		TickWork:     8 * sim.Microsecond,
+	}
+}
+
+// Charge attributes busy time and memory instructions to fn.
+func (c *Core) Charge(fn Fn, d sim.Time, loads, stores uint64) {
+	a := &c.acct[fn]
+	a.Time += d
+	a.Loads += loads
+	a.Stores += stores
+	a.Calls++
+}
+
+// Acct returns fn's counters.
+func (c *Core) Acct(fn Fn) Counters { return c.acct[fn] }
+
+// Reset clears all counters.
+func (c *Core) Reset() { c.acct = [NumFns]Counters{} }
+
+// UserTime and KernelTime report busy time by mode.
+func (c *Core) UserTime() sim.Time {
+	var t sim.Time
+	for f := Fn(0); f < NumFns; f++ {
+		if !f.Kernel() {
+			t += c.acct[f].Time
+		}
+	}
+	return t
+}
+
+func (c *Core) KernelTime() sim.Time {
+	var t sim.Time
+	for f := Fn(0); f < NumFns; f++ {
+		if f.Kernel() {
+			t += c.acct[f].Time
+		}
+	}
+	return t
+}
+
+// BusyTime is user plus kernel time.
+func (c *Core) BusyTime() sim.Time { return c.UserTime() + c.KernelTime() }
+
+// Loads and Stores report totals across all functions.
+func (c *Core) Loads() uint64 {
+	var n uint64
+	for f := Fn(0); f < NumFns; f++ {
+		n += c.acct[f].Loads
+	}
+	return n
+}
+
+func (c *Core) Stores() uint64 {
+	var n uint64
+	for f := Fn(0); f < NumFns; f++ {
+		n += c.acct[f].Stores
+	}
+	return n
+}
+
+// Utilization is a user/kernel/idle percentage split over a wall-clock
+// window.
+type Utilization struct {
+	User   float64
+	Kernel float64
+	Idle   float64
+}
+
+// Utilization reports the split for a run of the given duration.
+func (c *Core) Utilization(wall sim.Time) Utilization {
+	if wall <= 0 {
+		return Utilization{Idle: 100}
+	}
+	u := 100 * float64(c.UserTime()) / float64(wall)
+	k := 100 * float64(c.KernelTime()) / float64(wall)
+	if u+k > 100 {
+		// Accounting can slightly exceed wall time when charges overlap
+		// (async completions); clamp proportionally.
+		scale := 100 / (u + k)
+		u *= scale
+		k *= scale
+	}
+	return Utilization{User: u, Kernel: k, Idle: 100 - u - k}
+}
+
+// TicksIn reports how many scheduler ticks fire in the half-open wall
+// interval (t0, t1].
+func (c *Core) TicksIn(t0, t1 sim.Time) int {
+	if t1 <= t0 || c.TickInterval <= 0 {
+		return 0
+	}
+	return int(t1/c.TickInterval) - int(t0/c.TickInterval)
+}

@@ -1,0 +1,134 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnVFS, 100, 10, 5)
+	c.Charge(FnVFS, 200, 20, 10)
+	a := c.Acct(FnVFS)
+	if a.Time != 300 || a.Loads != 30 || a.Stores != 15 || a.Calls != 2 {
+		t.Fatalf("counters = %+v", a)
+	}
+}
+
+func TestUserKernelSplit(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnAppUser, 100, 0, 0)
+	c.Charge(FnSPDKProcess, 50, 0, 0)
+	c.Charge(FnVFS, 200, 0, 0)
+	c.Charge(FnBlkMQPoll, 300, 0, 0)
+	if got := c.UserTime(); got != 150 {
+		t.Errorf("UserTime = %v, want 150", got)
+	}
+	if got := c.KernelTime(); got != 500 {
+		t.Errorf("KernelTime = %v, want 500", got)
+	}
+	if got := c.BusyTime(); got != 650 {
+		t.Errorf("BusyTime = %v, want 650", got)
+	}
+}
+
+func TestKernelClassification(t *testing.T) {
+	userFns := []Fn{FnAppUser, FnSPDKSubmit, FnSPDKProcess, FnPCIeProcess, FnQpairCheck}
+	for _, f := range userFns {
+		if f.Kernel() {
+			t.Errorf("%v classified as kernel", f)
+		}
+	}
+	kernelFns := []Fn{FnSyscall, FnVFS, FnExt4, FnBlkMQSubmit, FnNVMeDriver,
+		FnBlkMQPoll, FnNVMePoll, FnISR, FnCtxSwitch, FnTimer, FnOther}
+	for _, f := range kernelFns {
+		if !f.Kernel() {
+			t.Errorf("%v classified as user", f)
+		}
+	}
+}
+
+func TestDriverClassification(t *testing.T) {
+	if !FnNVMePoll.Driver() || !FnNVMeDriver.Driver() {
+		t.Error("driver functions misclassified")
+	}
+	if FnBlkMQPoll.Driver() || FnVFS.Driver() {
+		t.Error("stack functions classified as driver")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnAppUser, 100*sim.Microsecond, 0, 0)
+	c.Charge(FnVFS, 300*sim.Microsecond, 0, 0)
+	u := c.Utilization(1 * sim.Millisecond)
+	if u.User != 10 || u.Kernel != 30 || u.Idle != 60 {
+		t.Fatalf("utilization = %+v", u)
+	}
+}
+
+func TestUtilizationClamps(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnVFS, 2*sim.Millisecond, 0, 0)
+	u := c.Utilization(1 * sim.Millisecond)
+	if u.Kernel > 100.01 || u.Idle < -0.01 {
+		t.Fatalf("unclamped utilization = %+v", u)
+	}
+}
+
+func TestUtilizationZeroWall(t *testing.T) {
+	c := NewCore()
+	u := c.Utilization(0)
+	if u.Idle != 100 {
+		t.Fatalf("zero-wall utilization = %+v", u)
+	}
+}
+
+func TestTicksIn(t *testing.T) {
+	c := NewCore() // 1ms tick
+	cases := []struct {
+		t0, t1 sim.Time
+		want   int
+	}{
+		{0, 999 * sim.Microsecond, 0},
+		{0, 1 * sim.Millisecond, 1},
+		{500 * sim.Microsecond, 2500 * sim.Microsecond, 2},
+		{1 * sim.Millisecond, 1 * sim.Millisecond, 0},
+		{2 * sim.Millisecond, 1 * sim.Millisecond, 0},
+	}
+	for _, cse := range cases {
+		if got := c.TicksIn(cse.t0, cse.t1); got != cse.want {
+			t.Errorf("TicksIn(%v,%v) = %d, want %d", cse.t0, cse.t1, got, cse.want)
+		}
+	}
+}
+
+func TestLoadsStoresTotals(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnNVMePoll, 1, 100, 50)
+	c.Charge(FnBlkMQPoll, 1, 200, 80)
+	if c.Loads() != 300 || c.Stores() != 130 {
+		t.Fatalf("totals = %d/%d", c.Loads(), c.Stores())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnISR, 100, 10, 10)
+	c.Reset()
+	if c.BusyTime() != 0 || c.Loads() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestFnStringsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for f := Fn(0); f < NumFns; f++ {
+		s := f.String()
+		if s == "" || seen[s] {
+			t.Fatalf("fn %d has empty/duplicate name %q", f, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "fig4a", "fig4b", "fig5", "fig6", "fig7a", "fig7b", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	// Extensions live alongside the paper artifacts.
+	if _, ok := ByID("ext-lightq"); !ok {
+		t.Error("extension ext-lightq not registered")
+	}
+	if len(All()) < len(want)+1 {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want)+1)
+	}
+	// Every experiment has an id and title; ByID round-trips.
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("ByID(%q) broken", e.ID)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	q := Options{Quick: true}
+	if q.scale(10, 100) != 10 {
+		t.Fatal("quick scale")
+	}
+	f := Options{}
+	if f.scale(10, 100) != 100 {
+		t.Fatal("full scale")
+	}
+	if (Options{}).seed() == 0 {
+		t.Fatal("default seed must be nonzero")
+	}
+	if (Options{Seed: 7}).seed() != 7 {
+		t.Fatal("explicit seed ignored")
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	tables := runTable1(Options{Quick: true})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	var sb strings.Builder
+	if err := tables[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Z-NAND", "3.00us", "100.00us", "2KB"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+// TestPollBeatsInterruptOnULL verifies the fig10 headline through the
+// experiment helpers at test scale.
+func TestPollBeatsInterruptOnULL(t *testing.T) {
+	o := Options{Quick: true}
+	poll := syncLatency(ull(), kernel.Poll, workload.RandRead, 4096, 400, o.seed())
+	intr := syncLatency(ull(), kernel.Interrupt, workload.RandRead, 4096, 400, o.seed())
+	if poll.All.Mean() >= intr.All.Mean() {
+		t.Fatalf("poll %v not below interrupt %v", poll.All.Mean(), intr.All.Mean())
+	}
+}
+
+// TestULLFasterThanNVMe verifies the fig4 headline: ULL random reads are
+// several times faster than the conventional SSD's.
+func TestULLFasterThanNVMe(t *testing.T) {
+	o := Options{Quick: true}
+	ullSys := asyncSystem(ull(), o.seed())
+	ullRes := run(ullSys, workload.Job{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1})
+	nvmeSys := asyncSystem(nvme750(), o.seed())
+	nvmeRes := run(nvmeSys, workload.Job{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1})
+	ratio := float64(nvmeRes.All.Mean()) / float64(ullRes.All.Mean())
+	if ratio < 3 {
+		t.Fatalf("NVMe/ULL random-read ratio %.1f, want >3 (paper: 5.2x)", ratio)
+	}
+}
+
+func TestRunRegionConfinement(t *testing.T) {
+	o := Options{Quick: true}
+	sys := syncSystem(ull(), kernel.Interrupt, o.seed())
+	res := run(sys, workload.Job{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 300, Seed: 2})
+	if res.IOs != 300 {
+		t.Fatal("run did not complete")
+	}
+	// Preconditioned region: no zero-fill reads.
+	if sys.Dev.Stats().ZeroFills != 0 {
+		t.Fatalf("%d reads escaped the preconditioned region", sys.Dev.Stats().ZeroFills)
+	}
+}
+
+// TestAllExperimentsSmoke regenerates every registered experiment at
+// quick scale and validates table integrity. Slow (~2-3 minutes); skipped
+// under -short.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale experiment sweep skipped in -short mode")
+	}
+	o := Options{Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(o)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("table %q incomplete", tb.ID)
+				}
+				for i, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %q row %d has %d cells, want %d",
+							tb.ID, i, len(row), len(tb.Columns))
+					}
+				}
+				var sb strings.Builder
+				if err := tb.Render(&sb); err != nil {
+					t.Fatalf("render: %v", err)
+				}
+				if err := tb.CSV(&sb); err != nil {
+					t.Fatalf("csv: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if sizeLabel(4096) != "4KB" || sizeLabel(1<<20) != "1MB" {
+		t.Fatal("sizeLabel")
+	}
+	if pct(0.5) != "50.0" {
+		t.Fatal("pct")
+	}
+	if reduction(100, 80) != "20.0" {
+		t.Fatal("reduction")
+	}
+	if reduction(0, 80) != "n/a" {
+		t.Fatal("reduction zero base")
+	}
+	if len(patternNames()) != 4 {
+		t.Fatal("patternNames")
+	}
+}

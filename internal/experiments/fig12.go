@@ -1,0 +1,88 @@
+package experiments
+
+// Figures 12-14: CPU-utilization consequences of the completion methods
+// (Section V-B1), and the kernel cycle breakdowns VTune reported.
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig12", "CPU utilization of hybrid polling", runFig12)
+	register("fig13", "CPU utilization: interrupt vs poll (user/kernel)", runFig13)
+	register("fig14", "CPU cycle breakdown of polling (module and function)", runFig14)
+}
+
+// syncUtil runs a sync job and returns the utilization split.
+func syncUtil(mode kernel.Mode, p workload.Pattern, bs, ios int, seed uint64) (cpu.Utilization, *core.System) {
+	sys := syncSystem(ull(), mode, seed)
+	run(sys, workload.Job{
+		Pattern:   p,
+		BlockSize: bs,
+		TotalIOs:  ios,
+		WarmupIOs: ios / 20,
+		Seed:      seed,
+	})
+	return sys.Core.Utilization(sys.Eng.Now()), sys
+}
+
+func runFig12(o Options) []*metrics.Table {
+	ios := o.scale(1500, 40000)
+	t := metrics.NewTable("fig12", "Hybrid polling CPU utilization (%)",
+		"block", "SeqRd", "RndRd", "SeqWr", "RndWr")
+	for _, bs := range blockSizes {
+		row := []any{sizeLabel(bs)}
+		for _, p := range fourPatterns {
+			u, _ := syncUtil(kernel.Hybrid, p, bs, ios, o.seed())
+			row = append(row, u.User+u.Kernel)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper Fig 12: hybrid polling still burns 52-58%% of a core — 2.2x what interrupts use, though below classic polling's ~100%%")
+	return []*metrics.Table{t}
+}
+
+func runFig13(o Options) []*metrics.Table {
+	ios := o.scale(1500, 40000)
+	t := metrics.NewTable("fig13", "CPU utilization by mode (%)",
+		"block", "pattern", "int-user", "int-kernel", "poll-user", "poll-kernel")
+	for _, p := range fourPatterns {
+		for _, bs := range blockSizes {
+			ui, _ := syncUtil(kernel.Interrupt, p, bs, ios, o.seed())
+			up, _ := syncUtil(kernel.Poll, p, bs, ios, o.seed())
+			t.AddRow(sizeLabel(bs), p.String(), ui.User, ui.Kernel, up.User, up.Kernel)
+		}
+	}
+	t.AddNote("paper Fig 13: interrupts use ~9.2%% user + ~8.4%% kernel; polling pushes kernel time to ~96%% of the run")
+	return []*metrics.Table{t}
+}
+
+func runFig14(o Options) []*metrics.Table {
+	ios := o.scale(3000, 40000)
+	mod := metrics.NewTable("fig14a", "Kernel CPU cycle breakdown by module (poll mode, %)",
+		"pattern", "NVMe driver", "rest of storage stack")
+	fn := metrics.NewTable("fig14b", "Kernel CPU cycle breakdown by function (poll mode, %)",
+		"pattern", "blk_mq_poll", "nvme_poll", "other kernel")
+	for _, p := range fourPatterns {
+		_, sys := syncUtil(kernel.Poll, p, 4096, ios, o.seed())
+		c := sys.Core
+		kernelTotal := float64(c.KernelTime())
+		var driver float64
+		for f := cpu.Fn(0); f < cpu.NumFns; f++ {
+			if f.Kernel() && f.Driver() {
+				driver += float64(c.Acct(f).Time)
+			}
+		}
+		blk := float64(c.Acct(cpu.FnBlkMQPoll).Time)
+		nv := float64(c.Acct(cpu.FnNVMePoll).Time)
+		mod.AddRow(p.String(), pct(driver/kernelTotal), pct(1-driver/kernelTotal))
+		fn.AddRow(p.String(), pct(blk/kernelTotal), pct(nv/kernelTotal), pct((kernelTotal-blk-nv)/kernelTotal))
+	}
+	mod.AddNote("paper Fig 14a: the NVMe driver uses only ~17.5%% of kernel cycles; blk-mq and the rest of the stack use the rest")
+	fn.AddNote("paper Fig 14b: blk_mq_poll ~67%% + nvme_poll ~17%% = 84%% of all kernel cycles")
+	return []*metrics.Table{mod, fn}
+}

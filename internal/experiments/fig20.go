@@ -1,0 +1,110 @@
+package experiments
+
+// Figures 20-22: the resource bills of SPDK — CPU utilization, memory
+// instruction counts, and the per-function breakdowns (Section VI-B).
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig20", "CPU utilization of SPDK vs conventional stack", runFig20)
+	register("fig21", "Normalized memory instruction count of SPDK", runFig21)
+	register("fig22", "Load/store breakdown by function (polling and SPDK)", runFig22)
+}
+
+// spdkPair runs the same job on the SPDK stack and the kernel interrupt
+// stack and returns both systems for counter comparison.
+func spdkPair(p workload.Pattern, bs, ios int, seed uint64) (sp, in *core.System) {
+	sp = spdkSystem(ull(), seed)
+	run(sp, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+	in = syncSystem(ull(), kernel.Interrupt, seed)
+	run(in, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+	return sp, in
+}
+
+func runFig20(o Options) []*metrics.Table {
+	ios := o.scale(1500, 40000)
+	t := metrics.NewTable("fig20", "CPU utilization: SPDK vs conventional interrupt stack (%)",
+		"block", "pattern", "spdk-user", "spdk-system", "int-user", "int-system")
+	for _, p := range fourPatterns {
+		for _, bs := range blockSizes {
+			sp, in := spdkPair(p, bs, ios, o.seed())
+			us_ := sp.Core.Utilization(sp.Eng.Now())
+			ui := in.Core.Utilization(in.Eng.Now())
+			t.AddRow(sizeLabel(bs), p.String(), us_.User, us_.Kernel, ui.User, ui.Kernel)
+		}
+	}
+	t.AddNote("paper Fig 20: SPDK consumes the whole core in userland (the uio driver cannot sleep); the conventional stack averages ~10%% user + ~15%% kernel")
+	return []*metrics.Table{t}
+}
+
+func runFig21(o Options) []*metrics.Table {
+	ios := o.scale(1500, 40000)
+	t := metrics.NewTable("fig21", "SPDK loads/stores, normalized to the conventional interrupt stack",
+		"block", "pattern", "loads", "stores")
+	for _, p := range fourPatterns {
+		for _, bs := range blockSizes {
+			sp, in := spdkPair(p, bs, ios, o.seed())
+			ld := float64(sp.Core.Loads()) / float64(in.Core.Loads())
+			st := float64(sp.Core.Stores()) / float64(in.Core.Stores())
+			t.AddRow(sizeLabel(bs), p.String(), ld, st)
+		}
+	}
+	t.AddNote("paper Fig 21: SPDK generates ~23x the loads and ~16.2x the stores of the conventional path — the huge-page qpair is polled continuously without blk-mq's cookie filtering")
+	return []*metrics.Table{t}
+}
+
+func runFig22(o Options) []*metrics.Table {
+	ios := o.scale(3000, 40000)
+	poll := metrics.NewTable("fig22a", "Kernel polling: load/store share by function (%)",
+		"pattern", "kind", "blk_mq_poll", "nvme_poll", "others")
+	spdkT := metrics.NewTable("fig22b", "SPDK: load/store share by function (%)",
+		"pattern", "kind", "spdk_..._process_completions", "nvme_pcie_..._process_completions", "nvme_qpair_check_enabled", "others")
+
+	for _, p := range fourPatterns {
+		sysP := syncSystem(ull(), kernel.Poll, o.seed())
+		run(sysP, workload.Job{Pattern: p, BlockSize: 4096, TotalIOs: ios, Seed: o.seed()})
+		for _, kind := range []string{"LD", "ST"} {
+			get := func(f cpu.Fn) float64 {
+				a := sysP.Core.Acct(f)
+				if kind == "LD" {
+					return float64(a.Loads)
+				}
+				return float64(a.Stores)
+			}
+			total := float64(sysP.Core.Loads())
+			if kind == "ST" {
+				total = float64(sysP.Core.Stores())
+			}
+			blk, nv := get(cpu.FnBlkMQPoll), get(cpu.FnNVMePoll)
+			poll.AddRow(p.String(), kind, pct(blk/total), pct(nv/total), pct((total-blk-nv)/total))
+		}
+
+		sysS := spdkSystem(ull(), o.seed())
+		run(sysS, workload.Job{Pattern: p, BlockSize: 4096, TotalIOs: ios, Seed: o.seed()})
+		for _, kind := range []string{"LD", "ST"} {
+			get := func(f cpu.Fn) float64 {
+				a := sysS.Core.Acct(f)
+				if kind == "LD" {
+					return float64(a.Loads)
+				}
+				return float64(a.Stores)
+			}
+			total := float64(sysS.Core.Loads())
+			if kind == "ST" {
+				total = float64(sysS.Core.Stores())
+			}
+			pr, pc, ck := get(cpu.FnSPDKProcess), get(cpu.FnPCIeProcess), get(cpu.FnQpairCheck)
+			spdkT.AddRow(p.String(), kind, pct(pr/total), pct(pc/total), pct(ck/total),
+				pct((total-pr-pc-ck)/total))
+		}
+	}
+	poll.AddNote("paper Fig 22a: blk_mq_poll + nvme_poll generate ~39%% of all load/store instructions in the polled kernel")
+	spdkT.AddNote("paper Fig 22b: spdk process_completions ~37%%, nvme_pcie ~22%%, the inlined qpair_check ~20%% of loads")
+	return []*metrics.Table{poll, spdkT}
+}

@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections IV-VI). Each experiment is a named runner that
+// builds the necessary systems, drives calibrated workloads, and returns
+// result tables; DESIGN.md carries the experiment index and EXPERIMENTS.md
+// the paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick trades sample counts for speed (used by tests and the
+	// default CLI mode); full runs give stable five-nines tails.
+	Quick bool
+	Seed  uint64
+}
+
+// scale picks a sample count: full when precision matters, quick for CI.
+func (o Options) scale(quick, full int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 0x1157c
+	}
+	return o.Seed
+}
+
+// Runner produces one experiment's tables.
+type Runner func(Options) []*metrics.Table
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	order = append(order, id)
+}
+
+// All returns every experiment in paper order: Table I, then the figures
+// numerically, then the extensions.
+func All() []Experiment {
+	ids := append([]string(nil), order...)
+	sort.SliceStable(ids, func(i, j int) bool { return expRank(ids[i]) < expRank(ids[j]) })
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// expRank orders experiment ids: tabN, then figN[letter], then ext-*.
+func expRank(id string) int {
+	switch {
+	case strings.HasPrefix(id, "tab"):
+		n, _ := strconv.Atoi(id[3:])
+		return n
+	case strings.HasPrefix(id, "fig"):
+		digits := id[3:]
+		letter := 0
+		if l := digits[len(digits)-1]; l >= 'a' && l <= 'z' {
+			letter = int(l-'a') + 1
+			digits = digits[:len(digits)-1]
+		}
+		n, _ := strconv.Atoi(digits)
+		return 100 + n*30 + letter
+	default:
+		return 1 << 20
+	}
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// --- shared builders ---
+
+// ull and nvme return the paper's two devices.
+func ull() ssd.Config     { return ssd.ZSSD() }
+func nvme750() ssd.Config { return ssd.NVMe750() }
+
+// precondFraction is the default fill level of the LPN space before a
+// measurement run: a mostly-full device (aged, all reads hit media) with
+// a realistic free cushion.
+const precondFraction = 0.9
+
+// asyncSystem builds a preconditioned libaio system on dev.
+func asyncSystem(dev ssd.Config, seed uint64) *core.System {
+	cfg := core.DefaultConfig(dev)
+	cfg.Stack = core.KernelAsync
+	cfg.Precondition = precondFraction
+	cfg.Device.Seed = dev.Seed ^ seed
+	return core.NewSystem(cfg)
+}
+
+// syncSystem builds a preconditioned pvsync2 system with the given
+// completion mode.
+func syncSystem(dev ssd.Config, mode kernel.Mode, seed uint64) *core.System {
+	cfg := core.DefaultConfig(dev)
+	cfg.Stack = core.KernelSync
+	cfg.Mode = mode
+	cfg.Precondition = precondFraction
+	cfg.Device.Seed = dev.Seed ^ seed
+	return core.NewSystem(cfg)
+}
+
+// spdkSystem builds a preconditioned SPDK system.
+func spdkSystem(dev ssd.Config, seed uint64) *core.System {
+	cfg := core.DefaultConfig(dev)
+	cfg.Stack = core.SPDK
+	cfg.Precondition = precondFraction
+	cfg.Device.Seed = dev.Seed ^ seed
+	return core.NewSystem(cfg)
+}
+
+// run executes a job and returns its result. Unless the job says
+// otherwise, I/O is confined to the preconditioned region so reads always
+// touch mapped media.
+func run(sys *core.System, job workload.Job) *workload.Result {
+	if job.Region == 0 && sys.Cfg.Precondition > 0 {
+		region := int64(sys.Cfg.Precondition * float64(sys.ExportedBytes()))
+		const align = 1 << 20
+		job.Region = region / align * align
+	}
+	return workload.Run(sys, job)
+}
+
+// us formats a sim.Time as microseconds with two decimals.
+func us(t sim.Time) string { return fmt.Sprintf("%.2f", t.Micros()) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f", v*100) }
+
+// reduction reports (base-new)/base as a percentage string.
+func reduction(base, new sim.Time) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return pct(float64(base-new) / float64(base))
+}
+
+// fourPatterns is the standard pattern set of the paper's figures.
+var fourPatterns = []workload.Pattern{
+	workload.SeqRead, workload.RandRead, workload.SeqWrite, workload.RandWrite,
+}
+
+// blockSizes45 is the 4KB..32KB sweep used by Figures 9-16.
+var blockSizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10}
+
+func sizeLabel(n int) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+	return fmt.Sprintf("%dKB", n>>10)
+}

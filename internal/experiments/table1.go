@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("tab1", "Table I: 3D flash technology characteristics", runTable1)
+}
+
+func runTable1(Options) []*metrics.Table {
+	t := metrics.NewTable("tab1", "3D flash characteristics (model parameters)",
+		"parameter", "BiCS", "V-NAND", "Z-NAND")
+	cfgs := []flash.Config{flash.BiCS(), flash.VNAND(), flash.ZNAND()}
+	row := func(name string, f func(flash.Config) string) {
+		t.AddRow(name, f(cfgs[0]), f(cfgs[1]), f(cfgs[2]))
+	}
+	row("# layers", func(c flash.Config) string { return fmt.Sprintf("%d", c.Layers) })
+	row("tR", func(c flash.Config) string { return c.ReadLatency.String() })
+	row("tPROG", func(c flash.Config) string { return c.ProgramLatency.String() })
+	row("tBERS", func(c flash.Config) string { return c.EraseLatency.String() })
+	row("capacity (Gb/die)", func(c flash.Config) string { return fmt.Sprintf("%d", c.DieCapacityGb) })
+	row("page size", func(c flash.Config) string { return fmt.Sprintf("%dKB", c.PageSize>>10) })
+	row("program suspend", func(c flash.Config) string { return fmt.Sprintf("%v", c.ProgramSuspend) })
+	t.AddNote("paper Table I: Z-NAND tR=3us (15-20x faster), tPROG=100us (6.6-7x faster), 2KB pages")
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,123 @@
+// Package flash models NAND flash dies at the operation level: reads,
+// programs, and erases with configurable timings, program/erase
+// suspend-resume (the Z-NAND mechanism of Section II-A3 of the paper),
+// read prioritization, timing jitter, and per-operation energy reporting.
+//
+// A Die is a little state machine driven by the simulation engine. The SSD
+// layer (package ssd) owns address mapping, channels, caching, and garbage
+// collection; this package knows nothing about addresses, only operation
+// kinds and durations.
+package flash
+
+import "repro/internal/sim"
+
+// Config describes one NAND technology generation (one column of Table I
+// in the paper) plus the dynamic behaviours layered on it.
+type Config struct {
+	Name string
+
+	// Table I parameters.
+	Layers         int      // stacked word-line layers (informational)
+	ReadLatency    sim.Time // tR: array read into the page register
+	ProgramLatency sim.Time // tPROG: page program from the register
+	EraseLatency   sim.Time // tBERS: block erase
+	PageSize       int      // bytes per page
+	DieCapacityGb  int      // per-die capacity in gigabits (informational)
+
+	// Suspend/resume (Section II-A3). When enabled, an incoming read may
+	// suspend an in-flight program (and, if EraseSuspend is set, an
+	// erase); the suspended operation resumes after pending reads drain.
+	ProgramSuspend bool
+	EraseSuspend   bool
+	SuspendLatency sim.Time // delay before the preempting read starts
+	ResumeOverhead sim.Time // added to the remaining time on resume
+	MaxSuspends    int      // per operation; bounds write starvation
+
+	// Jitter: relative standard deviation applied to operation latencies,
+	// modeling incremental-step programming, read-retry variation and
+	// cell-position effects.
+	ReadJitter    float64
+	ProgramJitter float64
+	EraseJitter   float64
+
+	// ECC retry: with probability ReadRetryProb a read pays an extra
+	// ReadRetryLatency (error-correction recovery, a tail contributor).
+	ReadRetryProb    float64
+	ReadRetryLatency sim.Time
+
+	// Power drawn by a die while an operation of each kind is active, in
+	// watts. Idle die power is accounted at the device level.
+	ReadPower    float64
+	ProgramPower float64
+	ErasePower   float64
+}
+
+// ZNAND returns the ultra-low-latency flash of Table I: 48-layer SLC-based
+// 3D NAND with 3us reads, 100us programs, 2KB pages, and suspend/resume.
+func ZNAND() Config {
+	return Config{
+		Name:             "Z-NAND",
+		Layers:           48,
+		ReadLatency:      3 * sim.Microsecond,
+		ProgramLatency:   100 * sim.Microsecond,
+		EraseLatency:     1 * sim.Millisecond,
+		PageSize:         2 * 1024,
+		DieCapacityGb:    64,
+		ProgramSuspend:   true,
+		EraseSuspend:     true,
+		SuspendLatency:   700 * sim.Nanosecond,
+		ResumeOverhead:   2 * sim.Microsecond,
+		MaxSuspends:      4,
+		ReadJitter:       0.04,
+		ProgramJitter:    0.06,
+		EraseJitter:      0.05,
+		ReadRetryProb:    2e-6,
+		ReadRetryLatency: 80 * sim.Microsecond,
+		ReadPower:        0.035,
+		ProgramPower:     0.06,
+		ErasePower:       0.05,
+	}
+}
+
+// VNAND returns the 64-layer TLC V-NAND column of Table I (the
+// conventional high-density 3D flash used as the baseline technology).
+func VNAND() Config {
+	return Config{
+		Name:             "V-NAND",
+		Layers:           64,
+		ReadLatency:      60 * sim.Microsecond,
+		ProgramLatency:   700 * sim.Microsecond,
+		EraseLatency:     3500 * sim.Microsecond,
+		PageSize:         16 * 1024,
+		DieCapacityGb:    512,
+		ReadJitter:       0.08,
+		ProgramJitter:    0.12,
+		EraseJitter:      0.08,
+		ReadRetryProb:    1e-5,
+		ReadRetryLatency: 250 * sim.Microsecond,
+		ReadPower:        0.045,
+		ProgramPower:     0.11,
+		ErasePower:       0.09,
+	}
+}
+
+// BiCS returns the 48-layer BiCS column of Table I.
+func BiCS() Config {
+	return Config{
+		Name:             "BiCS",
+		Layers:           48,
+		ReadLatency:      45 * sim.Microsecond,
+		ProgramLatency:   660 * sim.Microsecond,
+		EraseLatency:     3500 * sim.Microsecond,
+		PageSize:         16 * 1024,
+		DieCapacityGb:    256,
+		ReadJitter:       0.08,
+		ProgramJitter:    0.12,
+		EraseJitter:      0.08,
+		ReadRetryProb:    1e-5,
+		ReadRetryLatency: 250 * sim.Microsecond,
+		ReadPower:        0.045,
+		ProgramPower:     0.11,
+		ErasePower:       0.09,
+	}
+}

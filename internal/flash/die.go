@@ -1,0 +1,248 @@
+package flash
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// OpKind identifies a flash array operation.
+type OpKind uint8
+
+// The three NAND array operations.
+const (
+	OpRead OpKind = iota
+	OpProgram
+	OpErase
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation submitted to a die. Done fires when the array
+// operation completes (data transfer over the channel is the SSD layer's
+// business). The zero Duration means "use the configured latency with
+// jitter"; a positive Duration overrides it (used by tests).
+type Op struct {
+	Kind     OpKind
+	Duration sim.Time
+	Done     func(end sim.Time)
+
+	// Background marks internal housekeeping reads (garbage-collection
+	// migration). They queue behind host operations instead of taking
+	// read priority and never trigger suspension.
+	Background bool
+
+	remaining sim.Time // carry-over after a suspension
+	suspends  int
+}
+
+// EnergySink receives per-operation energy contributions: the die drew
+// watts over [t0, t1). A nil sink is ignored.
+type EnergySink func(t0, t1 sim.Time, watts float64)
+
+// Stats aggregates what a die has done. Cheap enough to keep always-on.
+type Stats struct {
+	Reads    uint64
+	Programs uint64
+	Erases   uint64
+	Suspends uint64
+	Retries  uint64
+	BusyTime sim.Time
+}
+
+// Die models one NAND die: a single array that serves one operation at a
+// time, a read-priority queue, and program/erase suspend-resume.
+type Die struct {
+	cfg    Config
+	eng    *sim.Engine
+	rng    *sim.RNG
+	energy EnergySink
+
+	cur      *Op
+	curEnd   *sim.Event
+	curStart sim.Time
+
+	reads     []*Op // pending reads, FIFO among themselves, priority over others
+	others    []*Op // pending programs and erases, FIFO
+	suspended []*Op // stack of suspended program/erase ops
+
+	stats Stats
+}
+
+// NewDie returns an idle die. rng must not be shared with other model
+// elements that need statistical independence.
+func NewDie(cfg Config, eng *sim.Engine, rng *sim.RNG, energy EnergySink) *Die {
+	if cfg.MaxSuspends == 0 {
+		cfg.MaxSuspends = 4
+	}
+	return &Die{cfg: cfg, eng: eng, rng: rng, energy: energy}
+}
+
+// Config returns the die's configuration.
+func (d *Die) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the die's counters.
+func (d *Die) Stats() Stats { return d.stats }
+
+// Busy reports whether an operation is in service.
+func (d *Die) Busy() bool { return d.cur != nil }
+
+// QueueLen reports the number of operations waiting (not in service),
+// including suspended ones.
+func (d *Die) QueueLen() int {
+	return len(d.reads) + len(d.others) + len(d.suspended)
+}
+
+// Submit enqueues op. The die serves reads before programs/erases and,
+// when the configuration allows, suspends an in-flight program or erase
+// for an incoming read.
+func (d *Die) Submit(op *Op) {
+	if op.Done == nil {
+		panic("flash: op without Done callback")
+	}
+	if op.Kind == OpRead && !op.Background {
+		d.reads = append(d.reads, op)
+	} else {
+		d.others = append(d.others, op)
+	}
+	d.dispatch()
+}
+
+func (d *Die) opDuration(op *Op) sim.Time {
+	if op.remaining > 0 {
+		return op.remaining
+	}
+	if op.Duration > 0 {
+		return op.Duration
+	}
+	switch op.Kind {
+	case OpRead:
+		t := d.rng.Jitter(d.cfg.ReadLatency, d.cfg.ReadJitter)
+		if d.cfg.ReadRetryProb > 0 && d.rng.Bool(d.cfg.ReadRetryProb) {
+			t += d.cfg.ReadRetryLatency
+			d.stats.Retries++
+		}
+		return t
+	case OpProgram:
+		return d.rng.Jitter(d.cfg.ProgramLatency, d.cfg.ProgramJitter)
+	case OpErase:
+		return d.rng.Jitter(d.cfg.EraseLatency, d.cfg.EraseJitter)
+	default:
+		panic("flash: unknown op kind")
+	}
+}
+
+func (d *Die) opPower(k OpKind) float64 {
+	switch k {
+	case OpRead:
+		return d.cfg.ReadPower
+	case OpProgram:
+		return d.cfg.ProgramPower
+	default:
+		return d.cfg.ErasePower
+	}
+}
+
+func (d *Die) suspendable(k OpKind) bool {
+	switch k {
+	case OpProgram:
+		return d.cfg.ProgramSuspend
+	case OpErase:
+		return d.cfg.EraseSuspend
+	default:
+		return false
+	}
+}
+
+// dispatch decides what the array should do next. It is called whenever
+// the queue or the in-service operation changes.
+func (d *Die) dispatch() {
+	if d.cur != nil {
+		// A read can preempt a suspendable program/erase.
+		if len(d.reads) > 0 && d.suspendable(d.cur.Kind) && d.cur.suspends < d.cfg.MaxSuspends {
+			d.suspend()
+			// fall through to start the read below
+		} else {
+			return
+		}
+	}
+	var next *Op
+	switch {
+	case len(d.reads) > 0:
+		next, d.reads = d.reads[0], d.reads[1:]
+	case len(d.suspended) > 0:
+		// Resume the most recently suspended operation.
+		next, d.suspended = d.suspended[len(d.suspended)-1], d.suspended[:len(d.suspended)-1]
+	case len(d.others) > 0:
+		next, d.others = d.others[0], d.others[1:]
+	default:
+		return
+	}
+	d.start(next)
+}
+
+// suspend pauses the in-service operation, charging energy for the part
+// already executed and recording the remaining time plus resume overhead.
+func (d *Die) suspend() {
+	now := d.eng.Now()
+	op := d.cur
+	remaining := d.curEnd.When() - now
+	d.curEnd.Cancel()
+	d.charge(d.curStart, now, op.Kind)
+	op.remaining = remaining + d.cfg.ResumeOverhead
+	op.suspends++
+	d.stats.Suspends++
+	d.suspended = append(d.suspended, op)
+	d.cur = nil
+	d.curEnd = nil
+}
+
+func (d *Die) start(op *Op) {
+	delay := sim.Time(0)
+	if op.Kind == OpRead && len(d.suspended) > 0 {
+		// This read preempted something: pay the suspend switch latency.
+		delay = d.cfg.SuspendLatency
+	}
+	dur := d.opDuration(op)
+	d.cur = op
+	d.curStart = d.eng.Now() + delay
+	d.curEnd = d.eng.After(delay+dur, func() { d.finish(op) })
+}
+
+func (d *Die) finish(op *Op) {
+	now := d.eng.Now()
+	d.charge(d.curStart, now, op.Kind)
+	switch op.Kind {
+	case OpRead:
+		d.stats.Reads++
+	case OpProgram:
+		d.stats.Programs++
+	case OpErase:
+		d.stats.Erases++
+	}
+	d.cur = nil
+	d.curEnd = nil
+	op.Done(now)
+	d.dispatch()
+}
+
+func (d *Die) charge(t0, t1 sim.Time, k OpKind) {
+	if t1 <= t0 {
+		return
+	}
+	d.stats.BusyTime += t1 - t0
+	if d.energy != nil {
+		d.energy(t0, t1, d.opPower(k))
+	}
+}

@@ -1,0 +1,339 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// Mode selects the I/O completion method of a synchronous stack.
+type Mode int
+
+// The three completion methods the paper compares.
+const (
+	Interrupt Mode = iota
+	Poll
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Interrupt:
+		return "interrupt"
+	case Poll:
+		return "poll"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SyncStack models a preadv2/pwritev2 (pvsync2) synchronous I/O path with
+// a configurable completion method. One I/O is outstanding at a time, as
+// with the paper's single hipri job pinned to one max-frequency core.
+type SyncStack struct {
+	eng   *sim.Engine
+	qp    *nvme.QueuePair
+	core  *cpu.Core
+	costs Costs
+	mode  Mode
+	rng   *sim.RNG
+
+	busy    bool
+	current *syncIO
+	nextCID uint16
+
+	hybrid map[int]*latencyMean // block size -> total-latency tracker
+}
+
+type syncIO struct {
+	size      int
+	done      func()
+	start     sim.Time // Submit call time
+	submitEnd sim.Time // doorbell ring time
+	wakeAt    sim.Time // hybrid: when the sleep ends; 0 for plain poll
+	sleeping  bool
+}
+
+// latencyMean tracks the mean device completion interval per size class,
+// as the 4.14 hybrid polling implementation does.
+type latencyMean struct {
+	count uint64
+	sum   sim.Time
+}
+
+func (m *latencyMean) add(d sim.Time) { m.count++; m.sum += d }
+func (m *latencyMean) mean() sim.Time {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / sim.Time(m.count)
+}
+
+// NewSyncStack wires a synchronous stack onto a queue pair. The stack
+// owns the queue pair's completion delivery configuration.
+func NewSyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs, mode Mode) *SyncStack {
+	s := &SyncStack{
+		eng:    eng,
+		qp:     qp,
+		core:   core,
+		costs:  costs,
+		mode:   mode,
+		rng:    sim.NewRNG(0x517ac4),
+		hybrid: make(map[int]*latencyMean),
+	}
+	if mode == Interrupt {
+		qp.EnableInterrupts(true)
+		qp.SetMSIHandler(s.onMSI)
+	} else {
+		qp.EnableInterrupts(false)
+		qp.SetCompletionHook(s.onVisible)
+	}
+	return s
+}
+
+// Mode reports the configured completion method.
+func (s *SyncStack) Mode() Mode { return s.mode }
+
+func (s *SyncStack) charge(fn cpu.Fn, c StageCost) {
+	s.core.Charge(fn, c.Time, c.Loads, c.Stores)
+}
+
+func (s *SyncStack) chargeN(fn cpu.Fn, c StageCost, n int64) {
+	s.core.Charge(fn, c.Time*sim.Time(n), c.Loads*uint64(n), c.Stores*uint64(n))
+}
+
+// Submit issues one synchronous I/O. done fires when control returns to
+// the application. Submitting while an I/O is outstanding panics: the
+// pvsync2 engine is strictly serial.
+func (s *SyncStack) Submit(write bool, offset int64, length int, done func()) {
+	if s.busy {
+		panic("kernel: overlapping I/O on a synchronous stack")
+	}
+	s.busy = true
+
+	// Submission pipeline: user setup, syscall entry, VFS, blk-mq, driver.
+	s.charge(cpu.FnAppUser, s.costs.AppSetup)
+	s.charge(cpu.FnSyscall, half(s.costs.Syscall))
+	s.charge(cpu.FnVFS, s.costs.VFS)
+	s.charge(cpu.FnBlkMQSubmit, s.costs.BlkMQ)
+	s.charge(cpu.FnNVMeDriver, s.costs.Driver)
+
+	submitDelay := s.costs.AppSetup.Time + s.costs.Syscall.Time/2 +
+		s.costs.VFS.Time + s.costs.BlkMQ.Time + s.costs.Driver.Time
+
+	io := &syncIO{size: length, done: done, start: s.eng.Now()}
+	s.current = io
+	cid := s.nextCID
+	s.nextCID++
+
+	s.eng.After(submitDelay, func() {
+		io.submitEnd = s.eng.Now()
+		s.qp.Submit(write, offset, length, cid)
+		if s.mode == Hybrid {
+			s.armHybridSleep(io)
+		}
+	})
+}
+
+// armHybridSleep computes the adaptive sleep. With no history (or a tiny
+// mean) hybrid degenerates to classic polling, as in the kernel.
+func (s *SyncStack) armHybridSleep(io *syncIO) {
+	tr := s.hybrid[io.size]
+	if tr == nil {
+		return
+	}
+	sleep := sim.Time(float64(tr.mean()) * s.costs.HybridSleepFactor)
+	if sleep < s.costs.HybridMinSleep {
+		return
+	}
+	s.charge(cpu.FnTimer, s.costs.TimerProgram)
+	io.sleeping = true
+	io.wakeAt = s.eng.Now() + sleep
+}
+
+// onVisible fires the instant the CQE is host-visible (poll and hybrid
+// modes) and computes when the polling loop detects it.
+func (s *SyncStack) onVisible() {
+	io := s.current
+	if io == nil {
+		panic("kernel: completion with no outstanding I/O")
+	}
+	tc := s.eng.Now()
+
+	pollStart := io.submitEnd
+	wakeCost := sim.Time(0)
+	if io.sleeping {
+		// The loop cannot start before the timer fires and the task is
+		// scheduled back in, even if the device finished earlier — the
+		// hybrid oversleep/wake penalty.
+		pollStart = io.wakeAt
+		wakeCost = s.costs.TimerWake.Time + sim.Time(s.rng.Exp(float64(s.costs.HybridWakeJitter)))
+		s.charge(cpu.FnTimer, s.costs.TimerWake)
+	}
+
+	iter := s.costs.PollIter()
+	// The loop starts at pollStart (+ wake path) and observes the entry
+	// at the first iteration boundary at or after tc.
+	base := pollStart + wakeCost
+	wait := tc - base
+	var iters int64
+	if wait <= 0 {
+		// Completed during sleep or before the loop spun up: the first
+		// iteration finds it.
+		iters = 1
+	} else {
+		iters = (int64(wait) + int64(iter) - 1) / int64(iter)
+	}
+	detect := base + sim.Time(iters)*iter
+
+	// Two tail penalties hit busy pollers but not interrupt waiters.
+	// Scheduler ticks during the poll preempt the poller outright.
+	ticks := s.core.TicksIn(base, detect)
+	if ticks > 0 {
+		penalty := sim.Time(ticks) * s.core.TickWork
+		s.core.Charge(cpu.FnOther, penalty, 40*uint64(ticks), 20*uint64(ticks))
+		detect += penalty
+	}
+	// And long waits absorb the deferred kernel work an idle core would
+	// have soaked up: the Figure 11 inversion for sub-tick tails.
+	if wait > s.costs.PollStealThreshold && s.costs.PollStealFrac > 0 {
+		steal := sim.Time(float64(wait) * s.costs.PollStealFrac)
+		s.core.Charge(cpu.FnOther, steal, uint64(steal/sim.Microsecond)*12, uint64(steal/sim.Microsecond)*5)
+		detect += steal
+	}
+
+	s.chargeN(cpu.FnBlkMQPoll, s.costs.PollIterBlk, iters)
+	s.chargeN(cpu.FnNVMePoll, s.costs.PollIterNVMe, iters)
+
+	s.eng.At(detect, func() {
+		if _, ok := s.qp.Poll(); !ok {
+			panic("kernel: CQE vanished before poll detection")
+		}
+		s.finish(io)
+	})
+}
+
+// onMSI is the interrupt-mode completion: ISR, softirq completion,
+// context switch, wake latency, syscall exit.
+func (s *SyncStack) onMSI() {
+	io := s.current
+	if io == nil {
+		panic("kernel: MSI with no outstanding I/O")
+	}
+	if _, ok := s.qp.Poll(); !ok {
+		panic("kernel: MSI with empty CQ")
+	}
+	s.charge(cpu.FnISR, s.costs.ISR)
+	s.charge(cpu.FnCtxSwitch, s.costs.CtxSwitch)
+	delay := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.WakeLatency
+	s.eng.After(delay, func() { s.finish(io) })
+}
+
+// finish returns control to the application.
+func (s *SyncStack) finish(io *syncIO) {
+	exit := s.costs.Syscall.Time / 2
+	if s.mode != Interrupt {
+		s.charge(cpu.FnBlkMQPoll, s.costs.PollComplete)
+		exit += s.costs.PollComplete.Time
+	}
+	s.charge(cpu.FnSyscall, half(s.costs.Syscall))
+	s.eng.After(exit, func() {
+		if s.mode == Hybrid {
+			// blk_stat feeds the sleep heuristic with total request
+			// latency, detection delay included.
+			tr := s.hybrid[io.size]
+			if tr == nil {
+				tr = &latencyMean{}
+				s.hybrid[io.size] = tr
+			}
+			tr.add(s.eng.Now() - io.start)
+		}
+		s.busy = false
+		s.current = nil
+		io.done()
+	})
+}
+
+func half(c StageCost) StageCost {
+	return StageCost{Time: c.Time / 2, Loads: c.Loads / 2, Stores: c.Stores / 2}
+}
+
+// AsyncStack models the libaio path: io_submit batching keeps many I/Os
+// outstanding, completions arrive by interrupt and are reaped from
+// io_getevents. This is the engine behind the paper's queue-depth and
+// bandwidth studies (Figures 4-7).
+type AsyncStack struct {
+	eng   *sim.Engine
+	qp    *nvme.QueuePair
+	core  *cpu.Core
+	costs Costs
+
+	pending map[uint16]*asyncIO
+	nextCID uint16
+}
+
+type asyncIO struct {
+	done func()
+}
+
+// NewAsyncStack wires an asynchronous stack onto a queue pair.
+func NewAsyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) *AsyncStack {
+	s := &AsyncStack{
+		eng:     eng,
+		qp:      qp,
+		core:    core,
+		costs:   costs,
+		pending: make(map[uint16]*asyncIO),
+	}
+	qp.EnableInterrupts(true)
+	qp.SetMSIHandler(s.onMSI)
+	return s
+}
+
+// Submit issues one asynchronous I/O; any number may be outstanding up to
+// the queue depth.
+func (s *AsyncStack) Submit(write bool, offset int64, length int, done func()) {
+	s.core.Charge(cpu.FnAppUser, s.costs.AppSetup.Time, s.costs.AppSetup.Loads, s.costs.AppSetup.Stores)
+	s.core.Charge(cpu.FnSyscall, s.costs.Syscall.Time, s.costs.Syscall.Loads, s.costs.Syscall.Stores)
+	s.core.Charge(cpu.FnVFS, s.costs.VFS.Time, s.costs.VFS.Loads, s.costs.VFS.Stores)
+	s.core.Charge(cpu.FnBlkMQSubmit, s.costs.BlkMQ.Time, s.costs.BlkMQ.Loads, s.costs.BlkMQ.Stores)
+	s.core.Charge(cpu.FnNVMeDriver, s.costs.Driver.Time, s.costs.Driver.Loads, s.costs.Driver.Stores)
+
+	submitDelay := s.costs.AppSetup.Time + s.costs.Syscall.Time/2 +
+		s.costs.VFS.Time + s.costs.BlkMQ.Time + s.costs.Driver.Time
+
+	cid := s.nextCID
+	s.nextCID++
+	s.pending[cid] = &asyncIO{done: done}
+	s.eng.After(submitDelay, func() {
+		s.qp.Submit(write, offset, length, cid)
+	})
+}
+
+// onMSI reaps every visible completion, charging the ISR path per CQE.
+// The submitter observes the completion only after the io_getevents
+// reaping path runs: ISR, wakeup context switch, syscall return.
+func (s *AsyncStack) onMSI() {
+	for {
+		cid, ok := s.qp.Poll()
+		if !ok {
+			return
+		}
+		io := s.pending[cid]
+		if io == nil {
+			panic(fmt.Sprintf("kernel: completion for unknown CID %d", cid))
+		}
+		delete(s.pending, cid)
+		s.core.Charge(cpu.FnISR, s.costs.ISR.Time, s.costs.ISR.Loads, s.costs.ISR.Stores)
+		s.core.Charge(cpu.FnCtxSwitch, s.costs.CtxSwitch.Time, s.costs.CtxSwitch.Loads, s.costs.CtxSwitch.Stores)
+		reap := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.Syscall.Time/2
+		s.eng.After(reap, io.done)
+	}
+}
+
+// Outstanding reports in-flight asynchronous I/Os.
+func (s *AsyncStack) Outstanding() int { return len(s.pending) }

@@ -1,0 +1,215 @@
+// Package metrics provides the measurement substrate for the simulator:
+// log-bucketed latency histograms accurate enough for five-nines
+// percentiles, time-series samplers for power/latency traces, and table
+// formatting for experiment output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// subBuckets is the number of linear sub-buckets per power of two.
+// 32 sub-buckets bound the relative quantization error of any recorded
+// value by about 3%, which is far below the run-to-run noise of the
+// distributions we measure.
+const subBuckets = 32
+
+// Histogram records sim.Time values (latencies) into logarithmic buckets
+// and answers count, mean, max, and percentile queries. The zero value is
+// ready to use.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    int64
+	min    sim.Time
+	max    sim.Time
+}
+
+// bucketIndex maps v (>= 0) to its bucket.
+func bucketIndex(v sim.Time) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	// Position of the highest set bit.
+	exp := 63 - leadingZeros(uint64(v))
+	// Values in [2^exp, 2^(exp+1)) split into subBuckets linear buckets.
+	shift := exp - 5 // log2(subBuckets)
+	sub := int(uint64(v)>>uint(shift)) - subBuckets
+	return (exp-4)*subBuckets + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i, the value
+// reported for percentiles that land in the bucket.
+func bucketUpper(i int) sim.Time {
+	if i < subBuckets {
+		return sim.Time(i)
+	}
+	exp := i/subBuckets + 4
+	sub := i % subBuckets
+	shift := exp - 5
+	return sim.Time((uint64(subBuckets+sub+1) << uint(shift)) - 1)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x <= 0x00000000FFFFFFFF {
+		n += 32
+		x <<= 32
+	}
+	if x <= 0x0000FFFFFFFFFFFF {
+		n += 16
+		x <<= 16
+	}
+	if x <= 0x00FFFFFFFFFFFFFF {
+		n += 8
+		x <<= 8
+	}
+	if x <= 0x0FFFFFFFFFFFFFFF {
+		n += 4
+		x <<= 4
+	}
+	if x <= 0x3FFFFFFFFFFFFFFF {
+		n += 2
+		x <<= 2
+	}
+	if x <= 0x7FFFFFFFFFFFFFFF {
+		n++
+	}
+	return n
+}
+
+// Record adds one observation. Negative values are clamped to zero: a
+// negative latency always indicates a modeling bug upstream, but the
+// histogram stays robust.
+func (h *Histogram) Record(v sim.Time) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += int64(v)
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the arithmetic mean of the observations, or 0 if empty.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / int64(h.count))
+}
+
+// Min reports the smallest observation, or 0 if empty.
+func (h *Histogram) Min() sim.Time { return h.min }
+
+// Max reports the largest observation, or 0 if empty.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Percentile reports the value at quantile p in [0, 100]. The answer is an
+// upper bound of the bucket containing the quantile, except for the top
+// bucket where the true maximum is returned. Empty histograms report 0.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				return h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.counts = h.counts[:0]
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// Summary is a snapshot of the common statistics of a histogram.
+type Summary struct {
+	Count uint64
+	Mean  sim.Time
+	P50   sim.Time
+	P99   sim.Time
+	P9999 sim.Time // 99.99%
+	P5N   sim.Time // 99.999%, the paper's "five nines"
+	Max   sim.Time
+}
+
+// Summarize captures the statistics reported throughout the paper.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		P9999: h.Percentile(99.99),
+		P5N:   h.Percentile(99.999),
+		Max:   h.max,
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p99.999=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.P5N, s.Max)
+}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(1234)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 1234 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1234 || h.Max() != 1234 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	for _, p := range []float64{0, 50, 99, 99.999, 100} {
+		got := h.Percentile(p)
+		if got != 1234 {
+			t.Errorf("Percentile(%v) = %v, want 1234 (single value, max-capped)", p, got)
+		}
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := sim.Time(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if h.Percentile(50) != 15 {
+		t.Errorf("P50 = %v, want 15", h.Percentile(50))
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: Min=%v Count=%d", h.Min(), h.Count())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Every recorded value must be reported (as a bucket upper bound)
+	// within ~1/32 relative error.
+	values := []sim.Time{100, 999, 5_000, 82_900, 1_000_000, 123_456_789}
+	for _, v := range values {
+		var h Histogram
+		h.Record(v)
+		got := h.Percentile(50)
+		relErr := math.Abs(float64(got-v)) / float64(v)
+		if relErr > 1.0/subBuckets+1e-9 {
+			t.Errorf("value %v reported as %v, rel err %.4f", v, got, relErr)
+		}
+	}
+}
+
+func TestHistogramPercentileOrdering(t *testing.T) {
+	var h Histogram
+	rng := sim.NewRNG(11)
+	for i := 0; i < 100000; i++ {
+		h.Record(sim.Time(rng.Intn(1000000)))
+	}
+	last := sim.Time(-1)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 99.99, 99.999, 100} {
+		v := h.Percentile(p)
+		if v < last {
+			t.Fatalf("percentiles not monotone: P(%v)=%v < previous %v", p, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramFiveNines(t *testing.T) {
+	// 1e6 samples at 10us with 10 samples at 5ms: p99.999 must see the tail.
+	var h Histogram
+	for i := 0; i < 1_000_000; i++ {
+		h.Record(10 * sim.Microsecond)
+	}
+	for i := 0; i < 11; i++ {
+		h.Record(5 * sim.Millisecond)
+	}
+	p := h.Percentile(99.999)
+	if p < 4*sim.Millisecond {
+		t.Fatalf("P99.999 = %v, want ~5ms", p)
+	}
+	if h.Percentile(99) > 11*sim.Microsecond {
+		t.Fatalf("P99 = %v, want ~10us", h.Percentile(99))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 1000; i++ {
+		a.Record(sim.Time(100))
+		b.Record(sim.Time(10000))
+	}
+	a.Merge(&b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 100 {
+		t.Errorf("merged min = %v", a.Min())
+	}
+	if a.Max() != 10000 {
+		t.Errorf("merged max = %v", a.Max())
+	}
+	wantMean := sim.Time((100*1000 + 10000*1000) / 2000)
+	if a.Mean() != wantMean {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), wantMean)
+	}
+	// Merging an empty histogram is a no-op.
+	var empty Histogram
+	before := a.Summarize()
+	a.Merge(&empty)
+	if a.Summarize() != before {
+		t.Error("merging empty histogram changed state")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(5000)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i) * sim.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Max != 100*sim.Microsecond {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.P50 < 49*sim.Microsecond || s.P50 > 52*sim.Microsecond {
+		t.Errorf("P50 = %v, want ~50us", s.P50)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+}
+
+// Property: percentile(100) of any sample set is within bucket error of
+// the true max, and percentile(p) is an upper bound for at least p% of
+// samples.
+func TestHistogramPercentileProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]sim.Time, len(raw))
+		for i, r := range raw {
+			v := sim.Time(r % 10_000_000)
+			vals[i] = v
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if h.Percentile(100) != vals[len(vals)-1] {
+			return false
+		}
+		for _, p := range []float64{50, 90, 99} {
+			bound := h.Percentile(p)
+			need := int(math.Ceil(p / 100 * float64(len(vals))))
+			covered := sort.Search(len(vals), func(i int) bool { return vals[i] > bound })
+			if covered < need {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketUpper(bucketIndex(v)) >= v for a wide sweep of values.
+	for _, v := range []sim.Time{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345} {
+		i := bucketIndex(v)
+		u := bucketUpper(i)
+		if u < v {
+			t.Errorf("bucketUpper(bucketIndex(%d)) = %d < value", v, u)
+		}
+		if i > 0 && bucketUpper(i-1) >= v {
+			t.Errorf("value %d not in minimal bucket: upper(i-1)=%d", v, bucketUpper(i-1))
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	rng := sim.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(sim.Time(rng.Intn(1_000_000)))
+	}
+}

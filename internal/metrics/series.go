@@ -1,0 +1,110 @@
+package metrics
+
+import "repro/internal/sim"
+
+// Series accumulates a value over fixed-width time buckets, producing the
+// time-series traces of Figures 7b and 8 (latency and power vs. time).
+// Each bucket stores a sum and a count so callers can plot either the mean
+// value per bucket (latency) or the integral per bucket divided by the
+// bucket width (power from energy).
+type Series struct {
+	Width   sim.Time // bucket width
+	sums    []float64
+	counts  []uint64
+	maxSeen int
+}
+
+// NewSeries returns a series with the given bucket width. Width must be
+// positive.
+func NewSeries(width sim.Time) *Series {
+	if width <= 0 {
+		panic("metrics: series width must be positive")
+	}
+	return &Series{Width: width}
+}
+
+func (s *Series) bucket(t sim.Time) int {
+	if t < 0 {
+		t = 0
+	}
+	i := int(t / s.Width)
+	if i >= len(s.sums) {
+		grown := make([]float64, i+1)
+		copy(grown, s.sums)
+		s.sums = grown
+		grownC := make([]uint64, i+1)
+		copy(grownC, s.counts)
+		s.counts = grownC
+	}
+	if i > s.maxSeen {
+		s.maxSeen = i
+	}
+	return i
+}
+
+// Observe records a point sample (for example one I/O latency) at time t.
+func (s *Series) Observe(t sim.Time, v float64) {
+	i := s.bucket(t)
+	s.sums[i] += v
+	s.counts[i]++
+}
+
+// AddEnergy spreads an energy contribution of watts over [t0, t1),
+// splitting it across bucket boundaries. Used by the power meter; the
+// per-bucket mean is then energy/width = average watts.
+func (s *Series) AddEnergy(t0, t1 sim.Time, watts float64) {
+	if t1 <= t0 || watts == 0 {
+		return
+	}
+	for t := t0; t < t1; {
+		i := s.bucket(t)
+		bucketEnd := sim.Time(i+1) * s.Width
+		end := t1
+		if bucketEnd < end {
+			end = bucketEnd
+		}
+		s.sums[i] += watts * float64(end-t)
+		t = end
+	}
+}
+
+// Len reports the number of buckets with data (the index of the last
+// touched bucket plus one).
+func (s *Series) Len() int {
+	if len(s.sums) == 0 {
+		return 0
+	}
+	return s.maxSeen + 1
+}
+
+// Point is one bucket of a series.
+type Point struct {
+	T     sim.Time // bucket start time
+	Mean  float64  // sum/count, 0 when the bucket is empty
+	Sum   float64
+	Count uint64
+}
+
+// Points returns all buckets up to the last one touched.
+func (s *Series) Points() []Point {
+	pts := make([]Point, s.Len())
+	for i := range pts {
+		p := Point{T: sim.Time(i) * s.Width, Sum: s.sums[i], Count: s.counts[i]}
+		if p.Count > 0 {
+			p.Mean = p.Sum / float64(p.Count)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// MeanRate returns, per bucket, Sum divided by the bucket width. For an
+// energy series (watt-nanoseconds per bucket) this is average power in
+// watts.
+func (s *Series) MeanRate() []Point {
+	pts := s.Points()
+	for i := range pts {
+		pts[i].Mean = pts[i].Sum / float64(s.Width)
+	}
+	return pts
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesObserve(t *testing.T) {
+	s := NewSeries(10 * sim.Millisecond)
+	s.Observe(5*sim.Millisecond, 100)
+	s.Observe(6*sim.Millisecond, 200)
+	s.Observe(25*sim.Millisecond, 300)
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("Len = %d, want 3", len(pts))
+	}
+	if pts[0].Mean != 150 {
+		t.Errorf("bucket 0 mean = %v, want 150", pts[0].Mean)
+	}
+	if pts[1].Count != 0 || pts[1].Mean != 0 {
+		t.Errorf("bucket 1 should be empty: %+v", pts[1])
+	}
+	if pts[2].Mean != 300 {
+		t.Errorf("bucket 2 mean = %v", pts[2].Mean)
+	}
+	if pts[2].T != 20*sim.Millisecond {
+		t.Errorf("bucket 2 start = %v", pts[2].T)
+	}
+}
+
+func TestSeriesAddEnergySplitsAcrossBuckets(t *testing.T) {
+	s := NewSeries(10 * sim.Millisecond)
+	// 5W for 20ms spanning buckets [0,10) and [10,20): 5W in each.
+	s.AddEnergy(0, 20*sim.Millisecond, 5)
+	rates := s.MeanRate()
+	if len(rates) != 2 {
+		t.Fatalf("Len = %d, want 2", len(rates))
+	}
+	for i, p := range rates {
+		if math.Abs(p.Mean-5) > 1e-9 {
+			t.Errorf("bucket %d rate = %v W, want 5", i, p.Mean)
+		}
+	}
+}
+
+func TestSeriesAddEnergyPartialBucket(t *testing.T) {
+	s := NewSeries(10 * sim.Millisecond)
+	// 10W for 5ms in a 10ms bucket: average 5W over the bucket.
+	s.AddEnergy(2*sim.Millisecond, 7*sim.Millisecond, 10)
+	rates := s.MeanRate()
+	if math.Abs(rates[0].Mean-5) > 1e-9 {
+		t.Errorf("rate = %v W, want 5", rates[0].Mean)
+	}
+}
+
+func TestSeriesEnergyConservation(t *testing.T) {
+	s := NewSeries(7 * sim.Millisecond) // deliberately non-round width
+	const watts = 3.5
+	t0, t1 := 3*sim.Millisecond, 46*sim.Millisecond
+	s.AddEnergy(t0, t1, watts)
+	var total float64
+	for _, p := range s.Points() {
+		total += p.Sum
+	}
+	want := watts * float64(t1-t0)
+	if math.Abs(total-want)/want > 1e-9 {
+		t.Errorf("total energy %v, want %v", total, want)
+	}
+}
+
+func TestSeriesZeroAndReversedIntervals(t *testing.T) {
+	s := NewSeries(10 * sim.Millisecond)
+	s.AddEnergy(5*sim.Millisecond, 5*sim.Millisecond, 100)
+	s.AddEnergy(10*sim.Millisecond, 5*sim.Millisecond, 100)
+	if s.Len() != 0 {
+		t.Fatal("degenerate intervals must add nothing")
+	}
+}
+
+func TestSeriesNegativeWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSeries(0) did not panic")
+		}
+	}()
+	NewSeries(0)
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("fig0", "demo table", "pattern", "latency (us)")
+	tb.AddRow("SeqRd", 12.62)
+	tb.AddRow("RndWr", 11.3)
+	tb.AddNote("paper: 12.6us")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig0", "demo table", "pattern", "SeqRd", "12.62", "# paper: 12.6us"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "x", "a", "b")
+	tb.AddRow("v,1", 2)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"v,1\",2\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1234.6, "1235"},
+		{123.45, "123.5"},
+		{12.345, "12.35"},
+		{0.5, "0.50"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

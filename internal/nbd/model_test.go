@@ -1,0 +1,145 @@
+package nbd
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+func smallULL() ssd.Config {
+	cfg := ssd.ZSSD()
+	cfg.Channels = 4
+	cfg.WaysPerChannel = 2
+	cfg.PlanesPerDie = 1
+	cfg.PagesPerBlock = 16
+	cfg.BlocksPerUnit = 16
+	return cfg
+}
+
+// meanFileOp runs n serial file operations and returns the mean latency.
+func meanFileOp(m *Model, write bool, size, n int) sim.Time {
+	var total sim.Time
+	done := 0
+	var issue func()
+	issue = func() {
+		start := m.Engine().Now()
+		cb := func() {
+			total += m.Engine().Now() - start
+			done++
+			if done < n {
+				issue()
+			}
+		}
+		off := int64(done*7919) * int64(size)
+		if write {
+			m.FileWrite(off, size, cb)
+		} else {
+			m.FileRead(off, size, cb)
+		}
+	}
+	issue()
+	m.Engine().Run()
+	m.System().Finalize()
+	return total / sim.Time(n)
+}
+
+func TestKernelNBDReadCompletes(t *testing.T) {
+	m := NewModel(KernelNBD(smallULL()))
+	lat := meanFileOp(m, false, 4096, 20)
+	if lat <= 0 {
+		t.Fatal("no read latency")
+	}
+	// Remote read: network RTT + server path + device; tens of us.
+	if lat < 20*sim.Microsecond || lat > 300*sim.Microsecond {
+		t.Fatalf("kernel NBD read latency %v outside sanity window", lat)
+	}
+	if m.RemoteReads != 20 {
+		t.Fatalf("RemoteReads = %d", m.RemoteReads)
+	}
+}
+
+func TestSPDKNBDReadsMuchFaster(t *testing.T) {
+	k := NewModel(KernelNBD(smallULL()))
+	latK := meanFileOp(k, false, 4096, 50)
+	s := NewModel(SPDKNBD(smallULL()))
+	latS := meanFileOp(s, false, 4096, 50)
+	reduction := float64(latK-latS) / float64(latK)
+	// The paper reports ~38-39% read latency reduction.
+	if reduction < 0.15 {
+		t.Fatalf("SPDK NBD read reduction %.1f%% too small (kernel %v, spdk %v)",
+			reduction*100, latK, latS)
+	}
+}
+
+func TestSPDKNBDWritesBarelyFaster(t *testing.T) {
+	k := NewModel(KernelNBD(smallULL()))
+	latK := meanFileOp(k, true, 4096, 400)
+	s := NewModel(SPDKNBD(smallULL()))
+	latS := meanFileOp(s, true, 4096, 400)
+	if latS >= latK {
+		t.Fatalf("SPDK NBD writes %v not below kernel %v", latS, latK)
+	}
+	reduction := float64(latK-latS) / float64(latK)
+	// The paper reports only ~3.7-4.6%: client-side FS work dominates.
+	if reduction > 0.20 {
+		t.Fatalf("SPDK NBD write reduction %.1f%% too large — journaling model broken", reduction*100)
+	}
+}
+
+func TestWriteReductionBelowReadReduction(t *testing.T) {
+	read := map[string]sim.Time{}
+	write := map[string]sim.Time{}
+	for name, cfg := range map[string]ModelConfig{"kernel": KernelNBD(smallULL()), "spdk": SPDKNBD(smallULL())} {
+		m := NewModel(cfg)
+		read[name] = meanFileOp(m, false, 4096, 50)
+		m2 := NewModel(cfg)
+		write[name] = meanFileOp(m2, true, 4096, 300)
+	}
+	readRed := float64(read["kernel"]-read["spdk"]) / float64(read["kernel"])
+	writeRed := float64(write["kernel"]-write["spdk"]) / float64(write["kernel"])
+	if writeRed >= readRed {
+		t.Fatalf("write reduction %.1f%% not below read reduction %.1f%%", writeRed*100, readRed*100)
+	}
+}
+
+func TestJournalSyncFraction(t *testing.T) {
+	m := NewModel(KernelNBD(smallULL()))
+	meanFileOp(m, true, 4096, 1000)
+	frac := float64(m.JournalSyncs) / 1000
+	if frac < 0.01 || frac > 0.06 {
+		t.Fatalf("journal sync fraction %.3f, want ~0.03", frac)
+	}
+	// Every async write still flushed in the background.
+	if m.AsyncFlushes+m.JournalSyncs != 1000 {
+		t.Fatalf("flush accounting: %d async + %d sync != 1000", m.AsyncFlushes, m.JournalSyncs)
+	}
+	// Journal syncs add two journal-block writes each.
+	wantRemote := m.AsyncFlushes + 3*m.JournalSyncs
+	if m.RemoteWrites != wantRemote {
+		t.Fatalf("RemoteWrites = %d, want %d", m.RemoteWrites, wantRemote)
+	}
+}
+
+func TestLargerBlocksSlower(t *testing.T) {
+	small := meanFileOp(NewModel(KernelNBD(smallULL())), false, 4096, 30)
+	large := meanFileOp(NewModel(KernelNBD(smallULL())), false, 65536, 30)
+	if large <= small {
+		t.Fatalf("64KB read %v not slower than 4KB %v", large, small)
+	}
+}
+
+func TestNetLinkSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	l := &netLink{eng: eng, mbps: 1000, lat: 10 * sim.Microsecond}
+	var t1, t2 sim.Time
+	l.send(100000, func() { t1 = eng.Now() }) // 100us transfer
+	l.send(100000, func() { t2 = eng.Now() })
+	eng.Run()
+	if t1 != 110*sim.Microsecond {
+		t.Fatalf("first message at %v, want 110us", t1)
+	}
+	if t2 != 210*sim.Microsecond {
+		t.Fatalf("second message at %v, want 210us (serialized)", t2)
+	}
+}

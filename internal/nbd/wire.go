@@ -1,0 +1,290 @@
+package nbd
+
+// A real TCP network-block-device protocol used by the runnable examples
+// (cmd/nbdserve and examples/nbd). This half of the package is functional
+// rather than timed: it moves real bytes between real processes so the
+// examples demonstrate the server-client topology of Section VI-C with
+// live data-integrity checks, while model.go answers the paper's latency
+// questions.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Protocol constants.
+const (
+	wireMagicReq  = 0x5a424c4b // "ZBLK"
+	wireMagicResp = 0x5a525350 // "ZRSP"
+
+	wireOpRead       = 1
+	wireOpWrite      = 2
+	wireOpDisconnect = 3
+
+	wireStatusOK    = 0
+	wireStatusRange = 1
+	wireStatusErr   = 2
+
+	wireMaxPayload = 16 << 20
+)
+
+type wireReq struct {
+	Magic  uint32
+	Op     uint8
+	_      [3]byte
+	Handle uint64
+	Offset uint64
+	Length uint32
+}
+
+type wireResp struct {
+	Magic  uint32
+	Status uint32
+	Handle uint64
+	Length uint32
+}
+
+// Store is the backing block store a wire server exports.
+type Store interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+}
+
+// MemStore is a sparse in-memory Store (unwritten regions read as zero),
+// safe for concurrent use.
+type MemStore struct {
+	size int64
+	mu   sync.RWMutex
+	page map[int64][]byte // 4KB pages
+}
+
+const memStorePage = 4096
+
+// NewMemStore returns a store exposing size bytes.
+func NewMemStore(size int64) *MemStore {
+	return &MemStore{size: size, page: make(map[int64][]byte)}
+}
+
+// Size reports the store capacity.
+func (s *MemStore) Size() int64 { return s.size }
+
+func (s *MemStore) check(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.size {
+		return fmt.Errorf("nbd: access [%d,%d) outside store of %d bytes", off, off+int64(len(p)), s.size)
+	}
+	return nil
+}
+
+// ReadAt fills p from the store.
+func (s *MemStore) ReadAt(p []byte, off int64) error {
+	if err := s.check(p, off); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for n := 0; n < len(p); {
+		pg := (off + int64(n)) / memStorePage
+		po := int((off + int64(n)) % memStorePage)
+		chunk := memStorePage - po
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		if page, ok := s.page[pg]; ok {
+			copy(p[n:n+chunk], page[po:po+chunk])
+		} else {
+			for i := n; i < n+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		n += chunk
+	}
+	return nil
+}
+
+// WriteAt stores p.
+func (s *MemStore) WriteAt(p []byte, off int64) error {
+	if err := s.check(p, off); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := 0; n < len(p); {
+		pg := (off + int64(n)) / memStorePage
+		po := int((off + int64(n)) % memStorePage)
+		chunk := memStorePage - po
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		page, ok := s.page[pg]
+		if !ok {
+			page = make([]byte, memStorePage)
+			s.page[pg] = page
+		}
+		copy(page[po:po+chunk], p[n:n+chunk])
+		n += chunk
+	}
+	return nil
+}
+
+// ServeWire accepts connections on ln and serves store until ln closes.
+func ServeWire(ln net.Listener, store Store) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = HandleConn(conn, store)
+		}()
+	}
+}
+
+// HandleConn serves one connection until disconnect or error.
+func HandleConn(conn io.ReadWriter, store Store) error {
+	buf := make([]byte, 0)
+	for {
+		var req wireReq
+		if err := binary.Read(conn, binary.LittleEndian, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if req.Magic != wireMagicReq {
+			return fmt.Errorf("nbd: bad request magic %#x", req.Magic)
+		}
+		if req.Op == wireOpDisconnect {
+			return nil
+		}
+		if req.Length > wireMaxPayload {
+			return fmt.Errorf("nbd: payload %d exceeds limit", req.Length)
+		}
+		if int(req.Length) > cap(buf) {
+			buf = make([]byte, req.Length)
+		}
+		data := buf[:req.Length]
+
+		var status uint32
+		switch req.Op {
+		case wireOpWrite:
+			if _, err := io.ReadFull(conn, data); err != nil {
+				return err
+			}
+			if err := store.WriteAt(data, int64(req.Offset)); err != nil {
+				status = wireStatusRange
+			}
+		case wireOpRead:
+			if err := store.ReadAt(data, int64(req.Offset)); err != nil {
+				status = wireStatusRange
+			}
+		default:
+			status = wireStatusErr
+		}
+
+		resp := wireResp{Magic: wireMagicResp, Status: status, Handle: req.Handle}
+		if req.Op == wireOpRead && status == wireStatusOK {
+			resp.Length = req.Length
+		}
+		if err := binary.Write(conn, binary.LittleEndian, &resp); err != nil {
+			return err
+		}
+		if resp.Length > 0 {
+			if _, err := conn.Write(data); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// WireClient is a synchronous client of the wire protocol. It serializes
+// requests internally and is safe for concurrent use.
+type WireClient struct {
+	mu     sync.Mutex
+	conn   io.ReadWriteCloser
+	handle uint64
+}
+
+// DialWire connects to a wire server at addr.
+func DialWire(addr string) (*WireClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewWireClient(conn), nil
+}
+
+// NewWireClient wraps an established connection.
+func NewWireClient(conn io.ReadWriteCloser) *WireClient {
+	return &WireClient{conn: conn}
+}
+
+func (c *WireClient) roundTrip(op uint8, off int64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handle++
+	req := wireReq{
+		Magic:  wireMagicReq,
+		Op:     op,
+		Handle: c.handle,
+		Offset: uint64(off),
+		Length: uint32(len(data)),
+	}
+	if err := binary.Write(c.conn, binary.LittleEndian, &req); err != nil {
+		return err
+	}
+	if op == wireOpWrite {
+		if _, err := c.conn.Write(data); err != nil {
+			return err
+		}
+	}
+	var resp wireResp
+	if err := binary.Read(c.conn, binary.LittleEndian, &resp); err != nil {
+		return err
+	}
+	if resp.Magic != wireMagicResp {
+		return fmt.Errorf("nbd: bad response magic %#x", resp.Magic)
+	}
+	if resp.Handle != req.Handle {
+		return fmt.Errorf("nbd: handle mismatch: sent %d got %d", req.Handle, resp.Handle)
+	}
+	if resp.Status != wireStatusOK {
+		return fmt.Errorf("nbd: server status %d", resp.Status)
+	}
+	if op == wireOpRead {
+		if resp.Length != req.Length {
+			return fmt.Errorf("nbd: short read: want %d got %d", req.Length, resp.Length)
+		}
+		if _, err := io.ReadFull(c.conn, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read fills p from the remote store at off.
+func (c *WireClient) Read(off int64, p []byte) error {
+	return c.roundTrip(wireOpRead, off, p)
+}
+
+// Write stores p at off on the remote store.
+func (c *WireClient) Write(off int64, p []byte) error {
+	return c.roundTrip(wireOpWrite, off, p)
+}
+
+// Close sends a disconnect and closes the connection.
+func (c *WireClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := wireReq{Magic: wireMagicReq, Op: wireOpDisconnect}
+	_ = binary.Write(c.conn, binary.LittleEndian, &req)
+	return c.conn.Close()
+}

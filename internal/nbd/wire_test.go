@@ -1,0 +1,210 @@
+package nbd
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore(1 << 20)
+	data := []byte("hello, z-ssd")
+	if err := s.WriteAt(data, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(got, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemStoreZeroFill(t *testing.T) {
+	s := NewMemStore(1 << 20)
+	got := make([]byte, 8192)
+	got[0] = 0xff
+	if err := s.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemStoreCrossPageWrite(t *testing.T) {
+	s := NewMemStore(1 << 20)
+	data := make([]byte, 10000) // spans 3+ pages
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := s.WriteAt(data, 1000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(got, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page data mismatch")
+	}
+}
+
+func TestMemStoreBounds(t *testing.T) {
+	s := NewMemStore(4096)
+	if err := s.WriteAt(make([]byte, 8), 4092); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := s.ReadAt(make([]byte, 8), -1); err == nil {
+		t.Error("negative-offset read accepted")
+	}
+	if err := s.WriteAt(make([]byte, 8), 4088); err != nil {
+		t.Errorf("in-range write rejected: %v", err)
+	}
+}
+
+func TestWireOverPipe(t *testing.T) {
+	server, client := net.Pipe()
+	store := NewMemStore(1 << 20)
+	go func() { _ = HandleConn(server, store) }()
+	c := NewWireClient(client)
+	defer c.Close()
+
+	data := []byte("faster than flash")
+	if err := c.Write(4096, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Read(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip got %q", got)
+	}
+}
+
+func TestWireOutOfRangeStatus(t *testing.T) {
+	server, client := net.Pipe()
+	go func() { _ = HandleConn(server, NewMemStore(4096)) }()
+	c := NewWireClient(client)
+	defer c.Close()
+	if err := c.Write(8192, []byte("x")); err == nil {
+		t.Fatal("out-of-range write did not error")
+	}
+}
+
+func TestWireOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	store := NewMemStore(8 << 20)
+	go func() { _ = ServeWire(ln, store) }()
+
+	c, err := DialWire(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := bytes.Repeat([]byte{0xab, 0xcd}, 2048) // 4KB
+	if err := c.Write(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := c.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("TCP round trip mismatch")
+	}
+}
+
+func TestWireConcurrentClients(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	store := NewMemStore(32 << 20)
+	go func() { _ = ServeWire(ln, store) }()
+
+	const clients = 4
+	const opsPer = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := DialWire(ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			region := int64(ci) * (4 << 20)
+			buf := make([]byte, 4096)
+			for i := range buf {
+				buf[i] = byte(ci)
+			}
+			for op := 0; op < opsPer; op++ {
+				off := region + int64(op)*4096
+				if err := c.Write(off, buf); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, 4096)
+				if err := c.Read(off, got); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					errs <- bytes.ErrTooLarge // any sentinel
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary write/read sequences through the wire protocol
+// behave like a flat byte array.
+func TestWireMatchesFlatArray(t *testing.T) {
+	server, client := net.Pipe()
+	const size = 1 << 16
+	store := NewMemStore(size)
+	go func() { _ = HandleConn(server, store) }()
+	c := NewWireClient(client)
+	defer c.Close()
+
+	shadow := make([]byte, size)
+	prop := func(off uint16, val byte, n uint8) bool {
+		length := int(n)%512 + 1
+		o := int(off) % (size - 512)
+		data := bytes.Repeat([]byte{val}, length)
+		if err := c.Write(int64(o), data); err != nil {
+			return false
+		}
+		copy(shadow[o:o+length], data)
+		got := make([]byte, length)
+		if err := c.Read(int64(o), got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow[o:o+length])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

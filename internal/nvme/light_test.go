@@ -1,0 +1,63 @@
+package nvme
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLightConfigIsLighter(t *testing.T) {
+	rich, light := DefaultConfig(), LightConfig()
+	if light.Depth >= rich.Depth {
+		t.Error("light queue must be shallow (NCQ-depth)")
+	}
+	if light.FetchCost >= rich.FetchCost {
+		t.Error("light queue must decode faster")
+	}
+	if light.InterruptLatency >= rich.InterruptLatency {
+		t.Error("light queue must signal completions faster")
+	}
+	if light.PCIeLatency != rich.PCIeLatency {
+		t.Error("the physical link does not change with the protocol")
+	}
+}
+
+func TestLightConfigEndToEndFaster(t *testing.T) {
+	latency := func(cfg Config) sim.Time {
+		eng := sim.NewEngine()
+		qp := New(eng, testDevice(eng), cfg)
+		qp.EnableInterrupts(true)
+		var done sim.Time
+		qp.SetMSIHandler(func() {
+			if _, ok := qp.Poll(); ok {
+				done = eng.Now()
+			}
+		})
+		qp.Submit(true, 0, 4096, 1)
+		eng.Run()
+		return done
+	}
+	rich := latency(DefaultConfig())
+	light := latency(LightConfig())
+	if light >= rich {
+		t.Fatalf("light queue %v not faster than rich %v", light, rich)
+	}
+	want := (DefaultConfig().FetchCost - LightConfig().FetchCost) +
+		(DefaultConfig().InterruptLatency - LightConfig().InterruptLatency)
+	if got := rich - light; got != want {
+		t.Fatalf("protocol saving = %v, want %v", got, want)
+	}
+}
+
+func TestLightConfigDepthEnforced(t *testing.T) {
+	eng := sim.NewEngine()
+	qp := New(eng, testDevice(eng), LightConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("exceeding NCQ depth did not panic")
+		}
+	}()
+	for i := 0; i <= 32; i++ {
+		qp.Submit(true, int64(i)*4096, 4096, uint16(i))
+	}
+}

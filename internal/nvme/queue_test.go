@@ -1,0 +1,175 @@
+package nvme
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+func testDevice(eng *sim.Engine) *ssd.Device {
+	cfg := ssd.ZSSD()
+	cfg.Channels = 4
+	cfg.WaysPerChannel = 2
+	cfg.PlanesPerDie = 1
+	cfg.PagesPerBlock = 16
+	cfg.BlocksPerUnit = 16
+	return ssd.NewDevice(cfg, eng)
+}
+
+func TestQueuePairInterruptDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	qp := New(eng, testDevice(eng), DefaultConfig())
+	qp.EnableInterrupts(true)
+	fired := 0
+	var gotCID uint16
+	qp.SetMSIHandler(func() {
+		for {
+			cid, ok := qp.Poll()
+			if !ok {
+				break
+			}
+			gotCID = cid
+			fired++
+		}
+	})
+	qp.Submit(true, 0, 4096, 42)
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("MSI handler reaped %d completions, want 1", fired)
+	}
+	if gotCID != 42 {
+		t.Fatalf("CID = %d, want 42", gotCID)
+	}
+	if qp.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", qp.Outstanding())
+	}
+	if qp.MSIs != 1 {
+		t.Fatalf("MSIs = %d", qp.MSIs)
+	}
+}
+
+func TestQueuePairPollingMode(t *testing.T) {
+	eng := sim.NewEngine()
+	qp := New(eng, testDevice(eng), DefaultConfig())
+	qp.EnableInterrupts(false)
+	qp.SetMSIHandler(func() { t.Error("MSI fired with interrupts disabled") })
+	qp.Submit(true, 0, 4096, 7)
+	// Nothing visible immediately.
+	if _, ok := qp.Poll(); ok {
+		t.Fatal("Poll returned before device completed")
+	}
+	eng.Run()
+	cid, ok := qp.Poll()
+	if !ok || cid != 7 {
+		t.Fatalf("Poll = %d,%v want 7,true", cid, ok)
+	}
+	if _, ok := qp.Poll(); ok {
+		t.Fatal("second Poll returned a phantom completion")
+	}
+}
+
+func TestQueuePairPhaseWrap(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Depth = 4 // force several wraps
+	qp := New(eng, testDevice(eng), cfg)
+	qp.EnableInterrupts(false)
+	const total = 19
+	reaped := 0
+	for i := 0; i < total; i++ {
+		qp.Submit(true, int64(i)*4096, 4096, uint16(i))
+		eng.Run()
+		cid, ok := qp.Poll()
+		if !ok {
+			t.Fatalf("completion %d not visible", i)
+		}
+		if cid != uint16(i) {
+			t.Fatalf("completion %d returned CID %d", i, cid)
+		}
+		reaped++
+		// Stale entries must never look complete.
+		if _, ok := qp.Poll(); ok {
+			t.Fatalf("stale entry visible after completion %d", i)
+		}
+	}
+	if reaped != total {
+		t.Fatalf("reaped %d, want %d", reaped, total)
+	}
+}
+
+func TestQueuePairConcurrentCompletionsInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	qp := New(eng, testDevice(eng), DefaultConfig())
+	qp.EnableInterrupts(false)
+	const n = 16
+	for i := 0; i < n; i++ {
+		qp.Submit(true, int64(i)*4096, 4096, uint16(i))
+	}
+	eng.Run()
+	seen := make(map[uint16]bool)
+	for {
+		cid, ok := qp.Poll()
+		if !ok {
+			break
+		}
+		if seen[cid] {
+			t.Fatalf("CID %d completed twice", cid)
+		}
+		seen[cid] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("reaped %d unique completions, want %d", len(seen), n)
+	}
+	if qp.Submitted != n || qp.Completed != n {
+		t.Fatalf("counters: submitted=%d completed=%d", qp.Submitted, qp.Completed)
+	}
+}
+
+func TestQueuePairOverflowPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Depth = 2
+	qp := New(eng, testDevice(eng), cfg)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		qp.Submit(true, 0, 4096, uint16(i))
+	}
+}
+
+func TestQueuePairZeroDepthPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero depth did not panic")
+		}
+	}()
+	New(eng, testDevice(eng), Config{Depth: 0})
+}
+
+func TestQueuePairLatencyIncludesProtocolCosts(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	qp := New(eng, testDevice(eng), cfg)
+	qp.EnableInterrupts(true)
+	var done sim.Time
+	qp.SetMSIHandler(func() {
+		if _, ok := qp.Poll(); ok {
+			done = eng.Now()
+		}
+	})
+	start := eng.Now()
+	qp.Submit(true, 0, 4096, 1)
+	eng.Run()
+	lat := done - start
+	// Must include at least two PCIe hops + fetch + interrupt latency on
+	// top of the device time.
+	minProtocol := 2*cfg.PCIeLatency + cfg.FetchCost + cfg.InterruptLatency
+	if lat < minProtocol {
+		t.Fatalf("end-to-end %v below protocol floor %v", lat, minProtocol)
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via splitmix64). Every stochastic model element
+// draws from an RNG owned by its subsystem so that runs are reproducible
+// and subsystems are statistically independent.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Distinct seeds give
+// independent streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 to spread the seed across the state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Fork returns a new generator whose stream is independent of r's.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter returns d scaled by a normal factor with relative standard
+// deviation rel, clamped to [d/2, 2d] so tails stay modeled explicitly
+// rather than through runaway noise. rel <= 0 returns d unchanged.
+func (r *RNG) Jitter(d Time, rel float64) Time {
+	if rel <= 0 || d <= 0 {
+		return d
+	}
+	f := r.Norm(1, rel)
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 2 {
+		f = 2
+	}
+	return Time(float64(d) * f)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}

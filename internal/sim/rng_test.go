@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical draws between different seeds", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRNG(7)
+	fork := a.Fork()
+	// The fork must not replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == fork.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical draws between parent and fork", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit %d distinct values, want 10", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Errorf("stddev = %v, want ~2", std)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(6)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(50)
+	}
+	if mean := sum / n; math.Abs(mean-50) > 1 {
+		t.Errorf("mean = %v, want ~50", mean)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(8)
+	const d = 1000 * Nanosecond
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(d, 0.3)
+		if v < d/2 || v > 2*d {
+			t.Fatalf("Jitter out of clamp: %v", v)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Error("Jitter with rel=0 should return d unchanged")
+	}
+	if r.Jitter(0, 0.5) != 0 {
+		t.Error("Jitter of 0 should stay 0")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %v", got)
+	}
+}
+
+// Property: Int63n stays within range for arbitrary positive bounds.
+func TestInt63nProperty(t *testing.T) {
+	r := NewRNG(10)
+	prop := func(bound uint32) bool {
+		n := int64(bound%1000000) + 1
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

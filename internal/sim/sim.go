@@ -1,0 +1,179 @@
+// Package sim implements the discrete-event simulation kernel that every
+// other subsystem runs on.
+//
+// Time is virtual, counted in integer nanoseconds from the start of a run.
+// An Engine owns a priority queue of events; callbacks scheduled for the
+// same instant fire in scheduling order, which makes runs fully
+// deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is also used for durations.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback. The zero Event is not valid; events are
+// created through Engine.At and Engine.After.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once popped or canceled
+	canceled bool
+	fn       func()
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. It is not safe for concurrent use;
+// a simulation runs on a single goroutine by design.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Processed counts events executed since the engine was created.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting in the queue, including
+// canceled events that have not been reaped yet.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modeling bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the event currently executing completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains or Stop is
+// called. It reports the time of the last executed event.
+func (e *Engine) Run() Time {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events in time order until the queue drains, Stop is
+// called, or the next event would fire later than deadline. A negative
+// deadline means no deadline. When a deadline stops the run, the clock is
+// advanced to the deadline so that measurements cover the full window.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if deadline >= 0 && e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.now
+}

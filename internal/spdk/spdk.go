@@ -1,0 +1,175 @@
+// Package spdk models the Intel SPDK 19.07 kernel-bypass stack of the
+// paper: the NVMe driver lives in userspace (uio/vfio), PCIe BARs are
+// mapped into DPDK huge pages, submission costs no syscalls, and — since
+// userland cannot take ISRs — completion is always by polling. The poll
+// loop's instruction profile follows the functions the paper measures:
+// spdk_nvme_qpair_process_completions, nvme_pcie_qpair_process_completions
+// and the inlined nvme_qpair_check_enabled.
+package spdk
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// StageCost mirrors kernel.StageCost for the userspace stack.
+type StageCost struct {
+	Time   sim.Time
+	Loads  uint64
+	Stores uint64
+}
+
+// Costs is the calibrated cost table of the SPDK datapath.
+type Costs struct {
+	AppSetup StageCost // benchmark user code (fio_plugin engine)
+	Submit   StageCost // SQE build in the huge page + doorbell MMIO
+	// Per poll-loop iteration. SPDK walks the whole qpair state without
+	// blk-mq's cookie filtering, touching far more memory per iteration
+	// than nvme_poll (Figures 21/22).
+	IterProcess StageCost // spdk_nvme_qpair_process_completions
+	IterPCIe    StageCost // nvme_pcie_qpair_process_completions
+	IterCheck   StageCost // nvme_qpair_check_enabled (inline, guards resets)
+	Complete    StageCost // completion callback dispatch
+}
+
+// PollIter reports the duration of one full poll-loop iteration.
+func (c *Costs) PollIter() sim.Time {
+	return c.IterProcess.Time + c.IterPCIe.Time + c.IterCheck.Time
+}
+
+// DefaultCosts returns the calibrated SPDK cost table.
+func DefaultCosts() Costs {
+	return Costs{
+		AppSetup:    StageCost{Time: 1000 * sim.Nanosecond, Loads: 320, Stores: 150},
+		Submit:      StageCost{Time: 380 * sim.Nanosecond, Loads: 90, Stores: 95},
+		IterProcess: StageCost{Time: 60 * sim.Nanosecond, Loads: 85, Stores: 40},
+		IterPCIe:    StageCost{Time: 40 * sim.Nanosecond, Loads: 50, Stores: 35},
+		IterCheck:   StageCost{Time: 20 * sim.Nanosecond, Loads: 45, Stores: 2},
+		Complete:    StageCost{Time: 200 * sim.Nanosecond, Loads: 70, Stores: 40},
+	}
+}
+
+// Stack is one SPDK-driven queue pair. Any number of I/Os may be
+// outstanding (fio_plugin drives queue depth from userspace).
+type Stack struct {
+	eng   *sim.Engine
+	qp    *nvme.QueuePair
+	core  *cpu.Core
+	costs Costs
+
+	pending map[uint16]func()
+	nextCID uint16
+
+	started    bool
+	firstStart sim.Time
+	drainAt    sim.Time // scheduled drain boundary, 0 if none
+	finalized  bool
+}
+
+// NewStack wires an SPDK stack onto a queue pair; interrupts are disabled
+// permanently (userspace cannot service them).
+func NewStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) *Stack {
+	s := &Stack{
+		eng:     eng,
+		qp:      qp,
+		core:    core,
+		costs:   costs,
+		pending: make(map[uint16]func()),
+	}
+	qp.EnableInterrupts(false)
+	qp.SetCompletionHook(s.onVisible)
+	return s
+}
+
+func (s *Stack) charge(fn cpu.Fn, c StageCost) {
+	s.core.Charge(fn, c.Time, c.Loads, c.Stores)
+}
+
+// Submit issues one I/O through the userspace driver.
+func (s *Stack) Submit(write bool, offset int64, length int, done func()) {
+	if !s.started {
+		s.started = true
+		s.firstStart = s.eng.Now()
+	}
+	s.charge(cpu.FnAppUser, s.costs.AppSetup)
+	s.charge(cpu.FnSPDKSubmit, s.costs.Submit)
+	// Every submission re-validates the qpair (controller-reset guard).
+	s.charge(cpu.FnQpairCheck, s.costs.IterCheck)
+
+	cid := s.nextCID
+	s.nextCID++
+	s.pending[cid] = done
+	delay := s.costs.AppSetup.Time + s.costs.Submit.Time + s.costs.IterCheck.Time
+	s.eng.After(delay, func() {
+		s.qp.Submit(write, offset, length, cid)
+	})
+}
+
+// onVisible quantizes completion detection to the poll-loop iteration
+// grid. A single drain event handles every CQE visible by that boundary,
+// matching SPDK's batch completion processing.
+func (s *Stack) onVisible() {
+	iter := s.costs.PollIter()
+	now := s.eng.Now()
+	boundary := ((now + iter - 1) / iter) * iter
+	if boundary == now {
+		boundary += iter
+	}
+	if s.drainAt >= boundary {
+		return // a drain is already scheduled at or after this boundary
+	}
+	s.drainAt = boundary
+	s.eng.At(boundary, func() {
+		s.drainAt = 0
+		for {
+			cid, ok := s.qp.Poll()
+			if !ok {
+				return
+			}
+			done := s.pending[cid]
+			if done == nil {
+				panic(fmt.Sprintf("spdk: completion for unknown CID %d", cid))
+			}
+			delete(s.pending, cid)
+			s.charge(cpu.FnSPDKProcess, s.costs.Complete)
+			s.eng.After(s.costs.Complete.Time, done)
+		}
+	})
+}
+
+// Outstanding reports in-flight I/Os.
+func (s *Stack) Outstanding() int { return len(s.pending) }
+
+// Finalize charges the continuous poll spin for the whole active span
+// [first submit, end]. SPDK's reactor never sleeps: between and during
+// I/Os the loop keeps checking the qpair, which is where its CPU and
+// memory-instruction bills come from (Figures 20-22). Call once, at the
+// end of a run.
+func (s *Stack) Finalize(end sim.Time) {
+	if s.finalized || !s.started || end <= s.firstStart {
+		return
+	}
+	s.finalized = true
+	span := end - s.firstStart
+	// Subtract time already charged explicitly to user functions so the
+	// utilization sums to ~100%, not above.
+	for _, fn := range []cpu.Fn{cpu.FnAppUser, cpu.FnSPDKSubmit, cpu.FnSPDKProcess, cpu.FnQpairCheck} {
+		span -= s.core.Acct(fn).Time
+	}
+	if span <= 0 {
+		return
+	}
+	iters := int64(span / s.costs.PollIter())
+	if iters <= 0 {
+		return
+	}
+	chargeIter := func(fn cpu.Fn, c StageCost) {
+		s.core.Charge(fn, c.Time*sim.Time(iters), c.Loads*uint64(iters), c.Stores*uint64(iters))
+	}
+	chargeIter(cpu.FnSPDKProcess, s.costs.IterProcess)
+	chargeIter(cpu.FnPCIeProcess, s.costs.IterPCIe)
+	chargeIter(cpu.FnQpairCheck, s.costs.IterCheck)
+}

@@ -1,0 +1,225 @@
+package ssd
+
+// DRAM-side bookkeeping: the write-back buffer and the read cache.
+// Both are pure state; the device charges DRAM latencies around them.
+
+import "sort"
+
+// subUnit is the write-buffer dirty-tracking granularity in bytes: one
+// logical sector. Entries cover one FTL mapping slot (4KB on the
+// conventional device, one 2KB page on the ULL device).
+const subUnit = 512
+
+// bufEntry is the buffered dirty state of one device page.
+type bufEntry struct {
+	lpn      int64
+	dirty    uint32 // bitmask of dirty sub-units
+	bytes    int64  // bytes accounted against buffer capacity
+	version  uint64 // flush-ordering guard, assigned at flush start
+	flushing bool
+	flushEv  cancelable
+}
+
+// cancelable lets the buffer cancel a scheduled flush without importing
+// the sim package here.
+type cancelable interface{ Cancel() }
+
+// WriteBuffer tracks dirty mapping slots awaiting flush to flash. Slots
+// being programmed stay readable (inflight) until their program lands.
+type WriteBuffer struct {
+	capacity int64
+	used     int64
+	pageSize int    // mapping-slot size in bytes
+	subBits  uint32 // full dirty mask for one slot
+	entries  map[int64]*bufEntry
+	inflight map[int64]*bufEntry
+}
+
+// NewWriteBuffer returns an empty buffer over slots of pageSize bytes.
+func NewWriteBuffer(capacity int64, pageSize int) *WriteBuffer {
+	bits := pageSize / subUnit
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 32 {
+		panic("ssd: mapping slot too large for write-buffer mask")
+	}
+	return &WriteBuffer{
+		capacity: capacity,
+		pageSize: pageSize,
+		subBits:  uint32(1)<<uint(bits) - 1,
+		entries:  make(map[int64]*bufEntry),
+		inflight: make(map[int64]*bufEntry),
+	}
+}
+
+// FullMask is the dirty mask of a completely dirty page.
+func (w *WriteBuffer) FullMask() uint32 { return w.subBits }
+
+// MaskFor returns the sub-unit dirty mask for the byte span
+// [off, off+n) within a page. Spans are clipped to the page.
+func (w *WriteBuffer) MaskFor(off, n int) uint32 {
+	if w.subBits == 1 {
+		return 1
+	}
+	if off < 0 {
+		off = 0
+	}
+	end := off + n
+	if end > w.pageSize {
+		end = w.pageSize
+	}
+	var m uint32
+	for b := off / subUnit; b*subUnit < end; b++ {
+		m |= 1 << uint(b)
+	}
+	return m & w.subBits
+}
+
+// Used and Capacity report occupancy in bytes.
+func (w *WriteBuffer) Used() int64     { return w.used }
+func (w *WriteBuffer) Capacity() int64 { return w.capacity }
+
+// HasSpace reports whether n more bytes fit.
+func (w *WriteBuffer) HasSpace(n int64) bool { return w.used+n <= w.capacity }
+
+// Insert merges a dirty span into the buffer and reports the entry and
+// whether it was newly created (the caller schedules its flush). If the
+// page's current entry is already flushing, a fresh entry replaces it.
+// Newly dirty bytes are charged against capacity; the caller must have
+// checked HasSpace.
+func (w *WriteBuffer) Insert(lpn int64, mask uint32) (e *bufEntry, isNew bool) {
+	e = w.entries[lpn]
+	if e == nil || e.flushing {
+		e = &bufEntry{lpn: lpn}
+		w.entries[lpn] = e
+		isNew = true
+	}
+	added := mask &^ e.dirty
+	e.dirty |= mask
+	n := int64(popcount(added)) * subUnit
+	if w.subBits == 1 && added != 0 {
+		n = int64(w.pageSize)
+	}
+	e.bytes += n
+	w.used += n
+	return e, isNew
+}
+
+// Covers reports whether the buffer holds all sub-units in mask for lpn,
+// in either the staging map or the in-flight (programming) set.
+func (w *WriteBuffer) Covers(lpn int64, mask uint32) bool {
+	if e := w.entries[lpn]; e != nil && e.dirty&mask == mask {
+		return true
+	}
+	if e := w.inflight[lpn]; e != nil && e.dirty&mask == mask {
+		return true
+	}
+	return false
+}
+
+// Full reports whether the entry covers the whole slot.
+func (w *WriteBuffer) Full(e *bufEntry) bool { return e.dirty == w.subBits }
+
+// Detach moves the entry from the staging map to the in-flight set
+// (flush start): newer writes create fresh entries, but reads can still
+// be served from the copy being programmed. Bytes stay accounted until
+// Release.
+func (w *WriteBuffer) Detach(e *bufEntry) {
+	if w.entries[e.lpn] == e {
+		delete(w.entries, e.lpn)
+	}
+	w.inflight[e.lpn] = e
+}
+
+// Release returns an entry's bytes to the capacity pool (flush done).
+func (w *WriteBuffer) Release(e *bufEntry) {
+	w.used -= e.bytes
+	e.bytes = 0
+	if w.inflight[e.lpn] == e {
+		delete(w.inflight, e.lpn)
+	}
+}
+
+// Len reports the number of live entries.
+func (w *WriteBuffer) Len() int { return len(w.entries) }
+
+// Entries snapshots the staged (not yet flushing) entries in LPN order
+// (deterministic — map iteration order must not leak into simulations),
+// for FLUSH command handling.
+func (w *WriteBuffer) Entries() []*bufEntry {
+	out := make([]*bufEntry, 0, len(w.entries))
+	for _, e := range w.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lpn < out[j].lpn })
+	return out
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ReadCache is a FIFO-evicting page cache keyed by LPN. FIFO (rather than
+// strict LRU) keeps the model simple; for the streaming and random
+// workloads of the paper the two behave identically.
+type ReadCache struct {
+	cap  int
+	m    map[int64]int // lpn -> ring slot
+	ring []int64
+	next int
+}
+
+// NewReadCache returns a cache holding up to capPages pages. A zero or
+// negative capacity yields a disabled cache.
+func NewReadCache(capPages int) *ReadCache {
+	if capPages <= 0 {
+		return &ReadCache{}
+	}
+	ring := make([]int64, capPages)
+	for i := range ring {
+		ring[i] = -1
+	}
+	return &ReadCache{cap: capPages, m: make(map[int64]int, capPages), ring: ring}
+}
+
+// Contains reports whether lpn is cached.
+func (c *ReadCache) Contains(lpn int64) bool {
+	if c.cap == 0 {
+		return false
+	}
+	_, ok := c.m[lpn]
+	return ok
+}
+
+// Insert adds lpn, evicting the oldest entry when full.
+func (c *ReadCache) Insert(lpn int64) {
+	if c.cap == 0 || c.Contains(lpn) {
+		return
+	}
+	if old := c.ring[c.next]; old >= 0 {
+		delete(c.m, old)
+	}
+	c.ring[c.next] = lpn
+	c.m[lpn] = c.next
+	c.next = (c.next + 1) % c.cap
+}
+
+// Invalidate drops lpn if present (a write makes cached data stale).
+func (c *ReadCache) Invalidate(lpn int64) {
+	if c.cap == 0 {
+		return
+	}
+	if slot, ok := c.m[lpn]; ok {
+		c.ring[slot] = -1
+		delete(c.m, lpn)
+	}
+}
+
+// Len reports the number of cached pages.
+func (c *ReadCache) Len() int { return len(c.m) }

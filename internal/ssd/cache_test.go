@@ -1,0 +1,234 @@
+package ssd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteBufferMaskULLSlot(t *testing.T) {
+	w := NewWriteBuffer(1<<20, 2048) // ULL: 2KB mapping slots, 4 sectors
+	if w.FullMask() != 0b1111 {
+		t.Fatalf("FullMask = %b, want 1111", w.FullMask())
+	}
+	if w.MaskFor(0, 2048) != 0b1111 {
+		t.Fatal("full-slot span must set all sector bits")
+	}
+	if w.MaskFor(0, 1) != 0b0001 {
+		t.Fatal("1-byte span must set the first sector bit")
+	}
+	if w.MaskFor(512, 1024) != 0b0110 {
+		t.Fatalf("MaskFor(512,1024) = %04b, want 0110", w.MaskFor(512, 1024))
+	}
+}
+
+func TestWriteBufferMaskNVMeSlot(t *testing.T) {
+	w := NewWriteBuffer(1<<20, 4096) // conventional: 4KB mapping slots, 8 sectors
+	if w.FullMask() != 0xFF {
+		t.Fatalf("FullMask = %x, want ff", w.FullMask())
+	}
+	cases := []struct {
+		off, n int
+		want   uint32
+	}{
+		{0, 512, 0b00000001},
+		{512, 512, 0b00000010},
+		{0, 4096, 0b11111111},
+		{2048, 2048, 0b11110000},
+		{0, 2048, 0b00001111},
+	}
+	for _, c := range cases {
+		if got := w.MaskFor(c.off, c.n); got != c.want {
+			t.Errorf("MaskFor(%d,%d) = %08b, want %08b", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestWriteBufferInsertAccounting(t *testing.T) {
+	w := NewWriteBuffer(1<<20, 4096)
+	e, isNew := w.Insert(5, 0b0001)
+	if !isNew {
+		t.Fatal("first insert not new")
+	}
+	if w.Used() != 512 {
+		t.Fatalf("Used = %d, want 512", w.Used())
+	}
+	// Merging the same sector adds nothing.
+	e2, isNew := w.Insert(5, 0b0001)
+	if isNew || e2 != e {
+		t.Fatal("merge created a new entry")
+	}
+	if w.Used() != 512 {
+		t.Fatalf("Used after duplicate = %d, want 512", w.Used())
+	}
+	// New sectors add their bytes.
+	w.Insert(5, 0b0110)
+	if w.Used() != 3*512 {
+		t.Fatalf("Used = %d, want %d", w.Used(), 3*512)
+	}
+	if w.Full(e) {
+		t.Fatal("entry reported full at 3/8 sectors")
+	}
+	w.Insert(5, 0xFF)
+	if !w.Full(e) {
+		t.Fatal("entry not full with all sectors dirty")
+	}
+	if w.Used() != 4096 {
+		t.Fatalf("Used = %d, want 4096", w.Used())
+	}
+}
+
+func TestWriteBufferCovers(t *testing.T) {
+	w := NewWriteBuffer(1<<20, 4096)
+	w.Insert(9, 0b0011)
+	if !w.Covers(9, 0b0001) || !w.Covers(9, 0b0011) {
+		t.Fatal("Covers false for dirty sectors")
+	}
+	if w.Covers(9, 0b0100) || w.Covers(9, 0b0111) {
+		t.Fatal("Covers true for clean sectors")
+	}
+	if w.Covers(8, 0b0001) {
+		t.Fatal("Covers true for absent slot")
+	}
+}
+
+func TestWriteBufferInflightStaysReadable(t *testing.T) {
+	w := NewWriteBuffer(1<<20, 2048)
+	e, _ := w.Insert(4, w.FullMask())
+	e.flushing = true
+	w.Detach(e)
+	// Programming data must stay readable.
+	if !w.Covers(4, w.FullMask()) {
+		t.Fatal("in-flight entry not readable")
+	}
+	if w.Used() != 2048 {
+		t.Fatal("detach must not release bytes")
+	}
+	w.Release(e)
+	if w.Covers(4, 1) {
+		t.Fatal("released entry still readable")
+	}
+	if w.Used() != 0 {
+		t.Fatal("release did not return bytes")
+	}
+}
+
+func TestWriteBufferFlushingReplacement(t *testing.T) {
+	w := NewWriteBuffer(1<<20, 4096)
+	e, _ := w.Insert(3, 0b0001)
+	e.flushing = true
+	w.Detach(e)
+	e2, isNew := w.Insert(3, 0b0010)
+	if !isNew || e2 == e {
+		t.Fatal("insert after flush start must create a replacement")
+	}
+	// Both entries hold bytes until released.
+	if w.Used() != 2*512 {
+		t.Fatalf("Used = %d, want %d", w.Used(), 2*512)
+	}
+	if !w.Covers(3, 0b0010) || !w.Covers(3, 0b0001) {
+		t.Fatal("staging or in-flight data lost")
+	}
+	w.Release(e)
+	w.Release(e2)
+	if w.Used() != 0 {
+		t.Fatalf("Used after releases = %d, want 0", w.Used())
+	}
+}
+
+func TestWriteBufferHasSpace(t *testing.T) {
+	w := NewWriteBuffer(8192, 2048)
+	for i := int64(0); i < 4; i++ {
+		if !w.HasSpace(2048) {
+			t.Fatalf("no space at entry %d", i)
+		}
+		w.Insert(i, w.FullMask())
+	}
+	if w.HasSpace(1) {
+		t.Fatal("buffer over capacity")
+	}
+}
+
+// Property: used bytes always equal the sum of entry bytes and never
+// exceed what insertion arithmetic allows.
+func TestWriteBufferAccountingProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		w := NewWriteBuffer(1<<30, 4096)
+		live := make(map[*bufEntry]bool)
+		for _, op := range ops {
+			lpn := int64(op % 64)
+			mask := uint32(op>>6) & w.FullMask()
+			if mask == 0 {
+				mask = 1
+			}
+			e, _ := w.Insert(lpn, mask)
+			live[e] = true
+			if op%7 == 0 && !e.flushing {
+				e.flushing = true
+				w.Detach(e)
+			}
+		}
+		var sum int64
+		for e := range live {
+			sum += e.bytes
+		}
+		return sum == w.Used()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCacheBasics(t *testing.T) {
+	c := NewReadCache(2)
+	if c.Contains(1) {
+		t.Fatal("empty cache contains")
+	}
+	c.Insert(1)
+	c.Insert(2)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("inserted pages missing")
+	}
+	c.Insert(3) // evicts 1 (FIFO)
+	if c.Contains(1) {
+		t.Fatal("FIFO eviction failed")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("wrong page evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestReadCacheDuplicateInsert(t *testing.T) {
+	c := NewReadCache(2)
+	c.Insert(1)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3) // must evict 1, not wrap oddly
+	if c.Contains(1) || !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("duplicate insert corrupted ring")
+	}
+}
+
+func TestReadCacheInvalidate(t *testing.T) {
+	c := NewReadCache(4)
+	c.Insert(1)
+	c.Invalidate(1)
+	if c.Contains(1) {
+		t.Fatal("invalidated page still cached")
+	}
+	c.Invalidate(99) // absent: no-op
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestReadCacheDisabled(t *testing.T) {
+	c := NewReadCache(0)
+	c.Insert(1)
+	if c.Contains(1) {
+		t.Fatal("disabled cache stored a page")
+	}
+	c.Invalidate(1) // must not panic
+}

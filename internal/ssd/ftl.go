@@ -1,0 +1,317 @@
+package ssd
+
+// The flash translation layer: a slot-mapping FTL (mapping unit =
+// Config.MappingUnit, typically 4KB on conventional SSDs and one 2KB page
+// on the ULL device) with per-unit log-structured allocation and greedy
+// garbage-collection victim selection. Several consecutive slots share
+// one physical flash page; the device batches their programs. The FTL is
+// pure bookkeeping — it consumes no simulated time itself.
+
+const noPPN = int64(-1)
+
+// blockState tracks one physical block, in slots.
+type blockState struct {
+	lpns      []int64 // physical slot -> owning LPN, -1 if invalid/unwritten
+	written   int     // slots allocated
+	committed int     // slots whose program completed
+	invalid   int     // slots invalidated by overwrites or migration
+}
+
+func (b *blockState) sealed(slotsPerBlock int) bool {
+	return b.written == slotsPerBlock && b.committed == b.written
+}
+
+// unitState tracks allocation within one flash unit (plane). Host writes
+// and GC migrations fill separate active blocks: sharing one would let
+// host traffic drain the block GC opened from the reserve, deadlocking
+// the reclaim that is supposed to refill the free list.
+type unitState struct {
+	active     int   // host active block index, -1 if none
+	nextSlot   int   // next slot within the host active block
+	gcActive   int   // GC active block index, -1 if none
+	gcNextSlot int   // next slot within the GC active block
+	free       []int // free block indices (erased)
+	gcRunning  bool
+	eraseCount uint64
+}
+
+// FTL is the slot-mapping translation layer shared by both device models.
+type FTL struct {
+	units         int
+	blocksPerUnit int
+	slotsPerBlock int
+	slotsPerPage  int // mapping slots per physical flash page
+	exportedSlots int64
+
+	l2p    []int64      // LPN -> PPN (slot index), noPPN if unmapped
+	blocks []blockState // unit*blocksPerUnit + block
+	ustate []unitState
+}
+
+// NewFTL builds an empty (freshly formatted) FTL for the given geometry.
+func NewFTL(cfg Config) *FTL {
+	units := cfg.Units()
+	spp := cfg.SlotsPerPage()
+	f := &FTL{
+		units:         units,
+		blocksPerUnit: cfg.BlocksPerUnit,
+		slotsPerBlock: cfg.PagesPerBlock * spp,
+		slotsPerPage:  spp,
+		exportedSlots: cfg.ExportedBytes() / int64(cfg.MappingUnitBytes()),
+	}
+	f.l2p = make([]int64, f.exportedSlots)
+	for i := range f.l2p {
+		f.l2p[i] = noPPN
+	}
+	f.blocks = make([]blockState, units*cfg.BlocksPerUnit)
+	for i := range f.blocks {
+		lpns := make([]int64, f.slotsPerBlock)
+		for j := range lpns {
+			lpns[j] = noPPN
+		}
+		f.blocks[i].lpns = lpns
+	}
+	f.ustate = make([]unitState, units)
+	for u := range f.ustate {
+		f.ustate[u].active = -1
+		f.ustate[u].gcActive = -1
+		free := make([]int, cfg.BlocksPerUnit)
+		for b := range free {
+			free[b] = b
+		}
+		f.ustate[u].free = free
+	}
+	return f
+}
+
+// ExportedPages reports the host-visible capacity in mapping slots.
+func (f *FTL) ExportedPages() int64 { return f.exportedSlots }
+
+// SlotsPerPage reports mapping slots per physical flash page.
+func (f *FTL) SlotsPerPage() int { return f.slotsPerPage }
+
+// ppn packing: unit * slotsPerBlock * blocksPerUnit + block * slotsPerBlock + slot.
+
+func (f *FTL) pack(unit, block, slot int) int64 {
+	return (int64(unit)*int64(f.blocksPerUnit)+int64(block))*int64(f.slotsPerBlock) + int64(slot)
+}
+
+// Unpack splits a PPN into unit, block, and slot indices.
+func (f *FTL) Unpack(ppn int64) (unit, block, slot int) {
+	slot = int(ppn % int64(f.slotsPerBlock))
+	rest := ppn / int64(f.slotsPerBlock)
+	block = int(rest % int64(f.blocksPerUnit))
+	unit = int(rest / int64(f.blocksPerUnit))
+	return
+}
+
+// UnitOf reports the flash unit holding ppn.
+func (f *FTL) UnitOf(ppn int64) int {
+	return int(ppn / (int64(f.blocksPerUnit) * int64(f.slotsPerBlock)))
+}
+
+// PageOf reports the global physical flash page index of ppn, the unit of
+// media reads and programs.
+func (f *FTL) PageOf(ppn int64) int64 { return ppn / int64(f.slotsPerPage) }
+
+// Lookup resolves an LPN to its current physical slot.
+func (f *FTL) Lookup(lpn int64) (ppn int64, ok bool) {
+	if lpn < 0 || lpn >= f.exportedSlots {
+		return noPPN, false
+	}
+	p := f.l2p[lpn]
+	return p, p != noPPN
+}
+
+// Allocate reserves the next slot in unit's active block for the host
+// (gc=false) or GC migration (gc=true) stream. See AllocateRun.
+func (f *FTL) Allocate(unit int, gc bool) (ppn int64, ok bool) {
+	ppn, n := f.AllocateRun(unit, 1, gc)
+	return ppn, n == 1
+}
+
+// AllocateRun reserves up to want consecutive slots in unit's active
+// block, never crossing a physical-page boundary (the run becomes one
+// flash program). A new block is opened from the free list when needed.
+// Host allocations keep one erased block in reserve so garbage collection
+// can always make forward progress; GC allocations may consume the
+// reserve. It returns the first slot and the run length, 0 when the
+// stream has no allocatable space.
+func (f *FTL) AllocateRun(unit, want int, gc bool) (ppn int64, count int) {
+	if want < 1 {
+		return noPPN, 0
+	}
+	u := &f.ustate[unit]
+	active, next := &u.active, &u.nextSlot
+	reserve := 1
+	if gc {
+		active, next = &u.gcActive, &u.gcNextSlot
+		reserve = 0
+	}
+	if *active < 0 || *next == f.slotsPerBlock {
+		if len(u.free) <= reserve {
+			return noPPN, 0
+		}
+		*active, u.free = u.free[0], u.free[1:]
+		*next = 0
+	}
+	// Clip to the physical page and block boundaries.
+	count = want
+	if room := f.slotsPerPage - *next%f.slotsPerPage; count > room {
+		count = room
+	}
+	if room := f.slotsPerBlock - *next; count > room {
+		count = room
+	}
+	ppn = f.pack(unit, *active, *next)
+	f.blocks[f.blockIndex(unit, *active)].written += count
+	*next += count
+	return ppn, count
+}
+
+func (f *FTL) blockIndex(unit, block int) int {
+	return unit*f.blocksPerUnit + block
+}
+
+// Commit installs lpn -> ppn after a program completes, invalidating any
+// previous location of lpn.
+func (f *FTL) Commit(lpn, ppn int64) {
+	unit, block, slot := f.Unpack(ppn)
+	bi := f.blockIndex(unit, block)
+	if old := f.l2p[lpn]; old != noPPN {
+		f.invalidate(old)
+	}
+	f.l2p[lpn] = ppn
+	b := &f.blocks[bi]
+	b.lpns[slot] = lpn
+	b.committed++
+}
+
+// CommitDiscard is used when a buffered write was superseded before its
+// program completed: the physical slot is immediately invalid.
+func (f *FTL) CommitDiscard(ppn int64) {
+	unit, block, slot := f.Unpack(ppn)
+	b := &f.blocks[f.blockIndex(unit, block)]
+	b.lpns[slot] = noPPN
+	b.committed++
+	b.invalid++
+}
+
+func (f *FTL) invalidate(ppn int64) {
+	unit, block, slot := f.Unpack(ppn)
+	b := &f.blocks[f.blockIndex(unit, block)]
+	if b.lpns[slot] != noPPN {
+		b.lpns[slot] = noPPN
+		b.invalid++
+	}
+}
+
+// FreeBlocks reports erased blocks remaining in a unit.
+func (f *FTL) FreeBlocks(unit int) int { return len(f.ustate[unit].free) }
+
+// GCRunning reports / SetGCRunning sets the per-unit GC latch.
+func (f *FTL) GCRunning(unit int) bool        { return f.ustate[unit].gcRunning }
+func (f *FTL) SetGCRunning(unit int, on bool) { f.ustate[unit].gcRunning = on }
+
+// Victim selects the sealed block in unit with the most invalid slots and
+// returns its valid LPNs (with their PPNs, sorted by PPN) for migration.
+// It reports false when no sealed block with reclaimable space exists:
+// migrating a fully-valid block frees exactly as much as it consumes.
+func (f *FTL) Victim(unit int) (block int, valid []MigrationPage, ok bool) {
+	best, bestInvalid := -1, 0
+	for b := 0; b < f.blocksPerUnit; b++ {
+		// Partially written active blocks are unsealed and skip
+		// themselves; a full active block is fair game (allocation will
+		// lazily open a fresh block).
+		bs := &f.blocks[f.blockIndex(unit, b)]
+		if !bs.sealed(f.slotsPerBlock) {
+			continue
+		}
+		if bs.invalid > bestInvalid {
+			best, bestInvalid = b, bs.invalid
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	bs := &f.blocks[f.blockIndex(unit, best)]
+	for slot, lpn := range bs.lpns {
+		if lpn != noPPN {
+			valid = append(valid, MigrationPage{LPN: lpn, PPN: f.pack(unit, best, slot)})
+		}
+	}
+	return best, valid, true
+}
+
+// MigrationPage is one valid slot a GC pass must relocate.
+type MigrationPage struct {
+	LPN int64
+	PPN int64
+}
+
+// EraseDone returns block to unit's free list after an erase completes and
+// resets its bookkeeping.
+func (f *FTL) EraseDone(unit, block int) {
+	bs := &f.blocks[f.blockIndex(unit, block)]
+	for i := range bs.lpns {
+		bs.lpns[i] = noPPN
+	}
+	bs.written = 0
+	bs.committed = 0
+	bs.invalid = 0
+	u := &f.ustate[unit]
+	u.free = append(u.free, block)
+	u.eraseCount++
+}
+
+// EraseCount reports total erases performed on a unit.
+func (f *FTL) EraseCount(unit int) uint64 { return f.ustate[unit].eraseCount }
+
+// WearStats summarizes erase-count distribution across units — the
+// wear-leveling health indicator.
+type WearStats struct {
+	Min, Max, Total uint64
+}
+
+// Wear reports the erase-count distribution across all units.
+func (f *FTL) Wear() WearStats {
+	var w WearStats
+	for u := range f.ustate {
+		c := f.ustate[u].eraseCount
+		if u == 0 || c < w.Min {
+			w.Min = c
+		}
+		if c > w.Max {
+			w.Max = c
+		}
+		w.Total += c
+	}
+	return w
+}
+
+// StillCurrent reports whether ppn is still the mapping target of lpn —
+// a migration must not commit if the host overwrote the slot meanwhile.
+func (f *FTL) StillCurrent(lpn, ppn int64) bool {
+	return f.l2p[lpn] == ppn
+}
+
+// Trim unmaps lpn, invalidating its physical slot (NVMe Deallocate).
+func (f *FTL) Trim(lpn int64) {
+	if lpn < 0 || lpn >= f.exportedSlots {
+		return
+	}
+	if old := f.l2p[lpn]; old != noPPN {
+		f.invalidate(old)
+		f.l2p[lpn] = noPPN
+	}
+}
+
+// TotalInvalid reports the number of invalid slots across a unit,
+// a measure of reclaimable space (used by tests and stats).
+func (f *FTL) TotalInvalid(unit int) int {
+	sum := 0
+	for b := 0; b < f.blocksPerUnit; b++ {
+		sum += f.blocks[f.blockIndex(unit, b)].invalid
+	}
+	return sum
+}

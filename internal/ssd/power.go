@@ -1,0 +1,85 @@
+package ssd
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// PowerConfig holds the device-level power model. Per-die operation power
+// lives in the flash.Config; this adds the always-on and activity-gated
+// components.
+type PowerConfig struct {
+	Idle             float64 // controller + DRAM + interface, watts, always on
+	ControllerActive float64 // extra watts while host commands are outstanding
+	ChannelActive    float64 // watts per channel while a transfer occupies it
+}
+
+// Meter integrates device energy over time. Components report energy via
+// AddEnergy; the meter keeps both a total and a time series so callers can
+// compute window averages (Figure 7a) and power traces (Figure 8).
+type Meter struct {
+	cfg    PowerConfig
+	series *metrics.Series
+	total  float64 // watt-nanoseconds, excluding idle base
+
+	activeSince sim.Time
+	outstanding int
+}
+
+// NewMeter returns a meter with the given series bucket width.
+func NewMeter(cfg PowerConfig, bucket sim.Time) *Meter {
+	return &Meter{cfg: cfg, series: metrics.NewSeries(bucket)}
+}
+
+// AddEnergy records that a component drew watts over [t0, t1).
+func (m *Meter) AddEnergy(t0, t1 sim.Time, watts float64) {
+	if t1 <= t0 || watts <= 0 {
+		return
+	}
+	m.total += watts * float64(t1-t0)
+	m.series.AddEnergy(t0, t1, watts)
+}
+
+// CommandStarted / CommandFinished gate the controller-active component.
+func (m *Meter) CommandStarted(now sim.Time) {
+	if m.outstanding == 0 {
+		m.activeSince = now
+	}
+	m.outstanding++
+}
+
+func (m *Meter) CommandFinished(now sim.Time) {
+	m.outstanding--
+	if m.outstanding == 0 {
+		m.AddEnergy(m.activeSince, now, m.cfg.ControllerActive)
+	}
+}
+
+// closeOpen flushes the currently-open controller-active interval up to
+// now without ending it, so that snapshots include it.
+func (m *Meter) closeOpen(now sim.Time) {
+	if m.outstanding > 0 && now > m.activeSince {
+		m.AddEnergy(m.activeSince, now, m.cfg.ControllerActive)
+		m.activeSince = now
+	}
+}
+
+// AvgWatts reports the average power over [0, end), including the idle
+// base.
+func (m *Meter) AvgWatts(end sim.Time) float64 {
+	if end <= 0 {
+		return m.cfg.Idle
+	}
+	m.closeOpen(end)
+	return m.cfg.Idle + m.total/float64(end)
+}
+
+// Trace returns per-bucket average watts (idle base included) up to end.
+func (m *Meter) Trace(end sim.Time) []metrics.Point {
+	m.closeOpen(end)
+	pts := m.series.MeanRate()
+	for i := range pts {
+		pts[i].Mean += m.cfg.Idle
+	}
+	return pts
+}

@@ -1,0 +1,67 @@
+package ssd
+
+import "repro/internal/sim"
+
+// resource is a FIFO-serialized facility: at most one occupant at a time,
+// no preemption, reservations granted in request order. Channels, the
+// controller pipeline, and the PCIe link are all resources with different
+// time-per-use functions.
+type resource struct {
+	freeAt   sim.Time
+	busyTime sim.Time
+	uses     uint64
+	// energy sink while occupied; nil means unmetered
+	energy func(t0, t1 sim.Time, watts float64)
+	watts  float64
+}
+
+// reserve books the resource for dur starting no earlier than now, and
+// returns the occupancy interval. The caller schedules its own completion
+// event at end.
+func (r *resource) reserve(now sim.Time, dur sim.Time) (start, end sim.Time) {
+	start = now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busyTime += dur
+	r.uses++
+	if r.energy != nil && r.watts > 0 {
+		r.energy(start, end, r.watts)
+	}
+	return start, end
+}
+
+// backlog reports how far in the future the resource is already booked.
+func (r *resource) backlog(now sim.Time) sim.Time {
+	if r.freeAt <= now {
+		return 0
+	}
+	return r.freeAt - now
+}
+
+// link is a bandwidth-limited resource: a transfer of n bytes occupies it
+// for latency + n/bandwidth.
+type link struct {
+	resource
+	mbps    float64
+	latency sim.Time
+}
+
+func newLink(mbps float64, latency sim.Time) *link {
+	return &link{mbps: mbps, latency: latency}
+}
+
+// xferTime reports the occupancy duration of an n-byte transfer.
+func (l *link) xferTime(n int) sim.Time {
+	if n <= 0 {
+		return l.latency
+	}
+	return l.latency + sim.Time(float64(n)/l.mbps*1e3) // mbps = bytes/us scaled: MB/s -> ns: n[B] / (mbps*1e6 B/s) * 1e9 ns
+}
+
+// transfer reserves the link for an n-byte transfer starting at now.
+func (l *link) transfer(now sim.Time, n int) (start, end sim.Time) {
+	return l.reserve(now, l.xferTime(n))
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func sample() []Event {
+	return []Event{
+		{Issue: 0, Write: false, Offset: 4096, Len: 4096, Latency: 1000},
+		{Issue: 1500, Write: true, Offset: 0, Len: 8192, Latency: 2000},
+		{Issue: 9000, Write: false, Offset: 1 << 20, Len: 512, Latency: 1234},
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	for _, e := range sample() {
+		r.Record(e)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Events()[1].Offset != 0 || !r.Events()[1].Write {
+		t.Fatal("event order lost")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	for _, e := range sample() {
+		r.Record(e)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	for i, e := range events {
+		if e != sample()[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, e, sample()[i])
+		}
+	}
+}
+
+func TestReadCSVTolerant(t *testing.T) {
+	in := `issue_ns,op,offset,len,latency_ns
+# comment
+100,R,0,4096
+
+200,w,4096,4096,555
+300,R,8192,512`
+	events, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	if events[0].Latency != 0 {
+		t.Fatal("missing latency must parse as zero")
+	}
+	if !events[1].Write || events[1].Latency != 555 {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"abc,R,0,4096",
+		"100,X,0,4096",
+		"100,R,zz,4096",
+		"100,R,0,zz",
+		"100,R,0,4096,zz",
+		"100,R,0",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted bad input", c)
+		}
+	}
+}
+
+// fakeTarget completes everything after a fixed delay.
+type fakeTarget struct {
+	eng   *sim.Engine
+	delay sim.Time
+	seen  []Event
+}
+
+func (f *fakeTarget) Submit(write bool, off int64, n int, done func()) {
+	f.seen = append(f.seen, Event{Issue: f.eng.Now(), Write: write, Offset: off, Len: n})
+	f.eng.After(f.delay, done)
+}
+
+func TestReplayPreservesTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	target := &fakeTarget{eng: eng, delay: 700}
+	out := NewRecorder()
+	n := Replay(eng, target, sample(), out)
+	if n != 3 {
+		t.Fatalf("scheduled %d", n)
+	}
+	eng.Run()
+	if len(target.seen) != 3 {
+		t.Fatalf("target saw %d", len(target.seen))
+	}
+	for i, e := range target.seen {
+		if e.Issue != sample()[i].Issue {
+			t.Errorf("event %d issued at %v, want %v", i, e.Issue, sample()[i].Issue)
+		}
+	}
+	for i, e := range out.Events() {
+		if e.Latency != 700 {
+			t.Errorf("replayed latency %d = %v, want 700", i, e.Latency)
+		}
+		if e.Offset != sample()[i].Offset {
+			t.Errorf("offset mismatch at %d", i)
+		}
+	}
+}
+
+func TestReplayNilRecorder(t *testing.T) {
+	eng := sim.NewEngine()
+	target := &fakeTarget{eng: eng, delay: 1}
+	Replay(eng, target, sample(), nil)
+	eng.Run() // must not panic
+}
+
+// Property: WriteCSV/ReadCSV round-trips arbitrary events.
+func TestCSVRoundTripProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		r := NewRecorder()
+		var want []Event
+		for i, v := range raw {
+			e := Event{
+				Issue:   sim.Time(v % 1e9),
+				Write:   v&1 == 1,
+				Offset:  int64(v%4096) * 4096,
+				Len:     int(v%64+1) * 512,
+				Latency: sim.Time(i * 17),
+			}
+			want = append(want, e)
+			r.Record(e)
+		}
+		var sb strings.Builder
+		if err := r.WriteCSV(&sb); err != nil {
+			return false
+		}
+		got, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

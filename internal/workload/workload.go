@@ -1,0 +1,249 @@
+// Package workload is the FIO-equivalent job engine (Section III-A):
+// sequential/random read/write/mixed access patterns, configurable block
+// size and queue depth, warmup discard, and per-direction latency
+// histograms plus optional time series — everything the paper's
+// microbenchmarks measure.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Pattern is an access pattern.
+type Pattern int
+
+// The five patterns the paper uses.
+const (
+	SeqRead Pattern = iota
+	RandRead
+	SeqWrite
+	RandWrite
+	RandRW // random mix; Job.WriteFraction sets the write share
+)
+
+var patternNames = []string{"SeqRd", "RndRd", "SeqWr", "RndWr", "RndRW"}
+
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Reads reports whether the pattern ever reads; Writes likewise.
+func (p Pattern) Reads() bool  { return p == SeqRead || p == RandRead || p == RandRW }
+func (p Pattern) Writes() bool { return p == SeqWrite || p == RandWrite || p == RandRW }
+
+// Job describes one benchmark run.
+type Job struct {
+	Name          string
+	Pattern       Pattern
+	WriteFraction float64  // RandRW only: probability an I/O is a write
+	BlockSize     int      // bytes per I/O
+	QueueDepth    int      // outstanding I/Os (sync stacks require 1)
+	TotalIOs      int      // stop after this many measured I/Os (0: use Duration)
+	Duration      sim.Time // stop issuing after this much virtual time
+	WarmupIOs     int      // completions discarded before measuring
+	WarmupTime    sim.Time // completions before this offset are discarded
+	Region        int64    // bytes of the device to touch (0: whole device)
+	Seed          uint64
+	SeriesBucket  sim.Time        // when set, record a latency time series
+	Trace         *trace.Recorder // when set, record every measured I/O
+}
+
+// Result carries everything an experiment needs.
+type Result struct {
+	Job         Job
+	Read        metrics.Histogram // read completion latencies
+	Write       metrics.Histogram // write completion latencies
+	All         metrics.Histogram
+	IOs         uint64
+	Bytes       int64
+	Wall        sim.Time        // issue start to last completion
+	Series      *metrics.Series // per-bucket mean latency (SeriesBucket set)
+	WriteSeries *metrics.Series
+}
+
+// IOPS reports measured I/O operations per second.
+func (r *Result) IOPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.IOs) / r.Wall.Seconds()
+}
+
+// BandwidthMBps reports measured bandwidth in MB/s.
+func (r *Result) BandwidthMBps() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Wall.Seconds()
+}
+
+// Run drives job against sys until the stop condition, runs the engine to
+// drain, finalizes deferred accounting, and returns the measurements.
+func Run(sys *core.System, job Job) *Result {
+	r := newRunner(sys, job)
+	r.start()
+	sys.Eng.Run()
+	sys.Finalize()
+	return r.result()
+}
+
+type runner struct {
+	sys *core.System
+	job Job
+	rng *sim.RNG
+
+	region    int64
+	blocks    int64 // region / block size
+	seqCursor int64
+
+	issued    int
+	completed int
+	measured  uint64
+	bytes     int64
+	startT    sim.Time
+	lastDone  sim.Time
+	stopped   bool
+
+	res Result
+}
+
+func newRunner(sys *core.System, job Job) *runner {
+	if job.BlockSize <= 0 {
+		panic("workload: block size must be positive")
+	}
+	if job.QueueDepth <= 0 {
+		job.QueueDepth = 1
+	}
+	if sys.Cfg.Stack == core.KernelSync && job.QueueDepth != 1 {
+		panic("workload: synchronous stacks serve one I/O at a time")
+	}
+	if job.TotalIOs == 0 && job.Duration == 0 {
+		panic("workload: job needs a stop condition (TotalIOs or Duration)")
+	}
+	region := job.Region
+	if region == 0 || region > sys.ExportedBytes() {
+		region = sys.ExportedBytes()
+	}
+	blocks := region / int64(job.BlockSize)
+	if blocks <= 0 {
+		panic("workload: region smaller than one block")
+	}
+	r := &runner{
+		sys:    sys,
+		job:    job,
+		rng:    sim.NewRNG(job.Seed ^ 0x9e3779b9),
+		region: region,
+		blocks: blocks,
+	}
+	r.res.Job = job
+	if job.SeriesBucket > 0 {
+		r.res.Series = metrics.NewSeries(job.SeriesBucket)
+		r.res.WriteSeries = metrics.NewSeries(job.SeriesBucket)
+	}
+	return r
+}
+
+func (r *runner) start() {
+	r.startT = r.sys.Eng.Now()
+	for i := 0; i < r.job.QueueDepth; i++ {
+		if !r.issueNext() {
+			break
+		}
+	}
+}
+
+// wantMore reports whether another I/O should be issued.
+func (r *runner) wantMore() bool {
+	if r.stopped {
+		return false
+	}
+	if r.job.TotalIOs > 0 && r.issued >= r.job.TotalIOs+r.job.WarmupIOs {
+		return false
+	}
+	if r.job.Duration > 0 && r.sys.Eng.Now()-r.startT >= r.job.Duration {
+		return false
+	}
+	return true
+}
+
+func (r *runner) nextOp() (write bool, offset int64) {
+	switch r.job.Pattern {
+	case SeqRead, SeqWrite:
+		offset = (r.seqCursor % r.blocks) * int64(r.job.BlockSize)
+		r.seqCursor++
+		write = r.job.Pattern == SeqWrite
+	case RandRead, RandWrite:
+		offset = r.rng.Int63n(r.blocks) * int64(r.job.BlockSize)
+		write = r.job.Pattern == RandWrite
+	case RandRW:
+		offset = r.rng.Int63n(r.blocks) * int64(r.job.BlockSize)
+		write = r.rng.Bool(r.job.WriteFraction)
+	default:
+		panic("workload: unknown pattern")
+	}
+	return write, offset
+}
+
+func (r *runner) issueNext() bool {
+	if !r.wantMore() {
+		r.stopped = r.stopped || r.job.TotalIOs > 0 && r.issued >= r.job.TotalIOs+r.job.WarmupIOs
+		return false
+	}
+	write, offset := r.nextOp()
+	seq := r.issued
+	r.issued++
+	start := r.sys.Eng.Now()
+	r.sys.Submit(write, offset, r.job.BlockSize, func() {
+		r.onDone(seq, write, offset, start)
+	})
+	return true
+}
+
+func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time) {
+	now := r.sys.Eng.Now()
+	r.completed++
+	r.lastDone = now
+	if seq >= r.job.WarmupIOs && now-r.startT >= r.job.WarmupTime {
+		lat := now - start
+		r.measured++
+		r.bytes += int64(r.job.BlockSize)
+		r.res.All.Record(lat)
+		if write {
+			r.res.Write.Record(lat)
+		} else {
+			r.res.Read.Record(lat)
+		}
+		if r.res.Series != nil {
+			if write {
+				r.res.WriteSeries.Observe(now, lat.Micros())
+			} else {
+				r.res.Series.Observe(now, lat.Micros())
+			}
+		}
+		if r.job.Trace != nil {
+			r.job.Trace.Record(trace.Event{
+				Issue:   start - r.startT,
+				Write:   write,
+				Offset:  offset,
+				Len:     r.job.BlockSize,
+				Latency: lat,
+			})
+		}
+	}
+	r.issueNext()
+}
+
+func (r *runner) result() *Result {
+	r.res.IOs = r.measured
+	r.res.Bytes = r.bytes
+	r.res.Wall = r.lastDone - r.startT - r.job.WarmupTime
+	return &r.res
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+func smallULL() ssd.Config {
+	cfg := ssd.ZSSD()
+	cfg.Channels = 4
+	cfg.WaysPerChannel = 2
+	cfg.PlanesPerDie = 1
+	cfg.PagesPerBlock = 16
+	cfg.BlocksPerUnit = 16
+	return cfg
+}
+
+func syncSys(mode kernel.Mode) *core.System {
+	cfg := core.DefaultConfig(smallULL())
+	cfg.Mode = mode
+	cfg.Precondition = 1.0
+	return core.NewSystem(cfg)
+}
+
+func asyncSys() *core.System {
+	cfg := core.DefaultConfig(smallULL())
+	cfg.Stack = core.KernelAsync
+	cfg.Precondition = 1.0
+	return core.NewSystem(cfg)
+}
+
+func TestRunSeqReadCountsExact(t *testing.T) {
+	res := Run(syncSys(kernel.Interrupt), Job{
+		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, WarmupIOs: 10,
+	})
+	if res.IOs != 100 {
+		t.Fatalf("measured IOs = %d, want 100", res.IOs)
+	}
+	if res.Read.Count() != 100 || res.Write.Count() != 0 {
+		t.Fatalf("read/write counts = %d/%d", res.Read.Count(), res.Write.Count())
+	}
+	if res.Bytes != 100*4096 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	if res.Wall <= 0 || res.IOPS() <= 0 || res.BandwidthMBps() <= 0 {
+		t.Fatal("derived rates not positive")
+	}
+}
+
+func TestRunRandRWMix(t *testing.T) {
+	res := Run(syncSys(kernel.Interrupt), Job{
+		Pattern: RandRW, WriteFraction: 0.3, BlockSize: 4096,
+		TotalIOs: 1000, Seed: 42,
+	})
+	frac := float64(res.Write.Count()) / float64(res.IOs)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("write fraction = %.3f, want ~0.30", frac)
+	}
+	if res.Read.Count()+res.Write.Count() != res.IOs {
+		t.Fatal("histogram counts do not add up")
+	}
+}
+
+func TestRunSequentialWrapsRegion(t *testing.T) {
+	sys := syncSys(kernel.Interrupt)
+	res := Run(sys, Job{
+		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 50,
+		Region: 16 * 4096, // 16 blocks, so the cursor must wrap
+	})
+	if res.IOs != 50 {
+		t.Fatalf("IOs = %d", res.IOs)
+	}
+}
+
+func TestRunDurationStop(t *testing.T) {
+	sys := syncSys(kernel.Interrupt)
+	res := Run(sys, Job{
+		Pattern: RandRead, BlockSize: 4096, Duration: 2 * sim.Millisecond,
+	})
+	if res.IOs == 0 {
+		t.Fatal("no I/Os in duration-bounded run")
+	}
+	// The run must not extend far past the deadline (only the drain).
+	if sys.Eng.Now() > 3*sim.Millisecond {
+		t.Fatalf("run dragged to %v", sys.Eng.Now())
+	}
+}
+
+func TestRunAsyncQueueDepth(t *testing.T) {
+	resQ1 := Run(asyncSys(), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 400, QueueDepth: 1, Seed: 1})
+	resQ8 := Run(asyncSys(), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 400, QueueDepth: 8, Seed: 1})
+	if resQ8.Wall >= resQ1.Wall {
+		t.Fatalf("QD8 wall %v not faster than QD1 %v", resQ8.Wall, resQ1.Wall)
+	}
+	if resQ8.BandwidthMBps() <= resQ1.BandwidthMBps() {
+		t.Fatal("QD8 bandwidth not above QD1")
+	}
+}
+
+func TestRunSyncRejectsQueueDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("sync stack with QD>1 did not panic")
+		}
+	}()
+	Run(syncSys(kernel.Poll), Job{Pattern: SeqRead, BlockSize: 4096, TotalIOs: 10, QueueDepth: 4})
+}
+
+func TestRunNeedsStopCondition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("job without stop condition did not panic")
+		}
+	}()
+	Run(syncSys(kernel.Interrupt), Job{Pattern: SeqRead, BlockSize: 4096})
+}
+
+func TestRunSeriesRecording(t *testing.T) {
+	res := Run(asyncSys(), Job{
+		Pattern: RandWrite, BlockSize: 4096, TotalIOs: 300, QueueDepth: 4,
+		SeriesBucket: 1 * sim.Millisecond,
+	})
+	if res.WriteSeries == nil || res.WriteSeries.Len() == 0 {
+		t.Fatal("write series not recorded")
+	}
+	var count uint64
+	for _, p := range res.WriteSeries.Points() {
+		count += p.Count
+	}
+	if count != res.IOs {
+		t.Fatalf("series holds %d samples, want %d", count, res.IOs)
+	}
+}
+
+func TestRunWarmupDiscard(t *testing.T) {
+	res := Run(syncSys(kernel.Interrupt), Job{
+		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 20, WarmupIOs: 30,
+	})
+	if res.IOs != 20 {
+		t.Fatalf("measured %d, want 20 (warmup discarded)", res.IOs)
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	a := Run(syncSys(kernel.Interrupt), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 5})
+	b := Run(syncSys(kernel.Interrupt), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 5})
+	if a.All.Mean() != b.All.Mean() || a.Wall != b.Wall {
+		t.Fatal("identical seeds produced different runs")
+	}
+	c := Run(syncSys(kernel.Interrupt), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 6})
+	if a.Wall == c.Wall && a.All.Mean() == c.All.Mean() {
+		t.Fatal("different seeds produced byte-identical runs (suspicious)")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	if !SeqRead.Reads() || SeqRead.Writes() {
+		t.Error("SeqRead classification")
+	}
+	if !RandWrite.Writes() || RandWrite.Reads() {
+		t.Error("RandWrite classification")
+	}
+	if !RandRW.Reads() || !RandRW.Writes() {
+		t.Error("RandRW classification")
+	}
+	for _, p := range []Pattern{SeqRead, RandRead, SeqWrite, RandWrite, RandRW} {
+		if p.String() == "" {
+			t.Error("empty pattern name")
+		}
+	}
+}
+
+func TestStackKindString(t *testing.T) {
+	if core.KernelSync.String() != "pvsync2" || core.KernelAsync.String() != "libaio" || core.SPDK.String() != "spdk" {
+		t.Fatal("stack kind names")
+	}
+}

@@ -1,0 +1,155 @@
+// Package repro is ullsim: a discrete-event full-system simulator that
+// reproduces "Faster than Flash: An In-Depth Study of System Challenges
+// for Emerging Ultra-Low Latency SSDs" (Koh et al., IISWC 2019).
+//
+// The library models the paper's entire testbed in software: Z-NAND and
+// conventional 3D-NAND flash dies, the two SSDs built on them (the Z-SSD
+// prototype with super-channels, split-DMA and program suspend/resume,
+// and an Intel-750-class NVMe SSD with a DRAM write-back cache), the NVMe
+// queue-pair protocol, the Linux storage stack with interrupt, polled and
+// hybrid-polled I/O completion, the SPDK kernel-bypass stack, an ext4 +
+// NBD server-client system, and a FIO-like workload engine — plus an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	sys := repro.NewSystem(repro.SystemConfig{
+//		Device: repro.ZSSD(),
+//		Stack:  repro.KernelSync,
+//		Mode:   repro.Poll,
+//		Precondition: 1.0,
+//	})
+//	res := repro.RunJob(sys, repro.Job{
+//		Pattern:   repro.RandRead,
+//		BlockSize: 4096,
+//		TotalIOs:  100000,
+//	})
+//	fmt.Println(res.All.Summarize())
+//
+// Reproduce a figure:
+//
+//	exp, _ := repro.ExperimentByID("fig10")
+//	for _, table := range exp.Run(repro.ExperimentOptions{Quick: true}) {
+//		table.Render(os.Stdout)
+//	}
+//
+// The runnable equivalents live under examples/ and cmd/.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/nbd"
+	"repro/internal/sim"
+	"repro/internal/spdk"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// Core composition types.
+type (
+	// SystemConfig assembles a host + device system under test.
+	SystemConfig = core.Config
+	// System is a fully wired host + device.
+	System = core.System
+	// DeviceConfig describes one SSD model.
+	DeviceConfig = ssd.Config
+	// Job is a FIO-like benchmark job description.
+	Job = workload.Job
+	// Result carries a job's measurements.
+	Result = workload.Result
+	// Summary is a latency-distribution snapshot.
+	Summary = metrics.Summary
+	// Table is the uniform experiment result container.
+	Table = metrics.Table
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// ExperimentOptions control experiment scale.
+	ExperimentOptions = experiments.Options
+	// Experiment is one registered paper artifact.
+	Experiment = experiments.Experiment
+	// KernelCosts is the storage-stack cost table.
+	KernelCosts = kernel.Costs
+	// SPDKCosts is the userspace-stack cost table.
+	SPDKCosts = spdk.Costs
+	// NBDConfig parameterizes the simulated server-client system.
+	NBDConfig = nbd.ModelConfig
+	// NBDModel is the wired server-client system.
+	NBDModel = nbd.Model
+)
+
+// Access patterns (FIO rw= equivalents).
+const (
+	SeqRead   = workload.SeqRead
+	RandRead  = workload.RandRead
+	SeqWrite  = workload.SeqWrite
+	RandWrite = workload.RandWrite
+	RandRW    = workload.RandRW
+)
+
+// Host stacks.
+const (
+	// KernelSync is the pvsync2 synchronous path (completion method
+	// selected by SystemConfig.Mode).
+	KernelSync = core.KernelSync
+	// KernelAsync is the libaio path.
+	KernelAsync = core.KernelAsync
+	// SPDK is the kernel-bypass userspace path.
+	SPDK = core.SPDK
+)
+
+// I/O completion methods for KernelSync.
+const (
+	Interrupt = kernel.Interrupt
+	Poll      = kernel.Poll
+	Hybrid    = kernel.Hybrid
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// ZSSD returns the calibrated ultra-low-latency device model (the 800GB
+// Z-SSD prototype of the paper, scaled).
+func ZSSD() DeviceConfig { return ssd.ZSSD() }
+
+// NVMe750 returns the calibrated conventional NVMe SSD model (Intel 750
+// class, scaled).
+func NVMe750() DeviceConfig { return ssd.NVMe750() }
+
+// DefaultSystemConfig returns a system on dev with the kernel sync stack
+// and interrupt completion.
+func DefaultSystemConfig(dev DeviceConfig) SystemConfig { return core.DefaultConfig(dev) }
+
+// NewSystem builds and wires a system.
+func NewSystem(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// RunJob drives job against sys to completion and returns measurements.
+func RunJob(sys *System, job Job) *Result { return workload.Run(sys, job) }
+
+// DefaultKernelCosts returns the calibrated storage-stack cost table.
+func DefaultKernelCosts() KernelCosts { return kernel.DefaultCosts() }
+
+// DefaultSPDKCosts returns the calibrated SPDK cost table.
+func DefaultSPDKCosts() SPDKCosts { return spdk.DefaultCosts() }
+
+// Experiments returns every registered experiment in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up one experiment (e.g. "fig10").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// KernelNBD and SPDKNBD return the two server-client configurations of
+// Figure 23 over the given backing device.
+func KernelNBD(dev DeviceConfig) NBDConfig { return nbd.KernelNBD(dev) }
+func SPDKNBD(dev DeviceConfig) NBDConfig   { return nbd.SPDKNBD(dev) }
+
+// NewNBDModel builds the simulated server-client system.
+func NewNBDModel(cfg NBDConfig) *NBDModel { return nbd.NewModel(cfg) }

@@ -1,0 +1,108 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := repro.NewSystem(repro.SystemConfig{
+		Device:       repro.ZSSD(),
+		Stack:        repro.KernelSync,
+		Mode:         repro.Poll,
+		Precondition: 1.0,
+	})
+	res := repro.RunJob(sys, repro.Job{
+		Pattern:   repro.RandRead,
+		BlockSize: 4096,
+		TotalIOs:  500,
+		Seed:      1,
+	})
+	if res.IOs != 500 {
+		t.Fatalf("IOs = %d", res.IOs)
+	}
+	s := res.All.Summarize()
+	if s.Mean <= 0 || s.P5N < s.P50 {
+		t.Fatalf("summary inconsistent: %+v", s)
+	}
+}
+
+func TestFacadeDeviceConfigs(t *testing.T) {
+	ull, nvme := repro.ZSSD(), repro.NVMe750()
+	if ull.NAND.ReadLatency >= nvme.NAND.ReadLatency {
+		t.Fatal("Z-NAND must read faster than conventional flash")
+	}
+	if ull.ExportedBytes() <= 0 || nvme.ExportedBytes() <= 0 {
+		t.Fatal("exported capacities must be positive")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	all := repro.Experiments()
+	if len(all) < 24 {
+		t.Fatalf("experiments = %d, want >= 24 (Table I + Figures 4-23 + extensions)", len(all))
+	}
+	e, ok := repro.ExperimentByID("tab1")
+	if !ok {
+		t.Fatal("tab1 missing")
+	}
+	tables := e.Run(repro.ExperimentOptions{Quick: true})
+	if len(tables) == 0 {
+		t.Fatal("tab1 produced nothing")
+	}
+	var sb strings.Builder
+	if err := tables[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Z-NAND") {
+		t.Fatal("tab1 table incomplete")
+	}
+}
+
+func TestFacadeNBD(t *testing.T) {
+	m := repro.NewNBDModel(repro.SPDKNBD(repro.ZSSD()))
+	done := false
+	m.FileRead(0, 4096, func() { done = true })
+	m.Engine().Run()
+	if !done {
+		t.Fatal("NBD read never completed")
+	}
+}
+
+func TestFacadeAllStacksComplete(t *testing.T) {
+	for _, stack := range []repro.SystemConfig{
+		{Device: repro.ZSSD(), Stack: repro.KernelSync, Mode: repro.Interrupt},
+		{Device: repro.ZSSD(), Stack: repro.KernelSync, Mode: repro.Hybrid},
+		{Device: repro.ZSSD(), Stack: repro.KernelAsync},
+		{Device: repro.ZSSD(), Stack: repro.SPDK},
+	} {
+		stack.Precondition = 0.5
+		sys := repro.NewSystem(stack)
+		res := repro.RunJob(sys, repro.Job{
+			Pattern:   repro.SeqRead,
+			BlockSize: 4096,
+			TotalIOs:  100,
+			Region:    1 << 20,
+			Seed:      2,
+		})
+		if res.IOs != 100 {
+			t.Fatalf("stack %v/%v: %d IOs", stack.Stack, stack.Mode, res.IOs)
+		}
+	}
+}
+
+func TestFacadeTimeUnits(t *testing.T) {
+	if repro.Millisecond != 1000*repro.Microsecond || repro.Second != 1000*repro.Millisecond {
+		t.Fatal("time unit arithmetic broken")
+	}
+	kc := repro.DefaultKernelCosts()
+	if kc.PollIter() <= 0 {
+		t.Fatal("kernel costs")
+	}
+	sc := repro.DefaultSPDKCosts()
+	if sc.PollIter() <= 0 {
+		t.Fatal("spdk costs")
+	}
+}
