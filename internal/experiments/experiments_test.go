@@ -115,16 +115,25 @@ func TestRunRegionConfinement(t *testing.T) {
 	}
 }
 
+// shortSet is the reduced figure set exercised under -short: one
+// experiment per subsystem family (device comparison, completion
+// methods, hybrid polling, SPDK, NBD, and the light-queue extension),
+// keeping a fast CI lane that still sweeps every code path.
+var shortSet = map[string]bool{
+	"tab1": true, "fig4a": true, "fig10": true, "fig12": true,
+	"fig20": true, "fig23": true, "ext-lightq": true,
+}
+
 // TestAllExperimentsSmoke regenerates every registered experiment at
-// quick scale and validates table integrity. Slow (~2-3 minutes); skipped
-// under -short.
+// quick scale and validates table integrity. The full sweep is slow
+// (tens of seconds); under -short only the reduced shortSet runs.
 func TestAllExperimentsSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("quick-scale experiment sweep skipped in -short mode")
-	}
 	o := Options{Quick: true}
 	for _, e := range All() {
 		e := e
+		if testing.Short() && !shortSet[e.ID] {
+			continue
+		}
 		t.Run(e.ID, func(t *testing.T) {
 			tables := e.Run(o)
 			if len(tables) == 0 {
@@ -149,6 +158,29 @@ func TestAllExperimentsSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFig4aDeterministic asserts that two runs with the same seed render
+// byte-identical tables — the guarantee the pooled event core must
+// preserve (same event order, same RNG draw order).
+func TestFig4aDeterministic(t *testing.T) {
+	e, ok := ByID("fig4a")
+	if !ok {
+		t.Fatal("fig4a not registered")
+	}
+	render := func() string {
+		var sb strings.Builder
+		for _, tb := range e.Run(Options{Quick: true, Seed: 0xd5eed}) {
+			if err := tb.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("fig4a output differs between identically seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
 	}
 }
 

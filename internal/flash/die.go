@@ -61,6 +61,39 @@ type Stats struct {
 	BusyTime sim.Time
 }
 
+// opQueue is a FIFO of operations that reuses its backing array instead
+// of re-slicing it away: popping advances a head index, and the storage
+// rewinds once the queue drains, so steady-state push/pop never allocates.
+type opQueue struct {
+	buf  []*Op
+	head int
+}
+
+func (q *opQueue) len() int { return len(q.buf) - q.head }
+
+func (q *opQueue) push(op *Op) { q.buf = append(q.buf, op) }
+
+func (q *opQueue) pop() *Op {
+	op := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head >= 32 && q.head*2 >= len(q.buf):
+		// Compact once the dead prefix dominates, so a queue that never
+		// fully drains cannot grow its backing array without bound.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return op
+}
+
 // Die models one NAND die: a single array that serves one operation at a
 // time, a read-priority queue, and program/erase suspend-resume.
 type Die struct {
@@ -70,12 +103,16 @@ type Die struct {
 	energy EnergySink
 
 	cur      *Op
-	curEnd   *sim.Event
+	curEnd   sim.EventRef
 	curStart sim.Time
+	// finishCur is bound once at construction; the die serves one
+	// operation at a time, so the event for the in-service op can share
+	// it instead of capturing a fresh closure per start.
+	finishCur func()
 
-	reads     []*Op // pending reads, FIFO among themselves, priority over others
-	others    []*Op // pending programs and erases, FIFO
-	suspended []*Op // stack of suspended program/erase ops
+	reads     opQueue // pending reads, FIFO among themselves, priority over others
+	others    opQueue // pending programs and erases, FIFO
+	suspended []*Op   // stack of suspended program/erase ops
 
 	stats Stats
 }
@@ -86,7 +123,9 @@ func NewDie(cfg Config, eng *sim.Engine, rng *sim.RNG, energy EnergySink) *Die {
 	if cfg.MaxSuspends == 0 {
 		cfg.MaxSuspends = 4
 	}
-	return &Die{cfg: cfg, eng: eng, rng: rng, energy: energy}
+	d := &Die{cfg: cfg, eng: eng, rng: rng, energy: energy}
+	d.finishCur = func() { d.finish(d.cur) }
+	return d
 }
 
 // Config returns the die's configuration.
@@ -101,20 +140,21 @@ func (d *Die) Busy() bool { return d.cur != nil }
 // QueueLen reports the number of operations waiting (not in service),
 // including suspended ones.
 func (d *Die) QueueLen() int {
-	return len(d.reads) + len(d.others) + len(d.suspended)
+	return d.reads.len() + d.others.len() + len(d.suspended)
 }
 
 // Submit enqueues op. The die serves reads before programs/erases and,
 // when the configuration allows, suspends an in-flight program or erase
-// for an incoming read.
+// for an incoming read. The die does not retain op past its Done
+// callback, so callers may pool and reuse Op structs.
 func (d *Die) Submit(op *Op) {
 	if op.Done == nil {
 		panic("flash: op without Done callback")
 	}
 	if op.Kind == OpRead && !op.Background {
-		d.reads = append(d.reads, op)
+		d.reads.push(op)
 	} else {
-		d.others = append(d.others, op)
+		d.others.push(op)
 	}
 	d.dispatch()
 }
@@ -170,7 +210,7 @@ func (d *Die) suspendable(k OpKind) bool {
 func (d *Die) dispatch() {
 	if d.cur != nil {
 		// A read can preempt a suspendable program/erase.
-		if len(d.reads) > 0 && d.suspendable(d.cur.Kind) && d.cur.suspends < d.cfg.MaxSuspends {
+		if d.reads.len() > 0 && d.suspendable(d.cur.Kind) && d.cur.suspends < d.cfg.MaxSuspends {
 			d.suspend()
 			// fall through to start the read below
 		} else {
@@ -179,13 +219,13 @@ func (d *Die) dispatch() {
 	}
 	var next *Op
 	switch {
-	case len(d.reads) > 0:
-		next, d.reads = d.reads[0], d.reads[1:]
+	case d.reads.len() > 0:
+		next = d.reads.pop()
 	case len(d.suspended) > 0:
 		// Resume the most recently suspended operation.
 		next, d.suspended = d.suspended[len(d.suspended)-1], d.suspended[:len(d.suspended)-1]
-	case len(d.others) > 0:
-		next, d.others = d.others[0], d.others[1:]
+	case d.others.len() > 0:
+		next = d.others.pop()
 	default:
 		return
 	}
@@ -205,7 +245,7 @@ func (d *Die) suspend() {
 	d.stats.Suspends++
 	d.suspended = append(d.suspended, op)
 	d.cur = nil
-	d.curEnd = nil
+	d.curEnd = sim.EventRef{}
 }
 
 func (d *Die) start(op *Op) {
@@ -217,7 +257,7 @@ func (d *Die) start(op *Op) {
 	dur := d.opDuration(op)
 	d.cur = op
 	d.curStart = d.eng.Now() + delay
-	d.curEnd = d.eng.After(delay+dur, func() { d.finish(op) })
+	d.curEnd = d.eng.After(delay+dur, d.finishCur)
 }
 
 func (d *Die) finish(op *Op) {
@@ -232,7 +272,10 @@ func (d *Die) finish(op *Op) {
 		d.stats.Erases++
 	}
 	d.cur = nil
-	d.curEnd = nil
+	d.curEnd = sim.EventRef{}
+	// Clear suspension carry-over so pooled ops can be resubmitted.
+	op.remaining = 0
+	op.suspends = 0
 	op.Done(now)
 	d.dispatch()
 }

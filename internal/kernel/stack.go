@@ -46,11 +46,23 @@ type SyncStack struct {
 	current *syncIO
 	nextCID uint16
 
+	// io is the one reusable I/O context (the stack is strictly serial),
+	// and the step funcs below are bound once at construction so the per-IO
+	// path schedules no capturing closures.
+	io        syncIO
+	ringFn    func() // doorbell ring: submit to the queue pair
+	detectFn  func() // poll loop observed the CQE
+	finishCur func() // interrupt path: finish the current I/O
+	settleFn  func() // syscall exit: return control to the app
+
 	hybrid map[int]*latencyMean // block size -> total-latency tracker
 }
 
 type syncIO struct {
-	size      int
+	write     bool
+	offset    int64
+	length    int
+	cid       uint16
 	done      func()
 	start     sim.Time // Submit call time
 	submitEnd sim.Time // doorbell ring time
@@ -85,6 +97,22 @@ func NewSyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Cos
 		rng:    sim.NewRNG(0x517ac4),
 		hybrid: make(map[int]*latencyMean),
 	}
+	s.ringFn = func() {
+		io := s.current
+		io.submitEnd = s.eng.Now()
+		s.qp.Submit(io.write, io.offset, io.length, io.cid)
+		if s.mode == Hybrid {
+			s.armHybridSleep(io)
+		}
+	}
+	s.detectFn = func() {
+		if _, ok := s.qp.Poll(); !ok {
+			panic("kernel: CQE vanished before poll detection")
+		}
+		s.finish(s.current)
+	}
+	s.finishCur = func() { s.finish(s.current) }
+	s.settleFn = s.settle
 	if mode == Interrupt {
 		qp.EnableInterrupts(true)
 		qp.SetMSIHandler(s.onMSI)
@@ -125,24 +153,25 @@ func (s *SyncStack) Submit(write bool, offset int64, length int, done func()) {
 	submitDelay := s.costs.AppSetup.Time + s.costs.Syscall.Time/2 +
 		s.costs.VFS.Time + s.costs.BlkMQ.Time + s.costs.Driver.Time
 
-	io := &syncIO{size: length, done: done, start: s.eng.Now()}
+	io := &s.io
+	*io = syncIO{
+		write:  write,
+		offset: offset,
+		length: length,
+		cid:    s.nextCID,
+		done:   done,
+		start:  s.eng.Now(),
+	}
 	s.current = io
-	cid := s.nextCID
 	s.nextCID++
 
-	s.eng.After(submitDelay, func() {
-		io.submitEnd = s.eng.Now()
-		s.qp.Submit(write, offset, length, cid)
-		if s.mode == Hybrid {
-			s.armHybridSleep(io)
-		}
-	})
+	s.eng.After(submitDelay, s.ringFn)
 }
 
 // armHybridSleep computes the adaptive sleep. With no history (or a tiny
 // mean) hybrid degenerates to classic polling, as in the kernel.
 func (s *SyncStack) armHybridSleep(io *syncIO) {
-	tr := s.hybrid[io.size]
+	tr := s.hybrid[io.length]
 	if tr == nil {
 		return
 	}
@@ -209,12 +238,7 @@ func (s *SyncStack) onVisible() {
 	s.chargeN(cpu.FnBlkMQPoll, s.costs.PollIterBlk, iters)
 	s.chargeN(cpu.FnNVMePoll, s.costs.PollIterNVMe, iters)
 
-	s.eng.At(detect, func() {
-		if _, ok := s.qp.Poll(); !ok {
-			panic("kernel: CQE vanished before poll detection")
-		}
-		s.finish(io)
-	})
+	s.eng.At(detect, s.detectFn)
 }
 
 // onMSI is the interrupt-mode completion: ISR, softirq completion,
@@ -230,7 +254,7 @@ func (s *SyncStack) onMSI() {
 	s.charge(cpu.FnISR, s.costs.ISR)
 	s.charge(cpu.FnCtxSwitch, s.costs.CtxSwitch)
 	delay := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.WakeLatency
-	s.eng.After(delay, func() { s.finish(io) })
+	s.eng.After(delay, s.finishCur)
 }
 
 // finish returns control to the application.
@@ -241,21 +265,28 @@ func (s *SyncStack) finish(io *syncIO) {
 		exit += s.costs.PollComplete.Time
 	}
 	s.charge(cpu.FnSyscall, half(s.costs.Syscall))
-	s.eng.After(exit, func() {
-		if s.mode == Hybrid {
-			// blk_stat feeds the sleep heuristic with total request
-			// latency, detection delay included.
-			tr := s.hybrid[io.size]
-			if tr == nil {
-				tr = &latencyMean{}
-				s.hybrid[io.size] = tr
-			}
-			tr.add(s.eng.Now() - io.start)
+	s.eng.After(exit, s.settleFn)
+}
+
+// settle is the syscall-exit step: feed the hybrid heuristic and hand
+// control back to the application.
+func (s *SyncStack) settle() {
+	io := s.current
+	if s.mode == Hybrid {
+		// blk_stat feeds the sleep heuristic with total request
+		// latency, detection delay included.
+		tr := s.hybrid[io.length]
+		if tr == nil {
+			tr = &latencyMean{}
+			s.hybrid[io.length] = tr
 		}
-		s.busy = false
-		s.current = nil
-		io.done()
-	})
+		tr.add(s.eng.Now() - io.start)
+	}
+	done := io.done
+	io.done = nil
+	s.busy = false
+	s.current = nil
+	done()
 }
 
 func half(c StageCost) StageCost {
@@ -273,11 +304,21 @@ type AsyncStack struct {
 	costs Costs
 
 	pending map[uint16]*asyncIO
+	freeIOs *asyncIO // recycled I/O contexts
 	nextCID uint16
 }
 
+// asyncIO is the pooled per-I/O context; submitFn is bound once so the
+// submission delay event carries no fresh closure.
 type asyncIO struct {
-	done func()
+	s        *AsyncStack
+	write    bool
+	offset   int64
+	length   int
+	cid      uint16
+	done     func()
+	submitFn func()
+	next     *asyncIO
 }
 
 // NewAsyncStack wires an asynchronous stack onto a queue pair.
@@ -294,6 +335,26 @@ func NewAsyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Co
 	return s
 }
 
+func (s *AsyncStack) getIO() *asyncIO {
+	io := s.freeIOs
+	if io == nil {
+		io = &asyncIO{s: s}
+		io.submitFn = func() {
+			io.s.qp.Submit(io.write, io.offset, io.length, io.cid)
+		}
+		return io
+	}
+	s.freeIOs = io.next
+	io.next = nil
+	return io
+}
+
+func (s *AsyncStack) putIO(io *asyncIO) {
+	io.done = nil
+	io.next = s.freeIOs
+	s.freeIOs = io
+}
+
 // Submit issues one asynchronous I/O; any number may be outstanding up to
 // the queue depth.
 func (s *AsyncStack) Submit(write bool, offset int64, length int, done func()) {
@@ -306,12 +367,15 @@ func (s *AsyncStack) Submit(write bool, offset int64, length int, done func()) {
 	submitDelay := s.costs.AppSetup.Time + s.costs.Syscall.Time/2 +
 		s.costs.VFS.Time + s.costs.BlkMQ.Time + s.costs.Driver.Time
 
-	cid := s.nextCID
+	io := s.getIO()
+	io.write = write
+	io.offset = offset
+	io.length = length
+	io.cid = s.nextCID
+	io.done = done
 	s.nextCID++
-	s.pending[cid] = &asyncIO{done: done}
-	s.eng.After(submitDelay, func() {
-		s.qp.Submit(write, offset, length, cid)
-	})
+	s.pending[io.cid] = io
+	s.eng.After(submitDelay, io.submitFn)
 }
 
 // onMSI reaps every visible completion, charging the ISR path per CQE.
@@ -328,10 +392,12 @@ func (s *AsyncStack) onMSI() {
 			panic(fmt.Sprintf("kernel: completion for unknown CID %d", cid))
 		}
 		delete(s.pending, cid)
+		done := io.done
+		s.putIO(io)
 		s.core.Charge(cpu.FnISR, s.costs.ISR.Time, s.costs.ISR.Loads, s.costs.ISR.Stores)
 		s.core.Charge(cpu.FnCtxSwitch, s.costs.CtxSwitch.Time, s.costs.CtxSwitch.Loads, s.costs.CtxSwitch.Stores)
 		reap := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.Syscall.Time/2
-		s.eng.After(reap, io.done)
+		s.eng.After(reap, done)
 	}
 }
 

@@ -108,11 +108,77 @@ type Model struct {
 	up  *netLink // client -> server (requests, write payloads)
 	dn  *netLink // server -> client (responses, read payloads)
 
+	freeReqs *remoteReq // recycled per-request contexts
+
 	// Stats.
 	RemoteReads  uint64
 	RemoteWrites uint64
 	JournalSyncs uint64
 	AsyncFlushes uint64
+}
+
+// remoteReq is the pooled context of one block I/O against the server:
+// uplink, server receive path, device, server send path, downlink. The
+// step callbacks are bound once at first allocation so a remote I/O
+// schedules no closures in steady state.
+type remoteReq struct {
+	m      *Model
+	write  bool
+	offset int64
+	length int
+	done   func()
+	next   *remoteReq
+
+	fsFn     func() // client FS work done (FileRead entry)
+	arriveFn func() // request crossed the uplink
+	recvFn   func() // server receive path done: hit the device
+	devFn    func() // device I/O complete
+	sendFn   func() // server send path done: response onto the downlink
+}
+
+func (m *Model) getReq() *remoteReq {
+	r := m.freeReqs
+	if r == nil {
+		r = &remoteReq{m: m}
+		r.fsFn = func() { r.m.startRemote(r) }
+		r.arriveFn = func() {
+			c := &r.m.cfg
+			r.m.eng.After(c.ServerRecvCost+c.ServerWakeups/2, r.recvFn)
+		}
+		r.recvFn = func() { r.m.sys.Submit(r.write, r.offset, r.length, r.devFn) }
+		r.devFn = func() {
+			c := &r.m.cfg
+			r.m.eng.After(c.ServerSendCost+c.ServerWakeups/2, r.sendFn)
+		}
+		r.sendFn = func() {
+			m := r.m
+			respBytes := 32
+			if !r.write {
+				respBytes += r.length
+			}
+			done := r.done
+			r.done = nil
+			r.next = m.freeReqs
+			m.freeReqs = r
+			m.dn.send(respBytes, done)
+		}
+		return r
+	}
+	m.freeReqs = r.next
+	r.next = nil
+	return r
+}
+
+// startRemote puts the request on the uplink (stats and payload sizing).
+func (m *Model) startRemote(r *remoteReq) {
+	reqBytes := 64
+	if r.write {
+		reqBytes += r.length
+		m.RemoteWrites++
+	} else {
+		m.RemoteReads++
+	}
+	m.up.send(reqBytes, r.arriveFn)
 }
 
 // NewModel builds the system. The server device is preconditioned by the
@@ -139,28 +205,12 @@ func (m *Model) System() *core.System { return m.sys }
 // remote performs one block I/O against the server: request over the
 // uplink, server software path, device I/O, response over the downlink.
 func (m *Model) remote(write bool, offset int64, length int, done func()) {
-	reqBytes := 64
-	if write {
-		reqBytes += length
-		m.RemoteWrites++
-	} else {
-		m.RemoteReads++
-	}
-	m.up.send(reqBytes, func() {
-		serverIn := m.cfg.ServerRecvCost + m.cfg.ServerWakeups/2
-		m.eng.After(serverIn, func() {
-			m.sys.Submit(write, offset, length, func() {
-				serverOut := m.cfg.ServerSendCost + m.cfg.ServerWakeups/2
-				m.eng.After(serverOut, func() {
-					respBytes := 32
-					if !write {
-						respBytes += length
-					}
-					m.dn.send(respBytes, done)
-				})
-			})
-		})
-	})
+	r := m.getReq()
+	r.write = write
+	r.offset = offset
+	r.length = length
+	r.done = done
+	m.startRemote(r)
 }
 
 // clampOffset keeps file offsets within the server device.
@@ -180,9 +230,12 @@ func (m *Model) clampOffset(offset int64, length int) int64 {
 func (m *Model) FileRead(offset int64, length int, done func()) {
 	offset = m.clampOffset(offset, length)
 	m.sys.Core.Charge(cpu.FnExt4, m.cfg.FSReadCPU, 300, 90)
-	m.eng.After(m.cfg.FSReadCPU, func() {
-		m.remote(false, offset, length, done)
-	})
+	r := m.getReq()
+	r.write = false
+	r.offset = offset
+	r.length = length
+	r.done = done
+	m.eng.After(m.cfg.FSReadCPU, r.fsFn)
 }
 
 // FileWrite performs one file write. The client pays metadata/journal

@@ -73,10 +73,46 @@ type QueuePair struct {
 	visible    func()
 
 	inflight int
+	freeCmds *cmd // free list of recycled command contexts
 	// Statistics.
 	Submitted uint64
 	Completed uint64
 	MSIs      uint64
+}
+
+// cmd is the pooled per-command context: one object carries a command
+// from doorbell to CQE, with its step callbacks bound once at creation so
+// the hot path schedules no closures and allocates nothing in steady
+// state (the simulator is single-goroutine, so a plain free list works).
+type cmd struct {
+	qp   *QueuePair
+	cid  uint16
+	req  ssd.Request
+	next *cmd
+
+	fetchFn func() // SQE arrived at the device: submit to the SSD
+	postFn  func() // CQE reached host memory: publish and recycle
+}
+
+func (qp *QueuePair) getCmd() *cmd {
+	c := qp.freeCmds
+	if c == nil {
+		c = &cmd{qp: qp}
+		c.fetchFn = func() { c.qp.dev.Submit(&c.req) }
+		c.req.Done = func(sim.Time) {
+			c.qp.eng.After(c.qp.cfg.PCIeLatency, c.postFn)
+		}
+		c.postFn = c.post
+		return c
+	}
+	qp.freeCmds = c.next
+	c.next = nil
+	return c
+}
+
+func (qp *QueuePair) putCmd(c *cmd) {
+	c.next = qp.freeCmds
+	qp.freeCmds = c
 }
 
 // New returns a queue pair bound to dev.
@@ -126,33 +162,34 @@ func (qp *QueuePair) Submit(write bool, offset int64, length int, cid uint16) {
 	}
 	qp.inflight++
 	qp.Submitted++
-	qp.eng.After(qp.cfg.PCIeLatency+qp.cfg.FetchCost, func() {
-		qp.dev.Submit(&ssd.Request{
-			Write:  write,
-			Offset: offset,
-			Len:    length,
-			Done:   func(sim.Time) { qp.post(cid) },
-		})
-	})
+	c := qp.getCmd()
+	c.cid = cid
+	c.req.Write = write
+	c.req.Offset = offset
+	c.req.Len = length
+	qp.eng.After(qp.cfg.PCIeLatency+qp.cfg.FetchCost, c.fetchFn)
 }
 
-// post writes a CQE; it becomes host-visible one PCIe latency later.
-func (qp *QueuePair) post(cid uint16) {
-	qp.eng.After(qp.cfg.PCIeLatency, func() {
-		qp.cq[qp.cqTail] = CQE{CID: cid, Phase: qp.devPhase}
-		qp.cqTail++
-		if qp.cqTail == qp.cfg.Depth {
-			qp.cqTail = 0
-			qp.devPhase = !qp.devPhase
-		}
-		if qp.visible != nil {
-			qp.visible()
-		}
-		if qp.interrupts && qp.msi != nil {
-			qp.MSIs++
-			qp.eng.After(qp.cfg.InterruptLatency, qp.msi)
-		}
-	})
+// post runs when the CQE reaches host memory (one PCIe latency after the
+// device completed): it publishes the entry, recycles the command
+// context, and delivers the visibility hook and optional MSI.
+func (c *cmd) post() {
+	qp := c.qp
+	cid := c.cid
+	qp.putCmd(c)
+	qp.cq[qp.cqTail] = CQE{CID: cid, Phase: qp.devPhase}
+	qp.cqTail++
+	if qp.cqTail == qp.cfg.Depth {
+		qp.cqTail = 0
+		qp.devPhase = !qp.devPhase
+	}
+	if qp.visible != nil {
+		qp.visible()
+	}
+	if qp.interrupts && qp.msi != nil {
+		qp.MSIs++
+		qp.eng.After(qp.cfg.InterruptLatency, qp.msi)
+	}
 }
 
 // Poll checks the CQ head entry's phase tag, consuming and returning the

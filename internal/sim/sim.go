@@ -5,12 +5,16 @@
 // An Engine owns a priority queue of events; callbacks scheduled for the
 // same instant fire in scheduling order, which makes runs fully
 // deterministic for a given seed.
+//
+// The event core is allocation-free in steady state: fired events return
+// to a free list and are recycled by later schedules, and the AtArg/
+// AfterArg variants let callers pass long-lived callbacks with a pointer
+// argument instead of capturing a fresh closure per call. Engines are not
+// safe for concurrent use; a simulation runs on a single goroutine by
+// design, which is what lets the pools be plain slices.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation. It is also used for durations.
@@ -46,57 +50,64 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. The zero Event is not valid; events are
-// created through Engine.At and Engine.After.
+// Event is one pooled scheduled callback. Events are owned by the engine
+// and recycled after they fire; external code holds them only through
+// EventRef handles, whose generation counter makes stale handles inert.
 type Event struct {
 	at       Time
 	seq      uint64
-	index    int // heap index, -1 once popped or canceled
+	gen      uint64
 	canceled bool
 	fn       func()
+	afn      func(any)
+	arg      any
 }
 
-// When reports the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.at }
+// EventRef is a lightweight, copyable handle to a scheduled event. The
+// zero EventRef refers to nothing; all methods on it are safe no-ops.
+// Once the event fires (or a canceled event is reaped) the engine recycles
+// the Event for a later schedule, bumping its generation — from then on
+// old handles no longer match and Cancel/Canceled/When become no-ops.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
+
+// live reports whether the handle still refers to the scheduled event it
+// was created for.
+func (r EventRef) live() bool { return r.ev != nil && r.ev.gen == r.gen }
+
+// IsZero reports whether the handle is the zero EventRef.
+func (r EventRef) IsZero() bool { return r.ev == nil }
+
+// When reports the virtual time the event is scheduled for, or 0 if the
+// event already fired (the handle is stale).
+func (r EventRef) When() Time {
+	if r.live() {
+		return r.ev.at
+	}
+	return 0
+}
 
 // Cancel prevents the event from firing. Canceling an event that already
-// fired (or was already canceled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// fired (or was already canceled) is a no-op: the generation check keeps
+// a stale handle from touching a recycled event.
+func (r EventRef) Cancel() {
+	if r.live() {
+		r.ev.canceled = true
 	}
-	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
+// Canceled reports whether the event is still pending and canceled.
+func (r EventRef) Canceled() bool { return r.live() && r.ev.canceled }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// eventLess orders events by time, ties broken by schedule order, which
+// gives a total order (seq is unique) and hence a deterministic schedule.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event scheduler. It is not safe for concurrent use;
@@ -104,7 +115,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []*Event // 4-ary min-heap ordered by eventLess
+	free    []*Event // recycled events awaiting reuse
 	stopped bool
 
 	// Processed counts events executed since the engine was created.
@@ -123,24 +135,130 @@ func (e *Engine) Now() Time { return e.now }
 // canceled events that have not been reaped yet.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// alloc takes an event from the free list (or the heap allocator on a
+// cold start) and stamps it with the schedule time and sequence number.
+func (e *Engine) alloc(t Time) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	ev.canceled = false
+	return ev
+}
+
+// recycle returns a fired or reaped event to the free list. The
+// generation bump invalidates every outstanding EventRef to it.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
+// --- 4-ary min-heap, specialized to *Event (no interface boxing) ---
+
+const heapArity = 4
+
+func (e *Engine) heapPush(ev *Event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !eventLess(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+func (e *Engine) heapPop() *Event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			first := heapArity*i + 1
+			if first >= n {
+				break
+			}
+			m := first
+			end := first + heapArity
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if eventLess(q[c], q[m]) {
+					m = c
+				}
+			}
+			if !eventLess(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	e.queue = q
+	return top
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a modeling bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
+	ev := e.schedule(t)
+	ev.fn = fn
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. Unlike At with a
+// capturing closure, a long-lived fn plus a pointer-typed arg allocates
+// nothing, which is what keeps per-IO scheduling off the heap.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) EventRef {
+	ev := e.schedule(t)
+	ev.afn = fn
+	ev.arg = arg
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+func (e *Engine) schedule(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(t)
+	e.heapPush(ev)
 	return ev
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) d nanoseconds from now. Negative d panics.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtArg(e.now+d, fn, arg)
 }
 
 // Stop makes Run return after the event currently executing completes.
@@ -164,13 +282,25 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.heapPop()
 		if next.canceled {
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
 		e.Processed++
-		next.fn()
+		// Recycle before invoking: the callback may schedule new events,
+		// and reusing this slot immediately keeps the pool hot. Stale
+		// handles are fenced off by the generation bump.
+		if next.afn != nil {
+			fn, arg := next.afn, next.arg
+			e.recycle(next)
+			fn(arg)
+		} else {
+			fn := next.fn
+			e.recycle(next)
+			fn()
+		}
 	}
 	if deadline >= 0 && e.now < deadline && !e.stopped {
 		e.now = deadline

@@ -219,6 +219,152 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+// --- Event pool semantics ---
+
+// TestStaleCancelIsNoOp: canceling through a handle whose event already
+// fired — and whose Event struct has been recycled for a new schedule —
+// must not touch the recycled event.
+func TestStaleCancelIsNoOp(t *testing.T) {
+	e := NewEngine()
+	var stale EventRef
+	fired := 0
+	stale = e.After(10, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Recycle the pool: the next schedule reuses the same Event struct.
+	fresh := e.After(5, func() { fired++ })
+	if stale.ev != fresh.ev {
+		t.Fatalf("pool did not recycle the event struct")
+	}
+	stale.Cancel() // stale generation: must not cancel fresh
+	if stale.Canceled() {
+		t.Fatal("stale handle reports Canceled")
+	}
+	if fresh.Canceled() {
+		t.Fatal("stale Cancel leaked onto the recycled event")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("recycled event did not fire: fired = %d, want 2", fired)
+	}
+}
+
+// TestStaleWhenIsZero: When() through a stale handle reports 0.
+func TestStaleWhenIsZero(t *testing.T) {
+	e := NewEngine()
+	ref := e.After(10, func() {})
+	if ref.When() != 10 {
+		t.Fatalf("When() = %v, want 10", ref.When())
+	}
+	e.Run()
+	if ref.When() != 0 {
+		t.Fatalf("stale When() = %v, want 0", ref.When())
+	}
+	if ref.IsZero() {
+		t.Fatal("non-zero ref reports IsZero")
+	}
+	if !(EventRef{}).IsZero() {
+		t.Fatal("zero ref does not report IsZero")
+	}
+}
+
+// TestCancelThenReschedule: the canonical timer pattern — cancel a
+// pending event and schedule a replacement — must fire exactly the
+// replacement, also when the canceled slot is recycled in between.
+func TestCancelThenReschedule(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	first := e.After(100, func() { got = append(got, "first") })
+	first.Cancel()
+	e.After(50, func() { got = append(got, "second") })
+	e.Run()
+	if len(got) != 1 || got[0] != "second" {
+		t.Fatalf("got %v, want [second]", got)
+	}
+	// And across a recycle: fire, reschedule into the same slot, cancel
+	// the new one via its own (valid) handle.
+	ref := e.After(10, func() { got = append(got, "third") })
+	ref.Cancel()
+	ref2 := e.After(10, func() { got = append(got, "fourth") })
+	e.Run()
+	_ = ref2
+	if len(got) != 2 || got[1] != "fourth" {
+		t.Fatalf("got %v, want [... fourth]", got)
+	}
+}
+
+// TestSameInstantFIFOAtScale stresses schedule-order ties well past the
+// 4-ary heap's fan-out to guard the seq tie-break after the heap swap.
+func TestSameInstantFIFOAtScale(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		// Interleave two instants to exercise sift-down paths.
+		e.At(Time(100+(i%2)*50), func() { got = append(got, i) })
+	}
+	e.Run()
+	if len(got) != n {
+		t.Fatalf("fired %d, want %d", len(got), n)
+	}
+	// All even i (t=100) first in ascending order, then all odd (t=150).
+	want := 0
+	for idx, v := range got {
+		if idx == n/2 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("position %d fired %d, want %d", idx, v, want)
+		}
+		want += 2
+	}
+}
+
+// TestAtArgDeliversArgument covers the allocation-free scheduling variant.
+func TestAtArgDeliversArgument(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ v int }
+	p := &payload{v: 41}
+	var got *payload
+	e.AtArg(10, func(a any) { got = a.(*payload); got.v++ }, p)
+	e.AfterArg(20, func(a any) {
+		if a.(*payload).v != 42 {
+			t.Errorf("second event saw v=%d, want 42", a.(*payload).v)
+		}
+	}, p)
+	e.Run()
+	if got != p || p.v != 42 {
+		t.Fatalf("AtArg arg not delivered: got %v, v=%d", got, p.v)
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocate pins the zero-allocation
+// property of the pooled event core.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	var chain func()
+	n := 0
+	chain = func() {
+		if n++; n < 100 {
+			e.After(10, chain)
+		}
+	}
+	e.After(10, chain) // warm the pool
+	e.Run()
+	n = 0
+	allocs := testing.AllocsPerRun(10, func() {
+		n = 0
+		e.After(10, chain)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule/run allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -61,12 +61,43 @@ type Stack struct {
 	costs Costs
 
 	pending map[uint16]func()
+	freeReq *spdkReq // recycled submission contexts
+	drainFn func()   // bound once: batch-process visible CQEs
 	nextCID uint16
 
 	started    bool
 	firstStart sim.Time
 	drainAt    sim.Time // scheduled drain boundary, 0 if none
 	finalized  bool
+}
+
+// spdkReq carries one submission across the doorbell delay; fn is bound
+// once and the object recycles itself right after ringing (the queue pair
+// copies everything it needs synchronously).
+type spdkReq struct {
+	s      *Stack
+	write  bool
+	offset int64
+	length int
+	cid    uint16
+	fn     func()
+	next   *spdkReq
+}
+
+func (s *Stack) getReq() *spdkReq {
+	r := s.freeReq
+	if r == nil {
+		r = &spdkReq{s: s}
+		r.fn = func() {
+			r.s.qp.Submit(r.write, r.offset, r.length, r.cid)
+			r.next = r.s.freeReq
+			r.s.freeReq = r
+		}
+		return r
+	}
+	s.freeReq = r.next
+	r.next = nil
+	return r
 }
 
 // NewStack wires an SPDK stack onto a queue pair; interrupts are disabled
@@ -81,6 +112,7 @@ func NewStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) 
 	}
 	qp.EnableInterrupts(false)
 	qp.SetCompletionHook(s.onVisible)
+	s.drainFn = s.drain
 	return s
 }
 
@@ -99,13 +131,15 @@ func (s *Stack) Submit(write bool, offset int64, length int, done func()) {
 	// Every submission re-validates the qpair (controller-reset guard).
 	s.charge(cpu.FnQpairCheck, s.costs.IterCheck)
 
-	cid := s.nextCID
+	r := s.getReq()
+	r.write = write
+	r.offset = offset
+	r.length = length
+	r.cid = s.nextCID
 	s.nextCID++
-	s.pending[cid] = done
+	s.pending[r.cid] = done
 	delay := s.costs.AppSetup.Time + s.costs.Submit.Time + s.costs.IterCheck.Time
-	s.eng.After(delay, func() {
-		s.qp.Submit(write, offset, length, cid)
-	})
+	s.eng.After(delay, r.fn)
 }
 
 // onVisible quantizes completion detection to the poll-loop iteration
@@ -122,22 +156,25 @@ func (s *Stack) onVisible() {
 		return // a drain is already scheduled at or after this boundary
 	}
 	s.drainAt = boundary
-	s.eng.At(boundary, func() {
-		s.drainAt = 0
-		for {
-			cid, ok := s.qp.Poll()
-			if !ok {
-				return
-			}
-			done := s.pending[cid]
-			if done == nil {
-				panic(fmt.Sprintf("spdk: completion for unknown CID %d", cid))
-			}
-			delete(s.pending, cid)
-			s.charge(cpu.FnSPDKProcess, s.costs.Complete)
-			s.eng.After(s.costs.Complete.Time, done)
+	s.eng.At(boundary, s.drainFn)
+}
+
+// drain batch-processes every CQE visible at the poll-loop boundary.
+func (s *Stack) drain() {
+	s.drainAt = 0
+	for {
+		cid, ok := s.qp.Poll()
+		if !ok {
+			return
 		}
-	})
+		done := s.pending[cid]
+		if done == nil {
+			panic(fmt.Sprintf("spdk: completion for unknown CID %d", cid))
+		}
+		delete(s.pending, cid)
+		s.charge(cpu.FnSPDKProcess, s.costs.Complete)
+		s.eng.After(s.costs.Complete.Time, done)
+	}
 }
 
 // Outstanding reports in-flight I/Os.

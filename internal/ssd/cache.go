@@ -3,26 +3,28 @@ package ssd
 // DRAM-side bookkeeping: the write-back buffer and the read cache.
 // Both are pure state; the device charges DRAM latencies around them.
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
 
 // subUnit is the write-buffer dirty-tracking granularity in bytes: one
 // logical sector. Entries cover one FTL mapping slot (4KB on the
 // conventional device, one 2KB page on the ULL device).
 const subUnit = 512
 
-// bufEntry is the buffered dirty state of one device page.
+// bufEntry is the buffered dirty state of one device page. Entries are
+// pooled by the WriteBuffer: Release recycles them, Insert reuses them.
 type bufEntry struct {
 	lpn      int64
 	dirty    uint32 // bitmask of dirty sub-units
 	bytes    int64  // bytes accounted against buffer capacity
 	version  uint64 // flush-ordering guard, assigned at flush start
 	flushing bool
-	flushEv  cancelable
+	flushEv  sim.EventRef
+	free     *bufEntry // free-list link while recycled
 }
-
-// cancelable lets the buffer cancel a scheduled flush without importing
-// the sim package here.
-type cancelable interface{ Cancel() }
 
 // WriteBuffer tracks dirty mapping slots awaiting flush to flash. Slots
 // being programmed stay readable (inflight) until their program lands.
@@ -33,6 +35,7 @@ type WriteBuffer struct {
 	subBits  uint32 // full dirty mask for one slot
 	entries  map[int64]*bufEntry
 	inflight map[int64]*bufEntry
+	freeEnts *bufEntry // recycled entries
 }
 
 // NewWriteBuffer returns an empty buffer over slots of pageSize bytes.
@@ -91,7 +94,13 @@ func (w *WriteBuffer) HasSpace(n int64) bool { return w.used+n <= w.capacity }
 func (w *WriteBuffer) Insert(lpn int64, mask uint32) (e *bufEntry, isNew bool) {
 	e = w.entries[lpn]
 	if e == nil || e.flushing {
-		e = &bufEntry{lpn: lpn}
+		if f := w.freeEnts; f != nil {
+			w.freeEnts = f.free
+			*f = bufEntry{lpn: lpn}
+			e = f
+		} else {
+			e = &bufEntry{lpn: lpn}
+		}
 		w.entries[lpn] = e
 		isNew = true
 	}
@@ -132,13 +141,16 @@ func (w *WriteBuffer) Detach(e *bufEntry) {
 	w.inflight[e.lpn] = e
 }
 
-// Release returns an entry's bytes to the capacity pool (flush done).
+// Release returns an entry's bytes to the capacity pool (flush done) and
+// recycles the entry. The caller must hold no other references to it.
 func (w *WriteBuffer) Release(e *bufEntry) {
 	w.used -= e.bytes
 	e.bytes = 0
 	if w.inflight[e.lpn] == e {
 		delete(w.inflight, e.lpn)
 	}
+	e.free = w.freeEnts
+	w.freeEnts = e
 }
 
 // Len reports the number of live entries.

@@ -105,12 +105,32 @@ type Device struct {
 	seqStreak    int
 	prefetchedTo int64
 
-	stats Stats
-}
+	// Free lists of pooled per-IO state (hotpath.go) and scratch buffers
+	// reused across calls. Single-goroutine by design, so no locking.
+	freeReadCtx  *readCtx
+	freeReadGrp  *readGroup
+	freeFlashRd  *flashReadJob
+	freePrefetch *prefetchJob
+	freePending  *pendingWrite
+	freeProgram  *programJob
+	spanScratch  []slotSpan
+	groupScratch []*readGroup
 
-type pendingWrite struct {
-	req   *Request
-	spans []slotSpan
+	// Shared scheduling callbacks, bound once in bindHotPath.
+	dispatchFn      func(any)
+	completeFn      func(any)
+	completeStepFn  func(any)
+	awaitDrainFn    func(any)
+	flushTimerFn    func(any)
+	rmwDoneFn       func(any)
+	readFinishFn    func(any)
+	readGroupDoneFn func(any)
+	prefetchDoneFn  func(any)
+	flashChanDoneFn func(any)
+	programXferFn   func(any)
+	batchWindowFn   func()
+
+	stats Stats
 }
 
 // slotSpan is the portion of a request that falls on one mapping slot.
@@ -155,6 +175,7 @@ func NewDevice(cfg Config, eng *sim.Engine) *Device {
 		d.gcLow[i] = cfg.GCLowWater + d.rng.Intn(3)
 	}
 	d.buildAllocOrder()
+	d.bindHotPath()
 	return d
 }
 
@@ -226,21 +247,11 @@ func (d *Device) UnitStats() flash.Stats {
 	return total
 }
 
-func (d *Device) spans(offset int64, length int) []slotSpan {
-	us := int64(d.unit)
-	var spans []slotSpan
-	for length > 0 {
-		lpn := offset / us
-		off := int(offset % us)
-		n := d.unit - off
-		if n > length {
-			n = length
-		}
-		spans = append(spans, slotSpan{lpn: lpn, off: off, bytes: n})
-		offset += int64(n)
-		length -= n
-	}
-	return spans
+// scratchSpans computes spans into a reusable buffer; the result is only
+// valid until the next scratchSpans call (never across an event).
+func (d *Device) scratchSpans(offset int64, length int) []slotSpan {
+	d.spanScratch = appendSpans(d.spanScratch[:0], d.unit, offset, length)
+	return d.spanScratch
 }
 
 func (d *Device) fwJitter(t sim.Time) sim.Time {
@@ -270,20 +281,23 @@ func (d *Device) Submit(r *Request) {
 	if d.cfg.SuperChannels {
 		fw += d.cfg.SplitDMACost
 	}
-	d.eng.At(ctrlEnd+fw, func() {
-		switch r.kind() {
-		case OpWrite:
-			d.beginWrite(r)
-		case OpRead:
-			d.beginRead(r)
-		case OpTrim:
-			d.beginTrim(r)
-		case OpFlush:
-			d.beginFlushCmd(r)
-		default:
-			panic("ssd: unknown op")
-		}
-	})
+	d.eng.AtArg(ctrlEnd+fw, d.dispatchFn, r)
+}
+
+// dispatchCmd routes a decoded command to its execution path.
+func (d *Device) dispatchCmd(r *Request) {
+	switch r.kind() {
+	case OpWrite:
+		d.beginWrite(r)
+	case OpRead:
+		d.beginRead(r)
+	case OpTrim:
+		d.beginTrim(r)
+	case OpFlush:
+		d.beginFlushCmd(r)
+	default:
+		panic("ssd: unknown op")
+	}
 }
 
 // beginTrim invalidates the mapping of every whole slot in the range —
@@ -291,7 +305,7 @@ func (d *Device) Submit(r *Request) {
 func (d *Device) beginTrim(r *Request) {
 	d.stats.HostTrims++
 	var cost sim.Time
-	for _, sp := range d.spans(r.Offset, r.Len) {
+	for _, sp := range d.scratchSpans(r.Offset, r.Len) {
 		if sp.off != 0 || sp.bytes != d.unit {
 			continue // partial slots are left mapped, as real FTLs do
 		}
@@ -299,7 +313,7 @@ func (d *Device) beginTrim(r *Request) {
 		d.rcache.Invalidate(sp.lpn)
 		cost += 150 * sim.Nanosecond
 	}
-	d.eng.After(d.cfg.DRAMLatency+cost, func() { d.complete(r) })
+	d.eng.AfterArg(d.cfg.DRAMLatency+cost, d.completeStepFn, r)
 }
 
 // beginFlushCmd forces every buffered write toward media and completes
@@ -308,9 +322,9 @@ func (d *Device) beginFlushCmd(r *Request) {
 	d.stats.HostFlushes++
 	// Expedite: cancel coalescing timers and make everything ready.
 	for _, e := range d.buf.Entries() {
-		if e.flushEv != nil {
+		if !e.flushEv.IsZero() {
 			e.flushEv.Cancel()
-			e.flushEv = nil
+			e.flushEv = sim.EventRef{}
 		}
 		d.startFlush(e)
 	}
@@ -324,34 +338,25 @@ func (d *Device) awaitDrain(r *Request) {
 		d.complete(r)
 		return
 	}
-	d.eng.After(20*sim.Microsecond, func() { d.awaitDrain(r) })
+	d.eng.AfterArg(20*sim.Microsecond, d.awaitDrainFn, r)
 }
 
 // complete runs the shared completion path: completion firmware, then the
 // caller's Done.
 func (d *Device) complete(r *Request) {
 	end := d.eng.Now() + d.fwJitter(d.cfg.FirmwareComplete)
-	d.eng.At(end, func() {
-		d.meter.CommandFinished(d.eng.Now())
-		r.Done(d.eng.Now())
-	})
+	d.eng.AtArg(end, d.completeFn, r)
 }
 
 // --- Read path ---
 
 func (d *Device) beginRead(r *Request) {
 	d.stats.HostReads++
-	spans := d.spans(r.Offset, r.Len)
+	spans := d.scratchSpans(r.Offset, r.Len)
 	// Resolve each slot: write buffer, read cache, zero-fill, or media.
 	// Media slots group by physical flash page — consecutive slots
 	// written together share one array read.
-	type mediaGroup struct {
-		ppn   int64 // first slot's ppn
-		page  int64
-		bytes int
-		lpns  []int64
-	}
-	var groups []mediaGroup
+	groups := d.groupScratch[:0]
 	dramSlots := 0
 	for _, sp := range spans {
 		mask := d.buf.MaskFor(sp.off, sp.bytes)
@@ -374,60 +379,34 @@ func (d *Device) beginRead(r *Request) {
 				groups[n-1].bytes += sp.bytes
 				groups[n-1].lpns = append(groups[n-1].lpns, sp.lpn)
 			} else {
-				groups = append(groups, mediaGroup{
-					ppn: ppn, page: page, bytes: sp.bytes, lpns: []int64{sp.lpn},
-				})
+				g := d.getReadGroup()
+				g.ppn, g.page, g.bytes = ppn, page, sp.bytes
+				g.lpns = append(g.lpns, sp.lpn)
+				groups = append(groups, g)
 			}
 		}
 	}
-	remaining := len(groups)
+	d.groupScratch = groups[:0]
+	ctx := d.getReadCtx()
+	ctx.req = r
+	ctx.remaining = len(groups)
 	if dramSlots > 0 {
-		remaining++
-	}
-	finish := func() {
-		remaining--
-		if remaining > 0 {
-			return
-		}
-		// All media done: DMA the payload to the host.
-		_, end := d.pcie.transfer(d.eng.Now(), r.Len)
-		d.eng.At(end, func() { d.complete(r) })
+		ctx.remaining++
 	}
 	d.noteReadStream(r)
-	if remaining == 0 {
+	if ctx.remaining == 0 {
 		// Nothing to do (degenerate); complete via DRAM latency.
-		remaining = 1
-		d.eng.After(d.cfg.DRAMLatency, finish)
+		ctx.remaining = 1
+		d.eng.AfterArg(d.cfg.DRAMLatency, d.readFinishFn, ctx)
 		return
 	}
 	if dramSlots > 0 {
-		d.eng.After(d.cfg.DRAMLatency, finish)
+		d.eng.AfterArg(d.cfg.DRAMLatency, d.readFinishFn, ctx)
 	}
 	for _, g := range groups {
-		g := g
-		d.flashRead(g.ppn, g.bytes, false, func() {
-			for _, lpn := range g.lpns {
-				d.rcache.Insert(lpn)
-			}
-			finish()
-		})
+		g.ctx = ctx
+		d.flashRead(g.ppn, g.bytes, false, d.readGroupDoneFn, g)
 	}
-}
-
-// flashRead performs the array read and the channel data-out transfer.
-// bytes is the payload to move over the channel.
-func (d *Device) flashRead(ppn int64, bytes int, background bool, done func()) {
-	unit := d.ftl.UnitOf(ppn)
-	d.stats.FlashReads++
-	d.units[unit].Submit(&flash.Op{
-		Kind:       flash.OpRead,
-		Background: background,
-		Done: func(sim.Time) {
-			ch := d.channelOf(unit)
-			_, end := ch.reserve(d.eng.Now(), ch.xferTime(bytes)+d.cfg.RemapCost)
-			d.eng.At(end, done)
-		},
-	})
 }
 
 // noteReadStream updates sequential-stream detection and launches
@@ -450,7 +429,6 @@ func (d *Device) noteReadStream(r *Request) {
 	}
 	end := d.lastReadEnd/us + int64(d.cfg.PrefetchPages*d.ftl.SlotsPerPage())
 	for lpn := start; lpn < end && lpn < d.ftl.ExportedPages(); lpn++ {
-		lpn := lpn
 		if d.rcache.Contains(lpn) || d.buf.Covers(lpn, d.buf.FullMask()) {
 			continue
 		}
@@ -460,9 +438,9 @@ func (d *Device) noteReadStream(r *Request) {
 			continue
 		}
 		d.stats.Prefetches++
-		d.flashRead(ppn, d.unit, true, func() {
-			d.rcache.Insert(lpn)
-		})
+		p := d.getPrefetch()
+		p.lpn = lpn
+		d.flashRead(ppn, d.unit, true, d.prefetchDoneFn, p)
 	}
 	if end > d.prefetchedTo {
 		d.prefetchedTo = end
@@ -475,15 +453,10 @@ func (d *Device) beginWrite(r *Request) {
 	d.stats.HostWrites++
 	// Host data DMA into the controller buffer.
 	_, end := d.pcie.transfer(d.eng.Now(), r.Len)
-	d.eng.At(end, func() {
-		pw := &pendingWrite{req: r, spans: d.spans(r.Offset, r.Len)}
-		if len(d.bufWaiters) > 0 || !d.buf.HasSpace(int64(r.Len)) {
-			d.stats.WriteStalls++
-			d.bufWaiters = append(d.bufWaiters, pw)
-			return
-		}
-		d.acceptWrite(pw)
-	})
+	pw := d.getPendingWrite()
+	pw.req = r
+	pw.spans = appendSpans(pw.spans[:0], d.unit, r.Offset, r.Len)
+	d.eng.At(end, pw.stageFn)
 }
 
 // acceptWrite stages the write in the buffer and acknowledges the host.
@@ -491,7 +464,9 @@ func (d *Device) acceptWrite(pw *pendingWrite) {
 	for _, sp := range pw.spans {
 		d.stageSpan(sp)
 	}
-	d.eng.After(d.cfg.DRAMLatency, func() { d.complete(pw.req) })
+	r := pw.req
+	d.putPendingWrite(pw)
+	d.eng.AfterArg(d.cfg.DRAMLatency, d.completeStepFn, r)
 }
 
 // stageSpan merges one slot span into the write buffer and schedules its
@@ -503,18 +478,15 @@ func (d *Device) stageSpan(sp slotSpan) {
 	if d.buf.Full(e) {
 		// A fully dirty slot flushes immediately; nothing more can
 		// coalesce into it.
-		if e.flushEv != nil {
+		if !e.flushEv.IsZero() {
 			e.flushEv.Cancel()
-			e.flushEv = nil
+			e.flushEv = sim.EventRef{}
 		}
 		d.startFlush(e)
 		return
 	}
 	if isNew {
-		e.flushEv = d.eng.After(d.cfg.FlushDelay, func() {
-			e.flushEv = nil
-			d.startFlush(e)
-		})
+		e.flushEv = d.eng.AfterArg(d.cfg.FlushDelay, d.flushTimerFn, e)
 	}
 }
 
@@ -534,7 +506,7 @@ func (d *Device) startFlush(e *bufEntry) {
 		if oldPPN, ok := d.ftl.Lookup(e.lpn); ok {
 			// Partial overwrite of a mapped slot: read the rest first.
 			d.stats.RMWReads++
-			d.flashRead(oldPPN, d.unit, true, func() { d.enqueueReady(e) })
+			d.flashRead(oldPPN, d.unit, true, d.rmwDoneFn, e)
 			return
 		}
 	}
@@ -559,10 +531,7 @@ func (d *Device) armBatchWindow(delay sim.Time) {
 		return
 	}
 	d.batchArmed = true
-	d.eng.After(delay, func() {
-		d.batchArmed = false
-		d.dispatchFlushes()
-	})
+	d.eng.After(delay, d.batchWindowFn)
 }
 
 // dispatchFlushes packs ready entries into page programs. Full pages go
@@ -594,40 +563,42 @@ func (d *Device) dispatchFlushes() {
 			// No space anywhere: park everything for GC.
 			d.stats.AllocStalls++
 			d.gcWaiters = append(d.gcWaiters, d.flushReady...)
-			d.flushReady = nil
+			clearEntries(d.flushReady)
+			d.flushReady = d.flushReady[:0]
 			d.startUrgentGC()
 			return
 		}
 		batch := d.flushReady[:count]
-		d.flushReady = d.flushReady[count:]
 		d.program(unit, ppn, batch)
+		// Shift the remainder down so the backing array is reused
+		// instead of sliding off its own storage.
+		n := copy(d.flushReady, d.flushReady[count:])
+		clearEntries(d.flushReady[n:])
+		d.flushReady = d.flushReady[:n]
 	}
 	d.graceDeadline = 0
 }
 
+func clearEntries(s []*bufEntry) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
 // program writes a batch of slots as one flash program: channel data-in
-// transfer, then the array program, then per-slot commits.
+// transfer, then the array program, then per-slot commits. The batch is
+// copied into the pooled job, so the caller's slice is free immediately.
 func (d *Device) program(unit int, firstPPN int64, batch []*bufEntry) {
 	d.maybeStartGC(unit)
 	d.progInFlight++
 	ch := d.channelOf(unit)
 	bytes := len(batch) * d.unit
+	j := d.getProgram()
+	j.unit = unit
+	j.firstPPN = firstPPN
+	j.batch = append(j.batch[:0], batch...)
 	_, xferEnd := ch.reserve(d.eng.Now(), ch.xferTime(bytes)+d.cfg.RemapCost)
-	d.eng.At(xferEnd, func() {
-		d.stats.FlashPrograms++
-		d.stats.SlotsFlushed += uint64(len(batch))
-		d.units[unit].Submit(&flash.Op{
-			Kind: flash.OpProgram,
-			Done: func(sim.Time) {
-				d.progInFlight--
-				for i, e := range batch {
-					d.finishFlush(e, firstPPN+int64(i))
-				}
-				d.admitWaiters()
-				d.dispatchFlushes()
-			},
-		})
-	})
+	d.eng.AtArg(xferEnd, d.programXferFn, j)
 }
 
 func (d *Device) finishFlush(e *bufEntry, ppn int64) {
@@ -649,7 +620,9 @@ func (d *Device) admitWaiters() {
 		if !d.buf.HasSpace(int64(pw.req.Len)) {
 			return
 		}
-		d.bufWaiters = d.bufWaiters[1:]
+		n := copy(d.bufWaiters, d.bufWaiters[1:])
+		d.bufWaiters[n] = nil
+		d.bufWaiters = d.bufWaiters[:n]
 		d.acceptWrite(pw)
 	}
 }

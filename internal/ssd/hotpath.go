@@ -1,0 +1,300 @@
+package ssd
+
+// Pooled per-IO state for the device's hot paths. One submitted host
+// command reuses one set of these objects end to end instead of
+// allocating an event closure per hop; the simulator is single-goroutine
+// by design, so plain intrusive free lists (no sync.Pool, no locking)
+// are sufficient and faster. Objects that outlive the function that
+// created them (they ride inside scheduled events or die queues) are
+// recycled at the end of their step chain, immediately before invoking
+// the next layer's callback, so a recycled object is never touched again.
+
+import (
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// readCtx fans one host read across its media groups and DRAM hits and
+// completes the request when the last leg lands.
+type readCtx struct {
+	d         *Device
+	req       *Request
+	remaining int
+	next      *readCtx
+}
+
+func (d *Device) getReadCtx() *readCtx {
+	c := d.freeReadCtx
+	if c == nil {
+		return &readCtx{d: d}
+	}
+	d.freeReadCtx = c.next
+	c.next = nil
+	return c
+}
+
+// finish retires one leg of the read; the last leg DMAs the payload to
+// the host and schedules the shared completion path.
+func (c *readCtx) finish() {
+	c.remaining--
+	if c.remaining > 0 {
+		return
+	}
+	d := c.d
+	r := c.req
+	c.req = nil
+	c.next = d.freeReadCtx
+	d.freeReadCtx = c
+	// All media done: DMA the payload to the host.
+	_, end := d.pcie.transfer(d.eng.Now(), r.Len)
+	d.eng.AtArg(end, d.completeStepFn, r)
+}
+
+// readGroup is one physical flash page's worth of a host read: the slots
+// that were written together and share one array read.
+type readGroup struct {
+	ctx   *readCtx
+	ppn   int64 // first slot's ppn
+	page  int64
+	bytes int
+	lpns  []int64
+	next  *readGroup
+}
+
+func (d *Device) getReadGroup() *readGroup {
+	g := d.freeReadGrp
+	if g == nil {
+		return &readGroup{}
+	}
+	d.freeReadGrp = g.next
+	g.next = nil
+	return g
+}
+
+// readGroupDone runs when a group's flash read and channel transfer are
+// complete: populate the read cache, then retire the group's leg.
+func (d *Device) readGroupDone(a any) {
+	g := a.(*readGroup)
+	for _, lpn := range g.lpns {
+		d.rcache.Insert(lpn)
+	}
+	ctx := g.ctx
+	g.ctx = nil
+	g.lpns = g.lpns[:0]
+	g.next = d.freeReadGrp
+	d.freeReadGrp = g
+	ctx.finish()
+}
+
+// flashReadJob carries one array read through the die and the channel
+// data-out transfer, then hands off to (fn, arg). op.Done is the only
+// per-job closure and is bound once when the job is first allocated.
+type flashReadJob struct {
+	d     *Device
+	unit  int
+	bytes int
+	fn    func(any)
+	arg   any
+	op    flash.Op
+	next  *flashReadJob
+}
+
+func (d *Device) getFlashRead() *flashReadJob {
+	j := d.freeFlashRd
+	if j == nil {
+		j = &flashReadJob{d: d}
+		j.op.Kind = flash.OpRead
+		j.op.Done = func(sim.Time) {
+			ch := j.d.channelOf(j.unit)
+			_, end := ch.reserve(j.d.eng.Now(), ch.xferTime(j.bytes)+j.d.cfg.RemapCost)
+			j.d.eng.AtArg(end, j.d.flashChanDoneFn, j)
+		}
+		return j
+	}
+	d.freeFlashRd = j.next
+	j.next = nil
+	return j
+}
+
+// flashChanDone fires at the end of the channel data-out transfer: it
+// recycles the job and invokes the caller's continuation.
+func (d *Device) flashChanDone(a any) {
+	j := a.(*flashReadJob)
+	fn, arg := j.fn, j.arg
+	j.fn = nil
+	j.arg = nil
+	j.next = d.freeFlashRd
+	d.freeFlashRd = j
+	fn(arg)
+}
+
+// flashRead performs the array read and the channel data-out transfer.
+// bytes is the payload to move over the channel; fn(arg) runs when the
+// data is in controller DRAM.
+func (d *Device) flashRead(ppn int64, bytes int, background bool, fn func(any), arg any) {
+	unit := d.ftl.UnitOf(ppn)
+	d.stats.FlashReads++
+	j := d.getFlashRead()
+	j.unit = unit
+	j.bytes = bytes
+	j.fn = fn
+	j.arg = arg
+	j.op.Background = background
+	d.units[unit].Submit(&j.op)
+}
+
+// prefetchJob remembers which LPN a background prefetch read is filling.
+type prefetchJob struct {
+	lpn  int64
+	next *prefetchJob
+}
+
+func (d *Device) getPrefetch() *prefetchJob {
+	p := d.freePrefetch
+	if p == nil {
+		return &prefetchJob{}
+	}
+	d.freePrefetch = p.next
+	p.next = nil
+	return p
+}
+
+func (d *Device) prefetchDone(a any) {
+	p := a.(*prefetchJob)
+	d.rcache.Insert(p.lpn)
+	p.next = d.freePrefetch
+	d.freePrefetch = p
+}
+
+// pendingWrite is a host write from DMA arrival to buffer admission;
+// stalled writes wait in Device.bufWaiters holding one of these.
+type pendingWrite struct {
+	d       *Device
+	req     *Request
+	spans   []slotSpan
+	stageFn func() // bound once: post-DMA buffer admission step
+	next    *pendingWrite
+}
+
+func (d *Device) getPendingWrite() *pendingWrite {
+	pw := d.freePending
+	if pw == nil {
+		pw = &pendingWrite{d: d}
+		pw.stageFn = func() {
+			dev := pw.d
+			if len(dev.bufWaiters) > 0 || !dev.buf.HasSpace(int64(pw.req.Len)) {
+				dev.stats.WriteStalls++
+				dev.bufWaiters = append(dev.bufWaiters, pw)
+				return
+			}
+			dev.acceptWrite(pw)
+		}
+		return pw
+	}
+	d.freePending = pw.next
+	pw.next = nil
+	return pw
+}
+
+func (d *Device) putPendingWrite(pw *pendingWrite) {
+	pw.req = nil
+	pw.spans = pw.spans[:0]
+	pw.next = d.freePending
+	d.freePending = pw
+}
+
+// programJob is one flash page program: channel data-in transfer, array
+// program, then per-slot mapping commits. It owns a copy of its batch so
+// the device's ready queue can keep moving underneath it.
+type programJob struct {
+	d        *Device
+	unit     int
+	firstPPN int64
+	batch    []*bufEntry
+	op       flash.Op
+	next     *programJob
+}
+
+func (d *Device) getProgram() *programJob {
+	j := d.freeProgram
+	if j == nil {
+		j = &programJob{d: d}
+		j.op.Kind = flash.OpProgram
+		j.op.Done = func(sim.Time) {
+			dev := j.d
+			dev.progInFlight--
+			for i, e := range j.batch {
+				dev.finishFlush(e, j.firstPPN+int64(i))
+			}
+			for i := range j.batch {
+				j.batch[i] = nil
+			}
+			j.batch = j.batch[:0]
+			j.next = dev.freeProgram
+			dev.freeProgram = j
+			dev.admitWaiters()
+			dev.dispatchFlushes()
+		}
+		return j
+	}
+	d.freeProgram = j.next
+	j.next = nil
+	return j
+}
+
+// programXfer fires when the channel data-in transfer completes and
+// hands the page program to the die.
+func (d *Device) programXfer(a any) {
+	j := a.(*programJob)
+	d.stats.FlashPrograms++
+	d.stats.SlotsFlushed += uint64(len(j.batch))
+	d.units[j.unit].Submit(&j.op)
+}
+
+// appendSpans appends the portions of [offset, offset+length) that fall
+// on each mapping slot of size unit to dst and returns it.
+func appendSpans(dst []slotSpan, unit int, offset int64, length int) []slotSpan {
+	us := int64(unit)
+	for length > 0 {
+		lpn := offset / us
+		off := int(offset % us)
+		n := unit - off
+		if n > length {
+			n = length
+		}
+		dst = append(dst, slotSpan{lpn: lpn, off: off, bytes: n})
+		offset += int64(n)
+		length -= n
+	}
+	return dst
+}
+
+// bindHotPath creates the device's shared scheduling callbacks. Each is
+// allocated exactly once; per-IO scheduling passes them with a pointer
+// argument (AtArg/AfterArg), which keeps the steady-state IO path free
+// of closure allocations.
+func (d *Device) bindHotPath() {
+	d.dispatchFn = func(a any) { d.dispatchCmd(a.(*Request)) }
+	d.completeStepFn = func(a any) { d.complete(a.(*Request)) }
+	d.completeFn = func(a any) {
+		now := d.eng.Now()
+		d.meter.CommandFinished(now)
+		a.(*Request).Done(now)
+	}
+	d.awaitDrainFn = func(a any) { d.awaitDrain(a.(*Request)) }
+	d.flushTimerFn = func(a any) {
+		e := a.(*bufEntry)
+		e.flushEv = sim.EventRef{}
+		d.startFlush(e)
+	}
+	d.rmwDoneFn = func(a any) { d.enqueueReady(a.(*bufEntry)) }
+	d.readFinishFn = func(a any) { a.(*readCtx).finish() }
+	d.readGroupDoneFn = d.readGroupDone
+	d.prefetchDoneFn = d.prefetchDone
+	d.flashChanDoneFn = d.flashChanDone
+	d.programXferFn = d.programXfer
+	d.batchWindowFn = func() {
+		d.batchArmed = false
+		d.dispatchFlushes()
+	}
+}

@@ -123,7 +123,7 @@ type Target interface {
 // Engine schedules replay events (sim.Engine satisfies it).
 type Engine interface {
 	Now() sim.Time
-	At(t sim.Time, fn func()) *sim.Event
+	At(t sim.Time, fn func()) sim.EventRef
 }
 
 // Replay issues the trace against target with its original timing

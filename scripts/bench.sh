@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# bench.sh — run the simulator-speed benchmarks and fold the results into
+# BENCH_simcore.json so the perf trajectory is tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # update "current" only
+#   scripts/bench.sh -label PR1      # also upsert a history entry
+#
+# Extra args are passed to benchjson (see scripts/benchjson/main.go).
+# COUNT=5 scripts/bench.sh raises the number of benchmark repetitions.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+go test -run '^$' \
+	-bench 'BenchmarkSimulatorThroughput$|BenchmarkNBDModel$' \
+	-benchmem -count "$COUNT" . |
+	go run ./scripts/benchjson -out BENCH_simcore.json "$@"

@@ -1,0 +1,109 @@
+// Command benchjson folds `go test -bench -benchmem` output into the
+// repo's benchmark-trajectory file (BENCH_simcore.json). It reads the
+// benchmark text on stdin, keeps the best (minimum ns/op) run per
+// benchmark, refreshes the "current" block, and upserts the history
+// entry named by -label so the perf trajectory is tracked across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Simulator|NBDModel' -benchmem -count 3 . |
+//	    go run ./scripts/benchjson -label PR1 -out BENCH_simcore.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type entry struct {
+	Label      string            `json:"label"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+type file struct {
+	Comment string            `json:"comment"`
+	Current map[string]result `json:"current"`
+	History []entry           `json:"history"`
+}
+
+func main() {
+	label := flag.String("label", "", "history entry label (e.g. PR number); empty skips history")
+	out := flag.String("out", "BENCH_simcore.json", "output JSON path")
+	flag.Parse()
+
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the console
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name-N iters ns/op "ns/op" B/op "B/op" allocs "allocs/op"
+		if len(f) < 8 || f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+			continue
+		}
+		name := strings.SplitN(f[0], "-", 2)[0]
+		ns, err1 := strconv.ParseFloat(f[2], 64)
+		bs, err2 := strconv.ParseInt(f[4], 10, 64)
+		al, err3 := strconv.ParseInt(f[6], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		if prev, ok := results[name]; !ok || ns < prev.NsPerOp {
+			results[name] = result{NsPerOp: ns, BytesPerOp: bs, AllocsPerOp: al}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no -benchmem lines found on stdin"))
+	}
+
+	var doc file
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *out, err))
+		}
+	}
+	doc.Comment = "Simulator-speed trajectory; regenerate with scripts/bench.sh"
+	doc.Current = results
+	if *label != "" {
+		replaced := false
+		for i := range doc.History {
+			if doc.History[i].Label == *label {
+				doc.History[i].Benchmarks = results
+				replaced = true
+			}
+		}
+		if !replaced {
+			doc.History = append(doc.History, entry{Label: *label, Benchmarks: results})
+		}
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
