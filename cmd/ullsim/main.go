@@ -9,9 +9,14 @@
 //
 // Flags:
 //
-//	-full       paper-scale sample counts (slow, stable tails)
-//	-seed N     override the experiment seed
-//	-csv DIR    also write each table as DIR/<id>.csv
+//	-full        paper-scale sample counts (slow, stable tails)
+//	-seed N      override the experiment seed (0 is a valid seed)
+//	-parallel N  shard workers; 1 = serial, 0 = GOMAXPROCS (default)
+//	-csv DIR     also write each table as DIR/<id>.csv
+//
+// Every experiment is decomposed into independent shards (one sweep
+// point each) executed across -parallel workers; output is byte-identical
+// for every worker count, so -parallel trades only wall-clock time.
 package main
 
 import (
@@ -27,10 +32,20 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale sample counts (slow)")
-	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	seed := flag.Uint64("seed", 0, "experiment seed (any value, including 0; default if not set)")
+	parallel := flag.Int("parallel", 0, "shard workers: 1 = serial, 0 = GOMAXPROCS")
 	csvDir := flag.String("csv", "", "directory to write CSV tables into")
 	flag.Usage = usage
 	flag.Parse()
+
+	// An explicitly passed -seed 0 is a real seed, not "use the default":
+	// flag.Visit only sees flags the user actually set.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -49,20 +64,45 @@ func main() {
 			os.Exit(2)
 		}
 		if len(ids) == 1 && ids[0] == "all" {
-			ids = nil
-			for _, e := range experiments.All() {
-				ids = append(ids, e.ID)
+			ids = nil // RunAll's "whole registry" form
+		}
+		// Fail fast on an unusable CSV destination before computing
+		// anything — tables render only after the whole run completes.
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "ullsim:", err)
+				os.Exit(1)
 			}
 		}
-		opts := experiments.Options{Quick: !*full, Seed: *seed}
-		for _, id := range ids {
-			e, ok := experiments.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "ullsim: unknown experiment %q (try 'ullsim list')\n", id)
-				os.Exit(2)
+		opts := experiments.Options{
+			Quick:    !*full,
+			Seed:     *seed,
+			SeedSet:  seedSet,
+			Parallel: *parallel,
+		}
+		// Progress goes to stderr (stdout stays byte-identical across
+		// worker counts): one line per ~5% of shards, so long -full
+		// runs are visibly alive.
+		opts.Progress = func(done, total int) {
+			stride := total / 20
+			if stride < 1 {
+				stride = 1
 			}
-			fmt.Printf("running %s: %s\n", e.ID, e.Title)
-			for _, t := range e.Run(opts) {
+			if done%stride == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "ullsim: %d/%d shards done\n", done, total)
+			}
+		}
+		// One RunAll call shares a single worker pool across every
+		// requested experiment, so shards of a slow figure overlap with
+		// the next figure's sweep.
+		results, err := experiments.RunAll(opts, ids...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ullsim: %v (try 'ullsim list')\n", err)
+			os.Exit(2)
+		}
+		for _, r := range results {
+			fmt.Printf("running %s: %s\n", r.Experiment.ID, r.Experiment.Title)
+			for _, t := range r.Tables {
 				if err := t.Render(os.Stdout); err != nil {
 					fmt.Fprintln(os.Stderr, "ullsim:", err)
 					os.Exit(1)
@@ -100,7 +140,7 @@ func usage() {
 
 usage:
   ullsim list
-  ullsim [-full] [-seed N] [-csv DIR] run <id>... | all
+  ullsim [-full] [-seed N] [-parallel N] [-csv DIR] run <id>... | all
 `)
 	flag.PrintDefaults()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/kernel"
+	"repro/internal/orchestrator"
 	"repro/internal/workload"
 )
 
@@ -26,9 +27,9 @@ func TestRegistryComplete(t *testing.T) {
 	if len(All()) < len(want)+1 {
 		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want)+1)
 	}
-	// Every experiment has an id and title; ByID round-trips.
+	// Every experiment has an id, a title, and a planner; ByID round-trips.
 	for _, e := range All() {
-		if e.ID == "" || e.Title == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.Plan == nil {
 			t.Errorf("experiment %+v incomplete", e.ID)
 		}
 		got, ok := ByID(e.ID)
@@ -41,6 +42,9 @@ func TestRegistryComplete(t *testing.T) {
 func TestByIDUnknown(t *testing.T) {
 	if _, ok := ByID("fig99"); ok {
 		t.Fatal("unknown id resolved")
+	}
+	if _, err := RunAll(Options{Quick: true}, "fig99"); err == nil {
+		t.Fatal("RunAll accepted an unknown id")
 	}
 }
 
@@ -59,10 +63,61 @@ func TestOptionsScale(t *testing.T) {
 	if (Options{Seed: 7}).seed() != 7 {
 		t.Fatal("explicit seed ignored")
 	}
+	// Seed 0 is a valid root when explicitly set: the zero value is no
+	// longer a sentinel once SeedSet says the caller meant it.
+	if (Options{SeedSet: true}).seed() != 0 {
+		t.Fatal("explicit zero seed replaced by the default")
+	}
+	if (Options{Seed: 7, SeedSet: true}).seed() != 7 {
+		t.Fatal("SeedSet broke nonzero seeds")
+	}
+}
+
+// TestShardKeysUnique asserts every experiment's plan has unique shard
+// keys — duplicate keys would collapse two sweep points onto one seed.
+// (The orchestrator enforces this at run time; checking the plans here
+// catches it without running any simulation.)
+func TestShardKeysUnique(t *testing.T) {
+	o := Options{Quick: true}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		p := e.Plan(o)
+		for _, s := range p.Shards {
+			full := e.ID + "/" + s.Key
+			if seen[full] {
+				t.Errorf("duplicate shard key %q", full)
+			}
+			seen[full] = true
+			if s.Run == nil {
+				t.Errorf("shard %q has no Run", full)
+			}
+		}
+		if p.Merge == nil {
+			t.Errorf("experiment %q has no Merge", e.ID)
+		}
+	}
+}
+
+// TestShardSeedsIndependent asserts shard seeds derive from the root
+// seed and shard key, so no two shards of a run share an RNG stream.
+func TestShardSeedsIndependent(t *testing.T) {
+	o := Options{Quick: true}
+	seeds := map[uint64]string{}
+	for _, e := range All() {
+		for _, s := range e.Plan(o).Shards {
+			full := e.ID + "/" + s.Key
+			seed := orchestrator.SeedFor(o.seed(), full)
+			if prev, dup := seeds[seed]; dup {
+				t.Errorf("shards %q and %q share seed %#x", prev, full, seed)
+			}
+			seeds[seed] = full
+		}
+	}
 }
 
 func TestTable1Runs(t *testing.T) {
-	tables := runTable1(Options{Quick: true})
+	e, _ := ByID("tab1")
+	tables := e.Run(Options{Quick: true})
 	if len(tables) != 1 {
 		t.Fatalf("tables = %d", len(tables))
 	}
@@ -119,27 +174,51 @@ func TestRunRegionConfinement(t *testing.T) {
 // experiment per subsystem family (device comparison, completion
 // methods, hybrid polling, SPDK, NBD, and the light-queue extension),
 // keeping a fast CI lane that still sweeps every code path.
-var shortSet = map[string]bool{
-	"tab1": true, "fig4a": true, "fig10": true, "fig12": true,
-	"fig20": true, "fig23": true, "ext-lightq": true,
+var shortSet = []string{
+	"tab1", "fig4a", "fig10", "fig12", "fig20", "fig23", "ext-lightq",
+}
+
+// raceSet trims the lane further for `go test -race -short`: the
+// detector costs ~10x, so one light experiment per stack family keeps
+// the race job inside CI budgets while still driving the worker pool
+// over async, sync, SPDK-paired, NBD, and light-queue shards.
+var raceSet = []string{
+	"tab1", "fig6", "fig12", "fig23", "ext-lightq",
+}
+
+// laneIDs picks the experiment set for the current test mode: the whole
+// registry, the reduced shortSet under -short, or raceSet when the race
+// detector is compiled in as well.
+func laneIDs() []string {
+	if testing.Short() {
+		if raceEnabled {
+			return raceSet
+		}
+		return shortSet
+	}
+	return nil // nil = whole registry
 }
 
 // TestAllExperimentsSmoke regenerates every registered experiment at
-// quick scale and validates table integrity. The full sweep is slow
-// (tens of seconds); under -short only the reduced shortSet runs.
+// quick scale through the RunAll fast path (all shards of all
+// experiments in one worker pool) and validates table integrity. The
+// full sweep is slow (tens of seconds); under -short only the reduced
+// shortSet runs. Because RunAll computes the whole lane up front,
+// -run filtering of one subtest does not shrink the work — to iterate
+// on a single figure, drive it directly (`go run ./cmd/ullsim run
+// fig23`) or via ByID(...).Run in a scratch test.
 func TestAllExperimentsSmoke(t *testing.T) {
-	o := Options{Quick: true}
-	for _, e := range All() {
-		e := e
-		if testing.Short() && !shortSet[e.ID] {
-			continue
-		}
-		t.Run(e.ID, func(t *testing.T) {
-			tables := e.Run(o)
-			if len(tables) == 0 {
+	results, err := RunAll(Options{Quick: true}, laneIDs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		r := r
+		t.Run(r.Experiment.ID, func(t *testing.T) {
+			if len(r.Tables) == 0 {
 				t.Fatal("no tables")
 			}
-			for _, tb := range tables {
+			for _, tb := range r.Tables {
 				if tb.ID == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
 					t.Fatalf("table %q incomplete", tb.ID)
 				}
@@ -161,10 +240,45 @@ func TestAllExperimentsSmoke(t *testing.T) {
 	}
 }
 
+// renderLane renders every table of the given experiment set into one
+// string, in registry order.
+func renderLane(t *testing.T, o Options, ids []string) string {
+	t.Helper()
+	results, err := RunAll(o, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, r := range results {
+		for _, tb := range r.Tables {
+			if err := tb.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSerial is the orchestrator's core guarantee: for a
+// fixed seed, running the experiment lane with 8 workers renders tables
+// byte-identical to the serial run. Under -short the reduced lane is
+// compared; the full lane otherwise.
+func TestParallelMatchesSerial(t *testing.T) {
+	ids := laneIDs()
+	serial := renderLane(t, Options{Quick: true, Seed: 0xd5eed, Parallel: 1}, ids)
+	pooled := renderLane(t, Options{Quick: true, Seed: 0xd5eed, Parallel: 8}, ids)
+	if serial != pooled {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel 8 ---\n%s", serial, pooled)
+	}
+}
+
 // TestFig4aDeterministic asserts that two runs with the same seed render
 // byte-identical tables — the guarantee the pooled event core must
 // preserve (same event order, same RNG draw order).
 func TestFig4aDeterministic(t *testing.T) {
+	if raceEnabled && testing.Short() {
+		t.Skip("fig4a's 80-shard sweep twice is too slow under the race detector; TestParallelMatchesSerial covers determinism")
+	}
 	e, ok := ByID("fig4a")
 	if !ok {
 		t.Fatal("fig4a not registered")

@@ -1,52 +1,70 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/metrics"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
 
 func init() {
-	register("fig6", "Read/write interference: read latency vs write fraction", runFig6)
+	register("fig6", "Read/write interference: read latency vs write fraction", planFig6)
 }
 
-func runFig6(o Options) []*metrics.Table {
-	ioCount := o.scale(3000, 200000)
-	fractions := []float64{0, 0.2, 0.4, 0.6, 0.8}
+var fig6Fractions = []float64{0, 0.2, 0.4, 0.6, 0.8}
 
-	avg := metrics.NewTable("fig6a", "Average read latency under intermixed writes (us)",
-		"write %", "ULL", "NVMe")
-	tail := metrics.NewTable("fig6b", "99.999th read latency under intermixed writes (us)",
-		"write %", "ULL", "NVMe")
+func planFig6(o Options) *Plan {
+	ioCount := o.scale(3000, 200000)
 
 	type cell struct{ avg, tail string }
-	results := map[string]map[float64]cell{"ULL": {}, "NVMe": {}}
-	for _, dev := range []struct {
+	devices := []struct {
 		name string
-		cfg  ssd.Config
-	}{{"ULL", ull()}, {"NVMe", nvme750()}} {
-		for _, f := range fractions {
-			sys := asyncSystem(dev.cfg, o.seed())
-			res := run(sys, workload.Job{
-				Pattern:       workload.RandRW,
-				WriteFraction: f,
-				BlockSize:     4096,
-				QueueDepth:    4,
-				TotalIOs:      ioCount,
-				WarmupIOs:     ioCount / 10,
-				Seed:          o.seed() + uint64(f*100),
+		cfg  func() ssd.Config
+	}{{"ULL", ull}, {"NVMe", nvme750}}
+
+	var shards []Shard
+	for _, dev := range devices {
+		for _, f := range fig6Fractions {
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/wf=%d", dev.name, int(f*100)),
+				Run: func(seed uint64) any {
+					sys := asyncSystem(dev.cfg(), seed)
+					res := run(sys, workload.Job{
+						Pattern:       workload.RandRW,
+						WriteFraction: f,
+						BlockSize:     4096,
+						QueueDepth:    4,
+						TotalIOs:      ioCount,
+						WarmupIOs:     ioCount / 10,
+						Seed:          seed,
+					})
+					return cell{
+						avg:  us(res.Read.Mean()),
+						tail: us(res.Read.Percentile(99.999)),
+					}
+				},
 			})
-			results[dev.name][f] = cell{
-				avg:  us(res.Read.Mean()),
-				tail: us(res.Read.Percentile(99.999)),
-			}
 		}
 	}
-	for _, f := range fractions {
-		avg.AddRow(int(f*100), results["ULL"][f].avg, results["NVMe"][f].avg)
-		tail.AddRow(int(f*100), results["ULL"][f].tail, results["NVMe"][f].tail)
+
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			avg := metrics.NewTable("fig6a", "Average read latency under intermixed writes (us)",
+				"write %", "ULL", "NVMe")
+			tail := metrics.NewTable("fig6b", "99.999th read latency under intermixed writes (us)",
+				"write %", "ULL", "NVMe")
+			n := len(fig6Fractions)
+			for fi, f := range fig6Fractions {
+				u := res[fi].(cell)
+				nv := res[n+fi].(cell)
+				avg.AddRow(int(f*100), u.avg, nv.avg)
+				tail.AddRow(int(f*100), u.tail, nv.tail)
+			}
+			avg.AddNote("paper Fig 6a: NVMe read latency grows ~linearly with write fraction (1.6x at just 20%%); ULL stays ~20-29us throughout (suspend/resume)")
+			tail.AddNote("paper Fig 6b: NVMe five-nines reach ~4.5ms at 20%% writes; ULL holds ~100-200us")
+			return []*metrics.Table{avg, tail}
+		},
 	}
-	avg.AddNote("paper Fig 6a: NVMe read latency grows ~linearly with write fraction (1.6x at just 20%%); ULL stays ~20-29us throughout (suspend/resume)")
-	tail.AddNote("paper Fig 6b: NVMe five-nines reach ~4.5ms at 20%% writes; ULL holds ~100-200us")
-	return []*metrics.Table{avg, tail}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
@@ -10,21 +12,25 @@ import (
 )
 
 func init() {
-	register("fig7a", "Average power: async/sync x 4 patterns + idle", runFig7a)
-	register("fig7b", "Write latency time series under sustained random writes (GC)", runFig7b)
-	register("fig8", "Power and latency during garbage collection", runFig8)
+	register("fig7a", "Average power: async/sync x 4 patterns + idle", planFig7a)
+	register("fig7b", "Write latency time series under sustained random writes (GC)", planFig7b)
+	register("fig8", "Power and latency during garbage collection", planFig8)
 }
 
-func runFig7a(o Options) []*metrics.Table {
-	duration := sim.Time(o.scale(15, 150)) * sim.Millisecond
-	t := metrics.NewTable("fig7a", "Average device power (W)",
-		"workload", "NVMe SSD", "ULL SSD")
+var fig7Modes = []struct {
+	label string
+	stack core.StackKind
+}{{"Async", core.KernelAsync}, {"Sync", core.KernelSync}}
 
-	measure := func(dev ssd.Config, stack core.StackKind, p workload.Pattern) float64 {
+func planFig7a(o Options) *Plan {
+	duration := sim.Time(o.scale(15, 150)) * sim.Millisecond
+
+	measure := func(dev ssd.Config, stack core.StackKind, p workload.Pattern, seed uint64) float64 {
 		cfg := core.DefaultConfig(dev)
 		cfg.Stack = stack
 		cfg.Mode = kernel.Interrupt
 		cfg.Precondition = 1.0
+		cfg.Device.Seed = dev.Seed ^ seed
 		sys := core.NewSystem(cfg)
 		qd := 16
 		if stack == core.KernelSync {
@@ -35,101 +41,151 @@ func runFig7a(o Options) []*metrics.Table {
 			BlockSize:  4096,
 			QueueDepth: qd,
 			Duration:   duration,
-			Seed:       o.seed(),
+			Seed:       seed,
 		})
 		return sys.Dev.Meter().AvgWatts(sys.Eng.Now())
 	}
 
-	for _, mode := range []struct {
-		label string
-		stack core.StackKind
-	}{{"Async", core.KernelAsync}, {"Sync", core.KernelSync}} {
+	var shards []Shard
+	for _, mode := range fig7Modes {
 		for _, p := range fourPatterns {
-			nv := measure(nvme750(), mode.stack, p)
-			ul := measure(ull(), mode.stack, p)
-			t.AddRow(mode.label+"-"+p.String(), nv, ul)
+			for _, dev := range fig4Devices {
+				shards = append(shards, Shard{
+					Key: fmt.Sprintf("%s/%s/%s", mode.label, p, dev.name),
+					Run: func(seed uint64) any {
+						return measure(dev.cfg(), mode.stack, p, seed)
+					},
+				})
+			}
 		}
 	}
-	// Idle: engines run with no I/O at all.
-	t.AddRow("Idle", nvme750().Power.Idle, ull().Power.Idle)
-	t.AddNote("paper Fig 7a: idle ~3.8W, reads ~4.1W on both; ULL consumes ~30%% less than NVMe for async writes (SLC-like Z-NAND program)")
-	return []*metrics.Table{t}
+
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("fig7a", "Average device power (W)",
+				"workload", "NVMe SSD", "ULL SSD")
+			i := 0
+			for _, mode := range fig7Modes {
+				for _, p := range fourPatterns {
+					// Consume results in fig4Devices order (the shard
+					// generation order) and pick columns by name, so the
+					// table survives a reordering of that list.
+					watts := map[string]float64{}
+					for _, dev := range fig4Devices {
+						watts[dev.name] = res[i].(float64)
+						i++
+					}
+					t.AddRow(mode.label+"-"+p.String(), watts["NVMe"], watts["ULL"])
+				}
+			}
+			// Idle: engines run with no I/O at all.
+			t.AddRow("Idle", nvme750().Power.Idle, ull().Power.Idle)
+			t.AddNote("paper Fig 7a: idle ~3.8W, reads ~4.1W on both; ULL consumes ~30%% less than NVMe for async writes (SLC-like Z-NAND program)")
+			return []*metrics.Table{t}
+		},
+	}
+}
+
+// gcRun is one device's sustained-random-write timeline: the
+// write-latency series, the power trace, and the device counters.
+type gcRun struct {
+	lat   []metrics.Point
+	power []metrics.Point
+	stats ssd.Stats
 }
 
 // gcTimeline drives sustained 4KB random writes over a preconditioned
-// device long enough for garbage collection to engage, and returns the
-// write-latency series and the power trace.
-func gcTimeline(dev ssd.Config, o Options, duration sim.Time) (lat, power []metrics.Point, sys *core.System) {
+// device long enough for garbage collection to engage.
+func gcTimeline(dev ssd.Config, seed uint64, duration sim.Time) gcRun {
 	cfg := core.DefaultConfig(dev)
 	cfg.Stack = core.KernelAsync
 	cfg.Precondition = 1.0
-	sys = core.NewSystem(cfg)
+	cfg.Device.Seed = dev.Seed ^ seed
+	sys := core.NewSystem(cfg)
 	res := run(sys, workload.Job{
 		Pattern:      workload.RandWrite,
 		BlockSize:    4096,
 		QueueDepth:   8,
 		Duration:     duration,
-		Seed:         o.seed(),
+		Seed:         seed,
 		SeriesBucket: duration / 30,
 	})
-	return res.WriteSeries.Points(), sys.Dev.Meter().Trace(sys.Eng.Now()), sys
+	return gcRun{
+		lat:   res.WriteSeries.Points(),
+		power: sys.Dev.Meter().Trace(sys.Eng.Now()),
+		stats: sys.Dev.Stats(),
+	}
 }
 
-func runFig7b(o Options) []*metrics.Table {
-	t := metrics.NewTable("fig7b", "Write latency over time under sustained random writes (us)",
-		"time (ms)", "NVMe SSD", "ULL SSD")
-	nvLat, _, nvSys := gcTimeline(nvme750(), o, sim.Time(o.scale(400, 1600))*sim.Millisecond)
-	ulLat, _, ulSys := gcTimeline(ull(), o, sim.Time(o.scale(200, 800))*sim.Millisecond)
-	rows := len(nvLat)
-	if len(ulLat) > rows {
-		rows = len(ulLat)
+// gcShards builds one shard per device, NVMe first (the merge order the
+// fig7b/fig8 tables assume).
+func gcShards(o Options) []Shard {
+	return []Shard{
+		{Key: "NVMe", Run: func(seed uint64) any {
+			return gcTimeline(nvme750(), seed, sim.Time(o.scale(400, 1600))*sim.Millisecond)
+		}},
+		{Key: "ULL", Run: func(seed uint64) any {
+			return gcTimeline(ull(), seed, sim.Time(o.scale(200, 800))*sim.Millisecond)
+		}},
 	}
-	for i := 0; i < rows; i++ {
-		var tms, nv, ul any = "", "", ""
-		if i < len(nvLat) {
-			tms = nvLat[i].T.Millis()
-			nv = nvLat[i].Mean
-		}
-		if i < len(ulLat) {
-			if tms == "" {
-				tms = ulLat[i].T.Millis()
-			}
-			ul = ulLat[i].Mean
-		}
-		t.AddRow(tms, nv, ul)
-	}
-	nvStats := nvSys.Dev.Stats()
-	ulStats := ulSys.Dev.Stats()
-	t.AddNote("NVMe: %d GC migrations, %d erases, %d write stalls; ULL: %d migrations, %d erases, %d stalls",
-		nvStats.GCMigrations, nvStats.FlashErases, nvStats.WriteStalls,
-		ulStats.GCMigrations, ulStats.FlashErases, ulStats.WriteStalls)
-	t.AddNote("paper Fig 7b: NVMe write latency jumps sharply once GC begins reclaiming; ULL stays sustained (fast media + parallel GC + suspend/resume)")
-	return []*metrics.Table{t}
 }
 
-func runFig8(o Options) []*metrics.Table {
-	var tables []*metrics.Table
-	for _, dev := range []struct {
-		name string
-		cfg  ssd.Config
-		dur  sim.Time
-	}{
-		{"NVMe", nvme750(), sim.Time(o.scale(400, 1600)) * sim.Millisecond},
-		{"ULL", ull(), sim.Time(o.scale(200, 800)) * sim.Millisecond},
-	} {
-		lat, power, _ := gcTimeline(dev.cfg, o, dev.dur)
-		t := metrics.NewTable("fig8-"+dev.name, dev.name+" power and write latency during GC",
-			"time (ms)", "power (W)", "latency (us)")
-		for i := range power {
-			latV := ""
-			if i < len(lat) && lat[i].Count > 0 {
-				latV = us(sim.Time(lat[i].Mean * 1000))
+func planFig7b(o Options) *Plan {
+	return &Plan{
+		Shards: gcShards(o),
+		Merge: func(res []any) []*metrics.Table {
+			nv, ul := res[0].(gcRun), res[1].(gcRun)
+			t := metrics.NewTable("fig7b", "Write latency over time under sustained random writes (us)",
+				"time (ms)", "NVMe SSD", "ULL SSD")
+			rows := len(nv.lat)
+			if len(ul.lat) > rows {
+				rows = len(ul.lat)
 			}
-			t.AddRow(power[i].T.Millis(), power[i].Mean, latV)
-		}
-		tables = append(tables, t)
+			for i := 0; i < rows; i++ {
+				var tms, nvCell, ulCell any = "", "", ""
+				if i < len(nv.lat) {
+					tms = nv.lat[i].T.Millis()
+					nvCell = nv.lat[i].Mean
+				}
+				if i < len(ul.lat) {
+					if tms == "" {
+						tms = ul.lat[i].T.Millis()
+					}
+					ulCell = ul.lat[i].Mean
+				}
+				t.AddRow(tms, nvCell, ulCell)
+			}
+			t.AddNote("NVMe: %d GC migrations, %d erases, %d write stalls; ULL: %d migrations, %d erases, %d stalls",
+				nv.stats.GCMigrations, nv.stats.FlashErases, nv.stats.WriteStalls,
+				ul.stats.GCMigrations, ul.stats.FlashErases, ul.stats.WriteStalls)
+			t.AddNote("paper Fig 7b: NVMe write latency jumps sharply once GC begins reclaiming; ULL stays sustained (fast media + parallel GC + suspend/resume)")
+			return []*metrics.Table{t}
+		},
 	}
-	tables[0].AddNote("paper Fig 8a: NVMe power *drops* during GC (host writes stall, few chips active) while latency spikes to ~3ms")
-	tables[1].AddNote("paper Fig 8b: ULL power *rises* ~12%% during GC (many chips reclaim in parallel) while latency stays ~500us")
-	return tables
+}
+
+func planFig8(o Options) *Plan {
+	return &Plan{
+		Shards: gcShards(o),
+		Merge: func(res []any) []*metrics.Table {
+			var tables []*metrics.Table
+			for i, name := range []string{"NVMe", "ULL"} {
+				r := res[i].(gcRun)
+				t := metrics.NewTable("fig8-"+name, name+" power and write latency during GC",
+					"time (ms)", "power (W)", "latency (us)")
+				for j := range r.power {
+					latV := ""
+					if j < len(r.lat) && r.lat[j].Count > 0 {
+						latV = us(sim.Time(r.lat[j].Mean * 1000))
+					}
+					t.AddRow(r.power[j].T.Millis(), r.power[j].Mean, latV)
+				}
+				tables = append(tables, t)
+			}
+			tables[0].AddNote("paper Fig 8a: NVMe power *drops* during GC (host writes stall, few chips active) while latency spikes to ~3ms")
+			tables[1].AddNote("paper Fig 8b: ULL power *rises* ~12%% during GC (many chips reclaim in parallel) while latency stays ~500us")
+			return tables
+		},
+	}
 }

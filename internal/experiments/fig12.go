@@ -4,6 +4,8 @@ package experiments
 // (Section V-B1), and the kernel cycle breakdowns VTune reported.
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernel"
@@ -12,9 +14,9 @@ import (
 )
 
 func init() {
-	register("fig12", "CPU utilization of hybrid polling", runFig12)
-	register("fig13", "CPU utilization: interrupt vs poll (user/kernel)", runFig13)
-	register("fig14", "CPU cycle breakdown of polling (module and function)", runFig14)
+	register("fig12", "CPU utilization of hybrid polling", planFig12)
+	register("fig13", "CPU utilization: interrupt vs poll (user/kernel)", planFig13)
+	register("fig14", "CPU cycle breakdown of polling (module and function)", planFig14)
 }
 
 // syncUtil runs a sync job and returns the utilization split.
@@ -30,59 +32,119 @@ func syncUtil(mode kernel.Mode, p workload.Pattern, bs, ios int, seed uint64) (c
 	return sys.Core.Utilization(sys.Eng.Now()), sys
 }
 
-func runFig12(o Options) []*metrics.Table {
+func planFig12(o Options) *Plan {
 	ios := o.scale(1500, 40000)
-	t := metrics.NewTable("fig12", "Hybrid polling CPU utilization (%)",
-		"block", "SeqRd", "RndRd", "SeqWr", "RndWr")
+	var shards []Shard
 	for _, bs := range blockSizes {
-		row := []any{sizeLabel(bs)}
 		for _, p := range fourPatterns {
-			u, _ := syncUtil(kernel.Hybrid, p, bs, ios, o.seed())
-			row = append(row, u.User+u.Kernel)
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/%s", sizeLabel(bs), p),
+				Run: func(seed uint64) any {
+					u, _ := syncUtil(kernel.Hybrid, p, bs, ios, seed)
+					return u.User + u.Kernel
+				},
+			})
 		}
-		t.AddRow(row...)
 	}
-	t.AddNote("paper Fig 12: hybrid polling still burns 52-58%% of a core — 2.2x what interrupts use, though below classic polling's ~100%%")
-	return []*metrics.Table{t}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("fig12", "Hybrid polling CPU utilization (%)",
+				"block", "SeqRd", "RndRd", "SeqWr", "RndWr")
+			i := 0
+			for _, bs := range blockSizes {
+				row := []any{sizeLabel(bs)}
+				for range fourPatterns {
+					row = append(row, res[i].(float64))
+					i++
+				}
+				t.AddRow(row...)
+			}
+			t.AddNote("paper Fig 12: hybrid polling still burns 52-58%% of a core — 2.2x what interrupts use, though below classic polling's ~100%%")
+			return []*metrics.Table{t}
+		},
+	}
 }
 
-func runFig13(o Options) []*metrics.Table {
+func planFig13(o Options) *Plan {
 	ios := o.scale(1500, 40000)
-	t := metrics.NewTable("fig13", "CPU utilization by mode (%)",
-		"block", "pattern", "int-user", "int-kernel", "poll-user", "poll-kernel")
+	type utilPair struct{ intr, poll cpu.Utilization }
+	var shards []Shard
 	for _, p := range fourPatterns {
 		for _, bs := range blockSizes {
-			ui, _ := syncUtil(kernel.Interrupt, p, bs, ios, o.seed())
-			up, _ := syncUtil(kernel.Poll, p, bs, ios, o.seed())
-			t.AddRow(sizeLabel(bs), p.String(), ui.User, ui.Kernel, up.User, up.Kernel)
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/%s", p, sizeLabel(bs)),
+				// Both modes share one seed: the row compares them over
+				// the same workload.
+				Run: func(seed uint64) any {
+					ui, _ := syncUtil(kernel.Interrupt, p, bs, ios, seed)
+					up, _ := syncUtil(kernel.Poll, p, bs, ios, seed)
+					return utilPair{intr: ui, poll: up}
+				},
+			})
 		}
 	}
-	t.AddNote("paper Fig 13: interrupts use ~9.2%% user + ~8.4%% kernel; polling pushes kernel time to ~96%% of the run")
-	return []*metrics.Table{t}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("fig13", "CPU utilization by mode (%)",
+				"block", "pattern", "int-user", "int-kernel", "poll-user", "poll-kernel")
+			i := 0
+			for _, p := range fourPatterns {
+				for _, bs := range blockSizes {
+					u := res[i].(utilPair)
+					i++
+					t.AddRow(sizeLabel(bs), p.String(), u.intr.User, u.intr.Kernel, u.poll.User, u.poll.Kernel)
+				}
+			}
+			t.AddNote("paper Fig 13: interrupts use ~9.2%% user + ~8.4%% kernel; polling pushes kernel time to ~96%% of the run")
+			return []*metrics.Table{t}
+		},
+	}
 }
 
-func runFig14(o Options) []*metrics.Table {
+// fig14Cycles is one pattern's kernel-cycle breakdown under polling.
+type fig14Cycles struct {
+	driver, blk, nv, kernelTotal float64
+}
+
+func planFig14(o Options) *Plan {
 	ios := o.scale(3000, 40000)
-	mod := metrics.NewTable("fig14a", "Kernel CPU cycle breakdown by module (poll mode, %)",
-		"pattern", "NVMe driver", "rest of storage stack")
-	fn := metrics.NewTable("fig14b", "Kernel CPU cycle breakdown by function (poll mode, %)",
-		"pattern", "blk_mq_poll", "nvme_poll", "other kernel")
+	var shards []Shard
 	for _, p := range fourPatterns {
-		_, sys := syncUtil(kernel.Poll, p, 4096, ios, o.seed())
-		c := sys.Core
-		kernelTotal := float64(c.KernelTime())
-		var driver float64
-		for f := cpu.Fn(0); f < cpu.NumFns; f++ {
-			if f.Kernel() && f.Driver() {
-				driver += float64(c.Acct(f).Time)
-			}
-		}
-		blk := float64(c.Acct(cpu.FnBlkMQPoll).Time)
-		nv := float64(c.Acct(cpu.FnNVMePoll).Time)
-		mod.AddRow(p.String(), pct(driver/kernelTotal), pct(1-driver/kernelTotal))
-		fn.AddRow(p.String(), pct(blk/kernelTotal), pct(nv/kernelTotal), pct((kernelTotal-blk-nv)/kernelTotal))
+		shards = append(shards, Shard{
+			Key: p.String(),
+			Run: func(seed uint64) any {
+				_, sys := syncUtil(kernel.Poll, p, 4096, ios, seed)
+				c := sys.Core
+				out := fig14Cycles{kernelTotal: float64(c.KernelTime())}
+				for f := cpu.Fn(0); f < cpu.NumFns; f++ {
+					if f.Kernel() && f.Driver() {
+						out.driver += float64(c.Acct(f).Time)
+					}
+				}
+				out.blk = float64(c.Acct(cpu.FnBlkMQPoll).Time)
+				out.nv = float64(c.Acct(cpu.FnNVMePoll).Time)
+				return out
+			},
+		})
 	}
-	mod.AddNote("paper Fig 14a: the NVMe driver uses only ~17.5%% of kernel cycles; blk-mq and the rest of the stack use the rest")
-	fn.AddNote("paper Fig 14b: blk_mq_poll ~67%% + nvme_poll ~17%% = 84%% of all kernel cycles")
-	return []*metrics.Table{mod, fn}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			mod := metrics.NewTable("fig14a", "Kernel CPU cycle breakdown by module (poll mode, %)",
+				"pattern", "NVMe driver", "rest of storage stack")
+			fn := metrics.NewTable("fig14b", "Kernel CPU cycle breakdown by function (poll mode, %)",
+				"pattern", "blk_mq_poll", "nvme_poll", "other kernel")
+			for i, p := range fourPatterns {
+				c := res[i].(fig14Cycles)
+				mod.AddRow(p.String(), pct(c.driver/c.kernelTotal), pct(1-c.driver/c.kernelTotal))
+				fn.AddRow(p.String(), pct(c.blk/c.kernelTotal), pct(c.nv/c.kernelTotal),
+					pct((c.kernelTotal-c.blk-c.nv)/c.kernelTotal))
+			}
+			mod.AddNote("paper Fig 14a: the NVMe driver uses only ~17.5%% of kernel cycles; blk-mq and the rest of the stack use the rest")
+			fn.AddNote("paper Fig 14b: blk_mq_poll ~67%% + nvme_poll ~17%% = 84%% of all kernel cycles")
+			return []*metrics.Table{mod, fn}
+		},
+	}
 }

@@ -5,53 +5,104 @@ package experiments
 // (Sections V-B2 and V-C).
 
 import (
+	"fmt"
+
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func init() {
-	register("fig15", "Normalized memory instruction count of polling", runFig15)
-	register("fig16", "Latency reduction of polling and hybrid polling vs interrupts", runFig16)
+	register("fig15", "Normalized memory instruction count of polling", planFig15)
+	register("fig16", "Latency reduction of polling and hybrid polling vs interrupts", planFig16)
 }
 
-func runFig15(o Options) []*metrics.Table {
+var fig15Patterns = []workload.Pattern{workload.RandRead, workload.RandWrite}
+
+func planFig15(o Options) *Plan {
 	ios := o.scale(1500, 40000)
-	t := metrics.NewTable("fig15", "Loads/stores of poll mode, normalized to interrupt mode",
-		"block", "direction", "loads", "stores")
-	for _, p := range []workload.Pattern{workload.RandRead, workload.RandWrite} {
-		dir := "read"
-		if p.Writes() {
-			dir = "write"
-		}
+	type ratios struct{ loads, stores float64 }
+	var shards []Shard
+	for _, p := range fig15Patterns {
 		for _, bs := range blockSizes {
-			sysP := syncSystem(ull(), kernel.Poll, o.seed())
-			run(sysP, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: o.seed()})
-			sysI := syncSystem(ull(), kernel.Interrupt, o.seed())
-			run(sysI, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: o.seed()})
-			ld := float64(sysP.Core.Loads()) / float64(sysI.Core.Loads())
-			st := float64(sysP.Core.Stores()) / float64(sysI.Core.Stores())
-			t.AddRow(sizeLabel(bs), dir, ld, st)
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/%s", p, sizeLabel(bs)),
+				// One shard runs BOTH modes on the same seed: the figure
+				// is a paired ratio, and sharing the seed keeps the
+				// workload identical between numerator and denominator.
+				Run: func(seed uint64) any {
+					sysP := syncSystem(ull(), kernel.Poll, seed)
+					run(sysP, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+					sysI := syncSystem(ull(), kernel.Interrupt, seed)
+					run(sysI, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+					return ratios{
+						loads:  float64(sysP.Core.Loads()) / float64(sysI.Core.Loads()),
+						stores: float64(sysP.Core.Stores()) / float64(sysI.Core.Stores()),
+					}
+				},
+			})
 		}
 	}
-	t.AddNote("paper Fig 15: polling issues ~2.37x the loads (uncached CQ-entry reads) and ~1.78x the stores of the interrupt path")
-	return []*metrics.Table{t}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("fig15", "Loads/stores of poll mode, normalized to interrupt mode",
+				"block", "direction", "loads", "stores")
+			i := 0
+			for _, p := range fig15Patterns {
+				dir := "read"
+				if p.Writes() {
+					dir = "write"
+				}
+				for _, bs := range blockSizes {
+					r := res[i].(ratios)
+					i++
+					t.AddRow(sizeLabel(bs), dir, r.loads, r.stores)
+				}
+			}
+			t.AddNote("paper Fig 15: polling issues ~2.37x the loads (uncached CQ-entry reads) and ~1.78x the stores of the interrupt path")
+			return []*metrics.Table{t}
+		},
+	}
 }
 
-func runFig16(o Options) []*metrics.Table {
+func planFig16(o Options) *Plan {
 	ios := o.scale(1500, 40000)
-	t := metrics.NewTable("fig16", "Latency reduction vs interrupts on the ULL SSD (%)",
-		"block", "pattern", "polling", "hybrid polling")
+	type triple struct{ intr, poll, hyb sim.Time }
+	var shards []Shard
 	for _, p := range fourPatterns {
 		for _, bs := range blockSizes {
-			intr := syncLatency(ull(), kernel.Interrupt, p, bs, ios, o.seed())
-			poll := syncLatency(ull(), kernel.Poll, p, bs, ios, o.seed())
-			hyb := syncLatency(ull(), kernel.Hybrid, p, bs, ios, o.seed())
-			t.AddRow(sizeLabel(bs), p.String(),
-				reduction(intr.All.Mean(), poll.All.Mean()),
-				reduction(intr.All.Mean(), hyb.All.Mean()))
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/%s", p, sizeLabel(bs)),
+				// All three modes share one seed: the table reports
+				// reductions relative to interrupts, a paired comparison.
+				Run: func(seed uint64) any {
+					return triple{
+						intr: syncLatency(ull(), kernel.Interrupt, p, bs, ios, seed).All.Mean(),
+						poll: syncLatency(ull(), kernel.Poll, p, bs, ios, seed).All.Mean(),
+						hyb:  syncLatency(ull(), kernel.Hybrid, p, bs, ios, seed).All.Mean(),
+					}
+				},
+			})
 		}
 	}
-	t.AddNote("paper Fig 16: classic polling reduces latency up to ~33%%; hybrid polling manages at most ~8.2%% — its sleep estimate over- or under-shoots because device latency varies")
-	return []*metrics.Table{t}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("fig16", "Latency reduction vs interrupts on the ULL SSD (%)",
+				"block", "pattern", "polling", "hybrid polling")
+			i := 0
+			for _, p := range fourPatterns {
+				for _, bs := range blockSizes {
+					tr := res[i].(triple)
+					i++
+					t.AddRow(sizeLabel(bs), p.String(),
+						reduction(tr.intr, tr.poll), reduction(tr.intr, tr.hyb))
+				}
+			}
+			t.AddNote("paper Fig 16: classic polling reduces latency up to ~33%%; hybrid polling manages at most ~8.2%% — its sleep estimate over- or under-shoots because device latency varies")
+			return []*metrics.Table{t}
+		},
+	}
 }

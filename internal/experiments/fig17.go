@@ -4,16 +4,19 @@ package experiments
 // stack (Section VI-A/B), on both devices and across block sizes.
 
 import (
+	"fmt"
+
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
 
 func init() {
-	register("fig17", "SPDK vs kernel interrupt latency on the NVMe SSD", runFig17)
-	register("fig18", "SPDK vs kernel interrupt latency on the ULL SSD", runFig18)
-	register("fig19", "SPDK vs kernel interrupt with large requests on the ULL SSD", runFig19)
+	register("fig17", "SPDK vs kernel interrupt latency on the NVMe SSD", planFig17)
+	register("fig18", "SPDK vs kernel interrupt latency on the ULL SSD", planFig18)
+	register("fig19", "SPDK vs kernel interrupt with large requests on the ULL SSD", planFig19)
 }
 
 func spdkLatency(dev ssd.Config, p workload.Pattern, bs, ios int, seed uint64) *workload.Result {
@@ -27,37 +30,56 @@ func spdkLatency(dev ssd.Config, p workload.Pattern, bs, ios int, seed uint64) *
 	})
 }
 
-func spdkVsInterrupt(id, title string, dev ssd.Config, sizes []int, o Options) *metrics.Table {
+func planSpdkVsInterrupt(id, title string, dev func() ssd.Config, sizes []int, o Options) *Plan {
 	ios := o.scale(1200, 50000)
-	t := metrics.NewTable(id, title,
-		"block", "pattern", "SPDK (us)", "kernel interrupt (us)", "SPDK saves")
+	type stackPair struct{ spdk, intr sim.Time }
+	var shards []Shard
 	for _, p := range fourPatterns {
 		for _, bs := range sizes {
-			sp := spdkLatency(dev, p, bs, ios, o.seed())
-			in := syncLatency(dev, kernel.Interrupt, p, bs, ios, o.seed())
-			t.AddRow(sizeLabel(bs), p.String(),
-				us(sp.All.Mean()), us(in.All.Mean()),
-				reduction(in.All.Mean(), sp.All.Mean())+"%")
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/%s", p, sizeLabel(bs)),
+				// Both stacks share one seed: the "SPDK saves" column is
+				// a paired comparison over the same workload.
+				Run: func(seed uint64) any {
+					return stackPair{
+						spdk: spdkLatency(dev(), p, bs, ios, seed).All.Mean(),
+						intr: syncLatency(dev(), kernel.Interrupt, p, bs, ios, seed).All.Mean(),
+					}
+				},
+			})
 		}
 	}
-	return t
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable(id, title,
+				"block", "pattern", "SPDK (us)", "kernel interrupt (us)", "SPDK saves")
+			i := 0
+			for _, p := range fourPatterns {
+				for _, bs := range sizes {
+					m := res[i].(stackPair)
+					i++
+					t.AddRow(sizeLabel(bs), p.String(),
+						us(m.spdk), us(m.intr), reduction(m.intr, m.spdk)+"%")
+				}
+			}
+			return []*metrics.Table{t}
+		},
+	}
 }
 
-func runFig17(o Options) []*metrics.Table {
-	t := spdkVsInterrupt("fig17", "NVMe SSD: SPDK vs kernel interrupt", nvme750(), blockSizes, o)
-	t.AddNote("paper Fig 17: on the conventional NVMe SSD the kernel bypass changes little — reads ~4.3%%, writes ~11.1%% (flash latency dominates the stack)")
-	return []*metrics.Table{t}
+func planFig17(o Options) *Plan {
+	p := planSpdkVsInterrupt("fig17", "NVMe SSD: SPDK vs kernel interrupt", nvme750, blockSizes, o)
+	return appendNote(p, "paper Fig 17: on the conventional NVMe SSD the kernel bypass changes little — reads ~4.3%%, writes ~11.1%% (flash latency dominates the stack)")
 }
 
-func runFig18(o Options) []*metrics.Table {
-	t := spdkVsInterrupt("fig18", "ULL SSD: SPDK vs kernel interrupt", ull(), blockSizes, o)
-	t.AddNote("paper Fig 18: on the ULL SSD SPDK cuts 25.2%% (seq reads), 6.3%% (rand reads), 13.7%%/13.3%% (writes) — bypass pays off once the device is fast")
-	return []*metrics.Table{t}
+func planFig18(o Options) *Plan {
+	p := planSpdkVsInterrupt("fig18", "ULL SSD: SPDK vs kernel interrupt", ull, blockSizes, o)
+	return appendNote(p, "paper Fig 18: on the ULL SSD SPDK cuts 25.2%% (seq reads), 6.3%% (rand reads), 13.7%%/13.3%% (writes) — bypass pays off once the device is fast")
 }
 
-func runFig19(o Options) []*metrics.Table {
+func planFig19(o Options) *Plan {
 	big := []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
-	t := spdkVsInterrupt("fig19", "ULL SSD, large requests: SPDK vs kernel interrupt", ull(), big, o)
-	t.AddNote("paper Fig 19: from 64KB upward the SPDK and kernel curves overlap — transfer time dwarfs the software stack, so the bypass only matters for small I/O")
-	return []*metrics.Table{t}
+	p := planSpdkVsInterrupt("fig19", "ULL SSD, large requests: SPDK vs kernel interrupt", ull, big, o)
+	return appendNote(p, "paper Fig 19: from 64KB upward the SPDK and kernel curves overlap — transfer time dwarfs the software stack, so the bypass only matters for small I/O")
 }

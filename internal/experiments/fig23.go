@@ -4,13 +4,15 @@ package experiments
 // NBD with an ext4 client, over the ULL SSD.
 
 import (
+	"fmt"
+
 	"repro/internal/metrics"
 	"repro/internal/nbd"
 	"repro/internal/sim"
 )
 
 func init() {
-	register("fig23", "Kernel NBD vs SPDK NBD in a server-client system", runFig23)
+	register("fig23", "Kernel NBD vs SPDK NBD in a server-client system", planFig23)
 }
 
 // nbdMean runs n serial file operations against a model and returns the
@@ -47,33 +49,61 @@ func nbdMean(m *nbd.Model, write, random bool, size, n int) sim.Time {
 	return total / sim.Time(n)
 }
 
-func runFig23(o Options) []*metrics.Table {
+var fig23Scenarios = []struct {
+	id     string
+	title  string
+	write  bool
+	random bool
+}{
+	{"fig23a", "Sequential file reads over NBD (us)", false, false},
+	{"fig23b", "Random file reads over NBD (us)", false, true},
+	{"fig23c", "Sequential file writes over NBD (us)", true, false},
+	{"fig23d", "Random file writes over NBD (us)", true, true},
+}
+
+var fig23Sizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+func planFig23(o Options) *Plan {
 	n := o.scale(400, 8000)
-	sizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
-	var tables []*metrics.Table
-	for _, scenario := range []struct {
-		id     string
-		title  string
-		write  bool
-		random bool
-	}{
-		{"fig23a", "Sequential file reads over NBD (us)", false, false},
-		{"fig23b", "Random file reads over NBD (us)", false, true},
-		{"fig23c", "Sequential file writes over NBD (us)", true, false},
-		{"fig23d", "Random file writes over NBD (us)", true, true},
-	} {
-		t := metrics.NewTable(scenario.id, scenario.title,
-			"block", "kernel NBD", "SPDK NBD", "SPDK saves")
-		for _, bs := range sizes {
-			k := nbd.NewModel(nbd.KernelNBD(ull()))
-			latK := nbdMean(k, scenario.write, scenario.random, bs, n)
-			s := nbd.NewModel(nbd.SPDKNBD(ull()))
-			latS := nbdMean(s, scenario.write, scenario.random, bs, n)
-			t.AddRow(sizeLabel(bs), us(latK), us(latS), reduction(latK, latS)+"%")
+	type serverPair struct{ kernel, spdk sim.Time }
+	var shards []Shard
+	for _, scenario := range fig23Scenarios {
+		for _, bs := range fig23Sizes {
+			shards = append(shards, Shard{
+				Key: fmt.Sprintf("%s/%s", scenario.id, sizeLabel(bs)),
+				// Both servers share one seed: the "SPDK saves" column
+				// is a paired comparison over the same device stream.
+				Run: func(seed uint64) any {
+					cfg := ull()
+					cfg.Seed ^= seed
+					k := nbd.NewModel(nbd.KernelNBD(cfg))
+					s := nbd.NewModel(nbd.SPDKNBD(cfg))
+					return serverPair{
+						kernel: nbdMean(k, scenario.write, scenario.random, bs, n),
+						spdk:   nbdMean(s, scenario.write, scenario.random, bs, n),
+					}
+				},
+			})
 		}
-		tables = append(tables, t)
 	}
-	tables[0].AddNote("paper Fig 23: SPDK NBD cuts read latency ~39%% (seq) / ~38%% (rand) — the server-side stack is the bottleneck for reads")
-	tables[2].AddNote("paper Fig 23: writes improve only ~3.7%% (seq) / ~4.6%% (rand) — client-side ext4 metadata and journaling dominate, and they cannot be bypassed")
-	return tables
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			var tables []*metrics.Table
+			i := 0
+			for _, scenario := range fig23Scenarios {
+				t := metrics.NewTable(scenario.id, scenario.title,
+					"block", "kernel NBD", "SPDK NBD", "SPDK saves")
+				for _, bs := range fig23Sizes {
+					m := res[i].(serverPair)
+					i++
+					t.AddRow(sizeLabel(bs), us(m.kernel), us(m.spdk), reduction(m.kernel, m.spdk)+"%")
+				}
+				tables = append(tables, t)
+			}
+			tables[0].AddNote("paper Fig 23: SPDK NBD cuts read latency ~39%% (seq) / ~38%% (rand) — the server-side stack is the bottleneck for reads")
+			tables[2].AddNote("paper Fig 23: writes improve only ~3.7%% (seq) / ~4.6%% (rand) — client-side ext4 metadata and journaling dominate, and they cannot be bypassed")
+			return tables
+		},
+	}
 }

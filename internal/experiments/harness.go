@@ -14,17 +14,32 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/orchestrator"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
 
-// Options control experiment scale.
+// Options control experiment scale and execution.
 type Options struct {
 	// Quick trades sample counts for speed (used by tests and the
 	// default CLI mode); full runs give stable five-nines tails.
 	Quick bool
-	Seed  uint64
+	// Seed is the root experiment seed; per-shard seeds are hashed from
+	// it. A zero Seed means "use the default" unless SeedSet is true,
+	// in which case 0 itself is the root (the zero value is a valid
+	// seed, not a sentinel).
+	Seed    uint64
+	SeedSet bool
+	// Parallel is the worker count for shard execution: 1 runs serially,
+	// 0 (or negative) uses GOMAXPROCS. Output is byte-identical for
+	// every value — shards carry their own derived seeds and build
+	// their own simulators, so scheduling cannot leak into results.
+	Parallel int
+	// Progress, when set, is called after each shard completes with the
+	// running count (serialized; completion order, not shard order). It
+	// feeds wall-clock reporting and never affects results.
+	Progress func(done, total int)
 }
 
 // scale picks a sample count: full when precision matters, quick for CI.
@@ -36,30 +51,118 @@ func (o Options) scale(quick, full int) int {
 }
 
 func (o Options) seed() uint64 {
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		return 0x1157c
 	}
 	return o.Seed
 }
 
-// Runner produces one experiment's tables.
-type Runner func(Options) []*metrics.Table
+// Shard is one independent sweep point of an experiment: it builds its
+// own simulator stack from the seed it is handed and returns a small,
+// immutable result for the merge step. Key must be stable and unique
+// within the experiment — it orders the merge and, hashed with the root
+// seed, determines the shard's private seed.
+type Shard struct {
+	Key string
+	Run func(seed uint64) any
+}
+
+// Plan is an experiment decomposed for the orchestrator: the sweep
+// points, plus a merge that folds their results (delivered in shard
+// order, independent of scheduling) back into the paper's tables.
+type Plan struct {
+	Shards []Shard
+	Merge  func(res []any) []*metrics.Table
+}
+
+// Planner produces one experiment's plan at the given scale.
+type Planner func(Options) *Plan
+
+// tablesOnly is a Plan for experiments with no simulation to fan out
+// (e.g. Table I, which just formats model parameters).
+func tablesOnly(build func() []*metrics.Table) *Plan {
+	return &Plan{Merge: func([]any) []*metrics.Table { return build() }}
+}
 
 // Experiment is a registered, runnable paper artifact.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   Runner
+	Plan  Planner
+}
+
+// jobs converts the experiment's shards into orchestrator jobs, with
+// keys namespaced by the experiment ID so plans from different
+// experiments can share one pool.
+func (e Experiment) jobs(p *Plan) []orchestrator.Job {
+	jobs := make([]orchestrator.Job, len(p.Shards))
+	for i, s := range p.Shards {
+		jobs[i] = orchestrator.Job{Key: e.ID + "/" + s.Key, Run: s.Run}
+	}
+	return jobs
+}
+
+// Run plans the experiment, executes its shards across o.Parallel
+// workers, and merges the results. For a fixed seed the output is
+// byte-identical for every worker count.
+func (e Experiment) Run(o Options) []*metrics.Table {
+	p := e.Plan(o)
+	return p.Merge(orchestrator.RunProgress(o.seed(), o.Parallel, e.jobs(p), o.Progress))
+}
+
+// ExperimentResult pairs an experiment with its regenerated tables.
+type ExperimentResult struct {
+	Experiment Experiment
+	Tables     []*metrics.Table
+}
+
+// RunAll regenerates every experiment in ids (nil means the whole
+// registry in paper order), flattening the shards of ALL experiments
+// into one orchestrator pool. This is the fast path: late, long shards
+// of one figure overlap with another figure's sweep instead of each
+// experiment draining its own pool behind a barrier.
+func RunAll(o Options, ids ...string) ([]ExperimentResult, error) {
+	exps := All()
+	if len(ids) > 0 {
+		exps = exps[:0:0]
+		seen := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("experiments: experiment %q requested twice", id)
+			}
+			seen[id] = true
+			exps = append(exps, e)
+		}
+	}
+	var jobs []orchestrator.Job
+	plans := make([]*Plan, len(exps))
+	starts := make([]int, len(exps))
+	for i, e := range exps {
+		plans[i] = e.Plan(o)
+		starts[i] = len(jobs)
+		jobs = append(jobs, e.jobs(plans[i])...)
+	}
+	res := orchestrator.RunProgress(o.seed(), o.Parallel, jobs, o.Progress)
+	out := make([]ExperimentResult, len(exps))
+	for i, e := range exps {
+		shard := res[starts[i] : starts[i]+len(plans[i].Shards)]
+		out[i] = ExperimentResult{Experiment: e, Tables: plans[i].Merge(shard)}
+	}
+	return out, nil
 }
 
 var registry = map[string]Experiment{}
 var order []string
 
-func register(id, title string, run Runner) {
+func register(id, title string, plan Planner) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	registry[id] = Experiment{ID: id, Title: title, Plan: plan}
 	order = append(order, id)
 }
 

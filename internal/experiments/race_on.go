@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// test lanes shrink under it (the detector costs ~10x on this
+// simulation-heavy code).
+const raceEnabled = true

@@ -8,10 +8,16 @@ import (
 )
 
 func init() {
-	register("tab1", "Table I: 3D flash technology characteristics", runTable1)
+	register("tab1", "Table I: 3D flash technology characteristics", planTable1)
 }
 
-func runTable1(Options) []*metrics.Table {
+// planTable1 has nothing to fan out — the table formats static model
+// parameters — so its plan is merge-only.
+func planTable1(Options) *Plan {
+	return tablesOnly(buildTable1)
+}
+
+func buildTable1() []*metrics.Table {
 	t := metrics.NewTable("tab1", "3D flash characteristics (model parameters)",
 		"parameter", "BiCS", "V-NAND", "Z-NAND")
 	cfgs := []flash.Config{flash.BiCS(), flash.VNAND(), flash.ZNAND()}

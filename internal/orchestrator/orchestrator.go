@@ -1,0 +1,159 @@
+// Package orchestrator executes independent simulation shards across a
+// worker pool and hands their results back in submission order.
+//
+// The experiment grid of the paper's evaluation is embarrassingly
+// parallel: every sweep point builds its own sim.Engine, device, and host
+// stack, so points never share mutable state. What they must NOT share is
+// a random stream — the simulator's determinism contract is per-engine,
+// and handing one RNG to many goroutines would make results depend on
+// scheduling. The orchestrator therefore gives every job its own seed,
+// derived by hashing the root seed with the job's stable key (SeedFor).
+// Results are written into a slot per job and returned in job order, so
+// output is byte-identical to a serial run regardless of how the pool
+// interleaves execution.
+package orchestrator
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one independent unit of work: a sweep point that builds its own
+// simulator stack, runs it, and returns a result. Key must be unique
+// within one Run call — it names the job in panics and, hashed with the
+// root seed, yields the job's private seed.
+type Job struct {
+	Key string
+	Run func(seed uint64) any
+}
+
+// SeedFor derives a job's seed from the root seed and the job's key.
+// The key is folded with FNV-1a and the result is mixed with the root
+// through a splitmix64 finalizer, so neighbouring keys ("qd=1", "qd=2")
+// land far apart and every job gets a statistically independent stream.
+func SeedFor(root uint64, key string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	// splitmix64 finalizer over root+hash: avalanche both inputs.
+	z := root + h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jobPanic records a panic raised inside a job so it can be re-thrown on
+// the caller's goroutine once the pool drains.
+type jobPanic struct {
+	key   string
+	value any
+	stack string
+}
+
+// Error formats the panic for re-throw with the originating job named.
+func (p *jobPanic) Error() string {
+	return fmt.Sprintf("orchestrator: job %q panicked: %v\n%s", p.key, p.value, p.stack)
+}
+
+// Run executes jobs across min(workers, len(jobs)) goroutines and returns
+// one result per job, in job order. workers <= 0 means GOMAXPROCS.
+//
+// Determinism: each job receives SeedFor(root, job.Key) and must confine
+// itself to state it builds; under that contract the returned slice is
+// identical for any worker count. Duplicate keys would silently give two
+// jobs the same seed, so they panic instead.
+//
+// Panics inside a job do not tear down the process from a pool goroutine:
+// every worker keeps draining, and after the pool joins, the panic of the
+// lowest-indexed failed job (a deterministic choice) is re-raised on the
+// caller's goroutine with the job key and original stack attached.
+func Run(root uint64, workers int, jobs []Job) []any {
+	return RunProgress(root, workers, jobs, nil)
+}
+
+// RunProgress is Run with a completion callback: progress(done, total)
+// fires after each job finishes, serialized by the orchestrator (no two
+// calls run concurrently), in completion order — NOT job order. Results
+// are unaffected; the callback exists for wall-clock reporting only.
+func RunProgress(root uint64, workers int, jobs []Job, progress func(done, total int)) []any {
+	n := len(jobs)
+	seen := make(map[string]struct{}, n)
+	for _, j := range jobs {
+		if _, dup := seen[j.Key]; dup {
+			panic("orchestrator: duplicate job key " + j.Key)
+		}
+		seen[j.Key] = struct{}{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]any, n)
+	panics := make([]*jobPanic, n)
+	if workers <= 1 {
+		// Serial fast path: same seeds, same order, same panic handling,
+		// no goroutines. This is the reference the pooled path must be
+		// byte-identical to.
+		for i := range jobs {
+			runOne(root, jobs[i], &results[i], &panics[i])
+			if progress != nil {
+				progress(i+1, n)
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var progressMu sync.Mutex
+		done := 0
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(root, jobs[i], &results[i], &panics[i])
+					if progress != nil {
+						// Count under the lock so done is strictly
+						// increasing across callbacks.
+						progressMu.Lock()
+						done++
+						progress(done, n)
+						progressMu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p.Error())
+		}
+	}
+	return results
+}
+
+// runOne executes a single job, converting a panic into a recorded
+// jobPanic so sibling jobs still complete.
+func runOne(root uint64, j Job, out *any, pout **jobPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			*pout = &jobPanic{key: j.Key, value: r, stack: string(debug.Stack())}
+		}
+	}()
+	*out = j.Run(SeedFor(root, j.Key))
+}

@@ -1,0 +1,181 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrderPreserved checks that results come back in job order for every
+// worker count, even when later jobs finish first.
+func TestOrderPreserved(t *testing.T) {
+	const n = 64
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Key: fmt.Sprintf("job-%d", i),
+			Run: func(seed uint64) any {
+				// Busy-spin a little so fast jobs overtake slow ones
+				// under the pool; the amount is index-dependent.
+				spin := (n - i) * 50
+				acc := seed
+				for k := 0; k < spin; k++ {
+					acc = acc*6364136223846793005 + 1442695040888963407
+				}
+				_ = acc
+				return i
+			},
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8, n + 5} {
+		got := Run(42, workers, jobs)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v.(int) != i {
+				t.Fatalf("workers=%d: slot %d holds %v", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestSeedsMatchSerial checks that every job observes SeedFor(root, key)
+// regardless of which goroutine runs it.
+func TestSeedsMatchSerial(t *testing.T) {
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		key := fmt.Sprintf("shard/%d", i)
+		jobs[i] = Job{Key: key, Run: func(seed uint64) any { return seed }}
+	}
+	serial := Run(7, 1, jobs)
+	pooled := Run(7, 8, jobs)
+	for i := range jobs {
+		want := SeedFor(7, jobs[i].Key)
+		if serial[i].(uint64) != want || pooled[i].(uint64) != want {
+			t.Fatalf("job %d: seeds %v/%v, want %v", i, serial[i], pooled[i], want)
+		}
+	}
+}
+
+func TestSeedForProperties(t *testing.T) {
+	// Distinct keys must give distinct seeds (no collisions across a
+	// realistic sweep), and the same (root, key) must be stable.
+	seen := map[uint64]string{}
+	for dev := 0; dev < 2; dev++ {
+		for p := 0; p < 4; p++ {
+			for qd := 1; qd <= 256; qd++ {
+				key := fmt.Sprintf("fig4a/dev=%d/p=%d/qd=%d", dev, p, qd)
+				s := SeedFor(0x1157c, key)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %q and %q -> %#x", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+	if SeedFor(1, "a") != SeedFor(1, "a") {
+		t.Fatal("SeedFor not stable")
+	}
+	if SeedFor(1, "a") == SeedFor(2, "a") {
+		t.Fatal("root seed ignored")
+	}
+	if SeedFor(1, "a") == SeedFor(1, "b") {
+		t.Fatal("key ignored")
+	}
+	// Root 0 is a valid root (Options.SeedSet makes Seed 0 explicit).
+	if SeedFor(0, "a") == SeedFor(0, "b") {
+		t.Fatal("root 0 collapses keys")
+	}
+}
+
+// TestPanicPropagation checks that a panicking job surfaces on the caller
+// goroutine with its key attached, that sibling jobs still complete, and
+// that with several failures the lowest-indexed one wins deterministically.
+func TestPanicPropagation(t *testing.T) {
+	var completed atomic.Int64
+	jobs := []Job{
+		{Key: "ok-0", Run: func(uint64) any { completed.Add(1); return 0 }},
+		{Key: "boom-1", Run: func(uint64) any { panic("first failure") }},
+		{Key: "ok-2", Run: func(uint64) any { completed.Add(1); return 2 }},
+		{Key: "boom-3", Run: func(uint64) any { panic("second failure") }},
+		{Key: "ok-4", Run: func(uint64) any { completed.Add(1); return 4 }},
+	}
+	for _, workers := range []int{1, 4} {
+		completed.Store(0)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: no panic propagated", workers)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T", workers, r)
+				}
+				if !strings.Contains(msg, `"boom-1"`) || !strings.Contains(msg, "first failure") {
+					t.Fatalf("workers=%d: wrong panic propagated: %s", workers, msg)
+				}
+			}()
+			Run(0, workers, jobs)
+		}()
+		if completed.Load() != 3 {
+			t.Fatalf("workers=%d: %d sibling jobs completed, want 3", workers, completed.Load())
+		}
+	}
+}
+
+func TestDuplicateKeyPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("duplicate keys accepted")
+		}
+	}()
+	Run(0, 1, []Job{
+		{Key: "same", Run: func(uint64) any { return 1 }},
+		{Key: "same", Run: func(uint64) any { return 2 }},
+	})
+}
+
+// TestProgressCallback checks that progress fires exactly once per job
+// with a monotonically increasing done count (the orchestrator
+// serializes the callback) for both the serial and pooled paths.
+func TestProgressCallback(t *testing.T) {
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("j%d", i), Run: func(seed uint64) any { return seed }}
+	}
+	for _, workers := range []int{1, 6} {
+		var calls int
+		last := 0
+		Run2 := func() {
+			RunProgress(5, workers, jobs, func(done, total int) {
+				calls++
+				if total != len(jobs) {
+					t.Fatalf("workers=%d: total %d, want %d", workers, total, len(jobs))
+				}
+				if done != last+1 {
+					t.Fatalf("workers=%d: done jumped %d -> %d", workers, last, done)
+				}
+				last = done
+			})
+		}
+		Run2()
+		if calls != len(jobs) || last != len(jobs) {
+			t.Fatalf("workers=%d: %d calls, last=%d, want %d", workers, calls, last, len(jobs))
+		}
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	if got := Run(0, 0, nil); len(got) != 0 {
+		t.Fatalf("empty job list: %v", got)
+	}
+	// workers <= 0 resolves to GOMAXPROCS; a single job must still run.
+	got := Run(9, -1, []Job{{Key: "k", Run: func(seed uint64) any { return seed }}})
+	if got[0].(uint64) != SeedFor(9, "k") {
+		t.Fatal("default worker count broke seeding")
+	}
+}

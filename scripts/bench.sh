@@ -5,6 +5,8 @@
 # Usage:
 #   scripts/bench.sh                 # update "current" only
 #   scripts/bench.sh -label PR1      # also upsert a history entry
+#   scripts/bench.sh -check          # CI gate: compare against the
+#                                    # baseline (±15%) instead of updating
 #
 # Extra args are passed to benchjson (see scripts/benchjson/main.go).
 # COUNT=5 scripts/bench.sh raises the number of benchmark repetitions.

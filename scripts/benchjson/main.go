@@ -1,13 +1,22 @@
 // Command benchjson folds `go test -bench -benchmem` output into the
 // repo's benchmark-trajectory file (BENCH_simcore.json). It reads the
-// benchmark text on stdin, keeps the best (minimum ns/op) run per
-// benchmark, refreshes the "current" block, and upserts the history
-// entry named by -label so the perf trajectory is tracked across PRs.
+// benchmark text on stdin and keeps the best (minimum ns/op) run per
+// benchmark.
 //
-// Usage:
+// Update mode (default) refreshes the "current" block and upserts the
+// history entry named by -label so the perf trajectory is tracked
+// across PRs:
 //
 //	go test -run '^$' -bench 'Simulator|NBDModel' -benchmem -count 3 . |
 //	    go run ./scripts/benchjson -label PR1 -out BENCH_simcore.json
+//
+// Check mode (-check) is the CI regression gate: instead of writing, it
+// compares the measured results against the "current" block of -out and
+// exits nonzero if any benchmark's ns/op or allocs/op regressed beyond
+// -tolerance (default ±15%). -measured optionally dumps the measured
+// results as JSON for artifact upload:
+//
+//	scripts/bench.sh -check -measured bench-measured.json
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,15 +41,29 @@ type entry struct {
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
+// lane records a wall-clock measurement of a whole experiment lane
+// (e.g. `ullsim run all`), tracked alongside the microbenchmarks.
+type lane struct {
+	Seconds  float64 `json:"seconds"`
+	Parallel int     `json:"parallel"`
+	HostCPUs int     `json:"host_cpus"`
+	Note     string  `json:"note,omitempty"`
+}
+
 type file struct {
 	Comment string            `json:"comment"`
 	Current map[string]result `json:"current"`
+	Lanes   map[string]lane   `json:"lanes,omitempty"`
 	History []entry           `json:"history"`
 }
 
 func main() {
 	label := flag.String("label", "", "history entry label (e.g. PR number); empty skips history")
-	out := flag.String("out", "BENCH_simcore.json", "output JSON path")
+	out := flag.String("out", "BENCH_simcore.json", "trajectory JSON path (baseline in -check mode)")
+	check := flag.Bool("check", false, "compare stdin results against -out instead of updating it")
+	tolerance := flag.Float64("tolerance", 0.15, "check mode: allowed relative regression in ns/op and allocs/op")
+	nsTolerance := flag.Float64("ns-tolerance", -1, "check mode: override the ns/op tolerance only (allocs/op keeps -tolerance); use a wide value when the baseline was recorded on different hardware")
+	measured := flag.String("measured", "", "check mode: also write the measured results to this JSON path")
 	flag.Parse()
 
 	results := map[string]result{}
@@ -73,6 +97,14 @@ func main() {
 		fatal(fmt.Errorf("no -benchmem lines found on stdin"))
 	}
 
+	if *check {
+		if *nsTolerance < 0 {
+			*nsTolerance = *tolerance
+		}
+		runCheck(*out, *measured, *nsTolerance, *tolerance, results)
+		return
+	}
+
 	var doc file
 	if raw, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(raw, &doc); err != nil {
@@ -93,14 +125,97 @@ func main() {
 			doc.History = append(doc.History, entry{Label: *label, Benchmarks: results})
 		}
 	}
-	buf, err := json.MarshalIndent(&doc, "", "  ")
+	writeJSON(*out, &doc)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// runCheck compares measured results against the baseline's "current"
+// block. A benchmark regresses when its ns/op exceeds the baseline by
+// more than nsTol or its allocs/op by more than allocTol (allocs are
+// machine-independent so they gate tighter than wall time when the
+// baseline came from different hardware); missing baselines for a
+// measured benchmark are reported but not fatal (new benchmarks land
+// via the update mode). Exits 1 on any regression or vanished
+// benchmark.
+func runCheck(baselinePath, measuredPath string, nsTol, allocTol float64, results map[string]result) {
+	// Write the measured artifact before touching the baseline: it
+	// depends only on stdin, and a missing/corrupt baseline must not
+	// discard the benchmark run that was just paid for.
+	if measuredPath != "" {
+		writeJSON(measuredPath, &file{
+			Comment: "Measured by benchjson -check; baseline is " + baselinePath,
+			Current: results,
+		})
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("check mode needs a baseline: %w", err))
+	}
+	var base file
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", baselinePath, err))
+	}
+	names := make([]string, 0, len(base.Current))
+	for name := range base.Current {
+		names = append(names, name)
+	}
+	// Deterministic report order regardless of map iteration.
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		b := base.Current[name]
+		m, ok := results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: present in baseline but not measured\n", name)
+			failed = true
+			continue
+		}
+		nsLimit := b.NsPerOp * (1 + nsTol)
+		alLimit := float64(b.AllocsPerOp) * (1 + allocTol)
+		switch {
+		case m.NsPerOp > nsLimit:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit +%.0f%%)\n",
+				name, m.NsPerOp, b.NsPerOp, 100*(m.NsPerOp/b.NsPerOp-1), 100*nsTol)
+			failed = true
+		case float64(m.AllocsPerOp) > alLimit:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %d allocs/op vs baseline %d (limit +%.0f%%)\n",
+				name, m.AllocsPerOp, b.AllocsPerOp, 100*allocTol)
+			failed = true
+		case m.NsPerOp < b.NsPerOp*(1-nsTol):
+			fmt.Fprintf(os.Stderr, "benchjson: NOTE %s improved %.0f -> %.0f ns/op; refresh the baseline with scripts/bench.sh\n",
+				name, b.NsPerOp, m.NsPerOp)
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.0f ns/op (baseline %.0f, limit +%.0f%%), %d allocs/op (baseline %d)\n",
+				name, m.NsPerOp, b.NsPerOp, 100*nsTol, m.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	var unbaselined []string
+	for name := range results {
+		if _, ok := base.Current[name]; !ok {
+			unbaselined = append(unbaselined, name)
+		}
+	}
+	sort.Strings(unbaselined)
+	for _, name := range unbaselined {
+		fmt.Fprintf(os.Stderr, "benchjson: NOTE %s has no baseline; add it via scripts/bench.sh\n", name)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: benchmark regression beyond tolerance (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+			100*nsTol, 100*allocTol)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: all %d benchmarks within tolerance of %s (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+		len(results), baselinePath, 100*nsTol, 100*allocTol)
+}
+
+func writeJSON(path string, doc *file) {
+	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
 }
 
 func fatal(err error) {
