@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"strconv"
@@ -42,7 +43,8 @@ func main() {
 
 func parseSize(s string) (int64, error) {
 	mult := int64(1)
-	upper := strings.ToUpper(s)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	matched := false
 	for _, suffix := range []struct {
 		tag string
 		m   int64
@@ -50,12 +52,21 @@ func parseSize(s string) (int64, error) {
 		if strings.HasSuffix(upper, suffix.tag) {
 			mult = suffix.m
 			upper = strings.TrimSuffix(upper, suffix.tag)
+			matched = true
 			break
 		}
+	}
+	// Bare-byte suffix ("4096B"); checked only after the multi-letter
+	// tags, every one of which also ends in B.
+	if !matched {
+		upper = strings.TrimSuffix(upper, "B")
 	}
 	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
 	if err != nil || n <= 0 {
 		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
 	}
 	return n * mult, nil
 }

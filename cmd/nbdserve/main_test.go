@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"4096", 4096},
+		{"4096B", 4096},
+		{"4096b", 4096},
+		{"1KiB", 1 << 10},
+		{"64MiB", 64 << 20},
+		{"1GiB", 1 << 30},
+		{"1gib", 1 << 30},
+		{"10KB", 10_000},
+		{"2MB", 2_000_000},
+		{"3GB", 3_000_000_000},
+		{" 256MiB ", 256 << 20},
+		{"8589934591B", 8589934591}, // plain bytes above 2^32
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"B", // no digits
+		"abc",
+		"12XB",
+		"-5MiB",
+		"0",
+		"0GiB",
+		"1.5GiB",              // no fractional sizes
+		"9999999999GiB",       // n * mult overflows int64 (used to wrap silently)
+		"10000000000000GB",    // decimal multiplier overflow
+		"9223372036854775808", // > MaxInt64 even without a suffix
+	}
+	for _, c := range cases {
+		if n, err := parseSize(c); err == nil {
+			t.Errorf("parseSize(%q) accepted bad input (= %d)", c, n)
+		}
+	}
+}
+
+// TestParseSizeOverflowBoundary pins the exact boundary: the largest
+// value that fits must parse, one more unit must not.
+func TestParseSizeOverflowBoundary(t *testing.T) {
+	// MaxInt64 = 9223372036854775807; / 2^30 = 8589934591.999..., so
+	// 8589934591GiB fits and 8589934592GiB overflows.
+	if _, err := parseSize("8589934591GiB"); err != nil {
+		t.Errorf("largest in-range GiB size rejected: %v", err)
+	}
+	if n, err := parseSize("8589934592GiB"); err == nil {
+		t.Errorf("overflowing GiB size accepted (= %d)", n)
+	}
+}

@@ -6,6 +6,8 @@
 //	ullsim list                 # show available experiments
 //	ullsim run fig4a [fig5 ...] # run specific experiments
 //	ullsim run all              # run everything
+//	ullsim run ext-loadcurve    # open-loop latency vs offered load (hockey stick)
+//	ullsim run ext-tenants      # reader tail latency vs co-tenant write rate
 //
 // Flags:
 //
@@ -141,6 +143,9 @@ func usage() {
 usage:
   ullsim list
   ullsim [-full] [-seed N] [-parallel N] [-csv DIR] run <id>... | all
+
+open-loop extensions (latency vs offered load, multi-tenant mixes):
+  ullsim run ext-loadcurve ext-tenants
 `)
 	flag.PrintDefaults()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -21,8 +22,10 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Extensions live alongside the paper artifacts.
-	if _, ok := ByID("ext-lightq"); !ok {
-		t.Error("extension ext-lightq not registered")
+	for _, id := range []string{"ext-lightq", "ext-pollopt", "ext-loadcurve", "ext-tenants"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("extension %s not registered", id)
+		}
 	}
 	if len(All()) < len(want)+1 {
 		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want)+1)
@@ -172,18 +175,24 @@ func TestRunRegionConfinement(t *testing.T) {
 
 // shortSet is the reduced figure set exercised under -short: one
 // experiment per subsystem family (device comparison, completion
-// methods, hybrid polling, SPDK, NBD, and the light-queue extension),
-// keeping a fast CI lane that still sweeps every code path.
+// methods, hybrid polling, SPDK, NBD, the light-queue extension, and the
+// open-loop load/tenant extensions), keeping a fast CI lane that still
+// sweeps every code path.
 var shortSet = []string{
 	"tab1", "fig4a", "fig10", "fig12", "fig20", "fig23", "ext-lightq",
+	"ext-loadcurve", "ext-tenants",
 }
 
 // raceSet trims the lane further for `go test -race -short`: the
 // detector costs ~10x, so one light experiment per stack family keeps
 // the race job inside CI budgets while still driving the worker pool
-// over async, sync, SPDK-paired, NBD, and light-queue shards.
+// over async, sync, SPDK-paired, NBD, light-queue, and open-loop shards.
+// ext-loadcurve and ext-tenants additionally auto-shrink their sweeps
+// and windows under the detector (see loadPoints/tenantFracs/
+// loadCurveScale), so including them costs seconds, not minutes.
 var raceSet = []string{
 	"tab1", "fig6", "fig12", "fig23", "ext-lightq",
+	"ext-loadcurve", "ext-tenants",
 }
 
 // laneIDs picks the experiment set for the current test mode: the whole
@@ -295,6 +304,103 @@ func TestFig4aDeterministic(t *testing.T) {
 	a, b := render(), render()
 	if a != b {
 		t.Fatalf("fig4a output differs between identically seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// parseUS reads a table cell formatted by us() back into microseconds.
+func parseUS(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a latency: %v", cell, err)
+	}
+	return v
+}
+
+// TestLoadCurveTailMonotonicAtKnee is the acceptance check for the
+// open-loop hockey stick: for every stack, p99 at the highest offered
+// load must sit strictly above p99 at the lowest, and mean latency must
+// be non-decreasing across the whole sweep's knee (first vs last point).
+func TestLoadCurveTailMonotonicAtKnee(t *testing.T) {
+	// Skip on raceEnabled alone, not raceEnabled && Short: the race build
+	// shrinks loadPoints to a single point, which leaves no knee to check
+	// regardless of -short.
+	if raceEnabled {
+		t.Skip("the race build shrinks the sweep to one load point; the non-race lanes check the knee")
+	}
+	e, ok := ByID("ext-loadcurve")
+	if !ok {
+		t.Fatal("ext-loadcurve not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tb := tables[0]
+	const (
+		colStack = 0
+		colP99   = 5
+	)
+	first := map[string]float64{} // stack -> p99 at lowest load
+	last := map[string]float64{}  // stack -> p99 at highest load (rows are load-ordered)
+	for _, row := range tb.Rows {
+		stack := row[colStack]
+		p99 := parseUS(t, row[colP99])
+		if _, seen := first[stack]; !seen {
+			first[stack] = p99
+		}
+		last[stack] = p99
+	}
+	if len(first) != 3 {
+		t.Fatalf("expected 3 stacks, saw %d", len(first))
+	}
+	for stack, lo := range first {
+		if hi := last[stack]; hi <= lo {
+			t.Errorf("%s: p99 at highest load (%.2fus) not above lowest load (%.2fus) — no knee", stack, hi, lo)
+		}
+	}
+}
+
+// TestTenantsReaderTailGrowsWithWriteRate checks ext-tenants' headline:
+// the reader's p99 with the heaviest co-tenant writer exceeds the solo
+// baseline.
+func TestTenantsReaderTailGrowsWithWriteRate(t *testing.T) {
+	// As above: the race build's single-point sweep has no solo baseline
+	// row, so the comparison is meaningless under the detector.
+	if raceEnabled {
+		t.Skip("the race build shrinks the sweep to one tenant point; the non-race lanes check the tail growth")
+	}
+	e, ok := ByID("ext-tenants")
+	if !ok {
+		t.Fatal("ext-tenants not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	tb := tables[0]
+	const colReaderP99 = 5
+	solo := parseUS(t, tb.Rows[0][colReaderP99])
+	heaviest := parseUS(t, tb.Rows[len(tb.Rows)-1][colReaderP99])
+	if heaviest <= solo {
+		t.Fatalf("reader p99 beside the heaviest writer (%.2fus) not above solo (%.2fus)", heaviest, solo)
+	}
+}
+
+// TestOpenLoopExperimentsDeterministic renders ext-loadcurve and
+// ext-tenants twice serially and once through 4 workers: all three must
+// be byte-identical for a fixed seed (the ISSUE's acceptance bar for the
+// open-loop engine).
+func TestOpenLoopExperimentsDeterministic(t *testing.T) {
+	if raceEnabled && testing.Short() {
+		t.Skip("three full open-loop lanes are too slow under the race detector; TestParallelMatchesSerial covers these experiments")
+	}
+	ids := []string{"ext-loadcurve", "ext-tenants"}
+	a := renderLane(t, Options{Quick: true, Seed: 0x10ad, Parallel: 1}, ids)
+	b := renderLane(t, Options{Quick: true, Seed: 0x10ad, Parallel: 1}, ids)
+	if a != b {
+		t.Fatal("repeat serial runs differ for a fixed seed")
+	}
+	c := renderLane(t, Options{Quick: true, Seed: 0x10ad, Parallel: 4}, ids)
+	if a != c {
+		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
 	}
 }
 

@@ -244,16 +244,42 @@ func spdkSystem(dev ssd.Config, seed uint64) *core.System {
 	return core.NewSystem(cfg)
 }
 
+// confineRegion reports the byte region a measurement job should touch
+// on sys: the preconditioned span, aligned down to 1MiB, so reads always
+// hit mapped media. Zero when the device is not preconditioned.
+func confineRegion(sys *core.System) int64 {
+	if sys.Cfg.Precondition <= 0 {
+		return 0
+	}
+	region := int64(sys.Cfg.Precondition * float64(sys.ExportedBytes()))
+	const align = 1 << 20
+	return region / align * align
+}
+
 // run executes a job and returns its result. Unless the job says
 // otherwise, I/O is confined to the preconditioned region so reads always
 // touch mapped media.
 func run(sys *core.System, job workload.Job) *workload.Result {
-	if job.Region == 0 && sys.Cfg.Precondition > 0 {
-		region := int64(sys.Cfg.Precondition * float64(sys.ExportedBytes()))
-		const align = 1 << 20
-		job.Region = region / align * align
+	if job.Region == 0 {
+		job.Region = confineRegion(sys)
 	}
 	return workload.Run(sys, job)
+}
+
+// runTenants executes open-loop tenants concurrently on one system, each
+// confined to the preconditioned region like run.
+func runTenants(sys *core.System, jobs ...workload.OpenJob) []*workload.OpenResult {
+	for i := range jobs {
+		if jobs[i].Region == 0 {
+			jobs[i].Region = confineRegion(sys)
+		}
+	}
+	return workload.RunTenants(sys, jobs...)
+}
+
+// runOpen is run's open-loop single-tenant counterpart.
+func runOpen(sys *core.System, job workload.OpenJob) *workload.OpenResult {
+	return runTenants(sys, job)[0]
 }
 
 // us formats a sim.Time as microseconds with two decimals.

@@ -129,26 +129,63 @@ type Engine interface {
 // Replay issues the trace against target with its original timing
 // (open-loop: each I/O fires at its recorded issue time, regardless of
 // completions) and records the new latencies into out (which may be
-// nil). It returns the number of I/Os scheduled; the caller runs the
-// engine to completion.
+// nil). It returns the number of I/Os that will be issued; the caller
+// runs the engine to completion.
+//
+// Scheduling is chained: each replay event schedules the next, so the
+// engine's heap holds one pending trace event (plus the in-flight I/Os)
+// at a time instead of one entry per trace line — a million-I/O trace
+// costs O(in-flight) heap, not O(trace). Issue times that run backwards
+// are clamped to the current instant rather than panicking the engine.
 func Replay(eng Engine, target Target, events []Event, out *Recorder) int {
-	base := eng.Now()
-	for _, e := range events {
-		e := e
-		eng.At(base+e.Issue, func() {
-			start := eng.Now()
-			target.Submit(e.Write, e.Offset, e.Len, func() {
-				if out != nil {
-					out.Record(Event{
-						Issue:   start - base,
-						Write:   e.Write,
-						Offset:  e.Offset,
-						Len:     e.Len,
-						Latency: eng.Now() - start,
-					})
-				}
-			})
-		})
+	if len(events) == 0 {
+		return 0
 	}
+	r := &replayer{eng: eng, target: target, events: events, out: out, base: eng.Now()}
+	r.stepFn = r.step
+	r.schedule()
 	return len(events)
+}
+
+type replayer struct {
+	eng    Engine
+	target Target
+	events []Event
+	out    *Recorder
+	base   sim.Time
+	idx    int
+	stepFn func() // bound once: chaining allocates no per-event closure
+}
+
+// schedule arms the event at r.idx.
+func (r *replayer) schedule() {
+	t := r.base + r.events[r.idx].Issue
+	if now := r.eng.Now(); t < now {
+		t = now
+	}
+	r.eng.At(t, r.stepFn)
+}
+
+// step issues the current trace event and chains the next one. The next
+// arrival is scheduled before the submission so that, at equal
+// timestamps, the replayed request stream keeps firing ahead of the
+// completion machinery the submission schedules.
+func (r *replayer) step() {
+	e := r.events[r.idx]
+	r.idx++
+	if r.idx < len(r.events) {
+		r.schedule()
+	}
+	start := r.eng.Now()
+	r.target.Submit(e.Write, e.Offset, e.Len, func() {
+		if r.out != nil {
+			r.out.Record(Event{
+				Issue:   start - r.base,
+				Write:   e.Write,
+				Offset:  e.Offset,
+				Len:     e.Len,
+				Latency: r.eng.Now() - start,
+			})
+		}
+	})
 }

@@ -136,6 +136,140 @@ func TestReplayNilRecorder(t *testing.T) {
 	eng.Run() // must not panic
 }
 
+// upfrontReplay is the pre-chaining reference implementation (one heap
+// entry per trace line, scheduled before the run starts). The chained
+// Replay must reproduce its output byte for byte.
+func upfrontReplay(eng *sim.Engine, target Target, events []Event, out *Recorder) {
+	base := eng.Now()
+	for _, e := range events {
+		e := e
+		eng.At(base+e.Issue, func() {
+			start := eng.Now()
+			target.Submit(e.Write, e.Offset, e.Len, func() {
+				if out != nil {
+					out.Record(Event{
+						Issue:   start - base,
+						Write:   e.Write,
+						Offset:  e.Offset,
+						Len:     e.Len,
+						Latency: eng.Now() - start,
+					})
+				}
+			})
+		})
+	}
+}
+
+// syntheticTrace builds a deterministic n-event trace with mixed ops,
+// irregular spacing, and runs of identical timestamps (the tie case
+// chained scheduling must get right).
+func syntheticTrace(n int) []Event {
+	events := make([]Event, n)
+	var at sim.Time
+	for i := range events {
+		if i%7 != 0 { // every 7th event shares its predecessor's instant
+			at += sim.Time(100 + (i*37)%900)
+		}
+		events[i] = Event{
+			Issue:  at,
+			Write:  i%3 == 0,
+			Offset: int64(i%512) * 4096,
+			Len:    4096,
+		}
+	}
+	return events
+}
+
+// TestReplayMatchesUpfrontScheduling: chaining is an optimization, not a
+// semantics change — the recorded output must be byte-identical to the
+// schedule-everything-up-front reference.
+func TestReplayMatchesUpfrontScheduling(t *testing.T) {
+	events := syntheticTrace(5000)
+	render := func(replay func(*sim.Engine, *fakeTarget, *Recorder)) string {
+		eng := sim.NewEngine()
+		target := &fakeTarget{eng: eng, delay: 650}
+		out := NewRecorder()
+		replay(eng, target, out)
+		eng.Run()
+		var sb strings.Builder
+		if err := out.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	chained := render(func(eng *sim.Engine, tg *fakeTarget, out *Recorder) {
+		Replay(eng, tg, events, out)
+	})
+	upfront := render(func(eng *sim.Engine, tg *fakeTarget, out *Recorder) {
+		upfrontReplay(eng, tg, events, out)
+	})
+	if chained != upfront {
+		t.Fatal("chained replay output differs from the upfront reference")
+	}
+}
+
+// meteredEngine watches heap occupancy through the trace.Engine
+// interface as Replay schedules events.
+type meteredEngine struct {
+	*sim.Engine
+	maxPending int
+}
+
+func (m *meteredEngine) At(t sim.Time, fn func()) sim.EventRef {
+	ref := m.Engine.At(t, fn)
+	if p := m.Engine.Pending(); p > m.maxPending {
+		m.maxPending = p
+	}
+	return ref
+}
+
+// TestReplayHeapStaysBounded is the O(trace) -> O(in-flight) guarantee:
+// replaying 50k events must never hold more than a handful of pending
+// events (one chained arrival + the in-flight completion).
+func TestReplayHeapStaysBounded(t *testing.T) {
+	const n = 50_000
+	eng := &meteredEngine{Engine: sim.NewEngine()}
+	target := &fakeTarget{eng: eng.Engine, delay: 120}
+	if got := Replay(eng, target, syntheticTrace(n), nil); got != n {
+		t.Fatalf("Replay reported %d, want %d", got, n)
+	}
+	eng.Engine.Run()
+	if len(target.seen) != n {
+		t.Fatalf("target saw %d of %d I/Os", len(target.seen), n)
+	}
+	if eng.maxPending > 8 {
+		t.Fatalf("heap held %d pending events for a chained replay, want O(in-flight)", eng.maxPending)
+	}
+}
+
+// TestReplayOutOfOrderIssueTolerated: a trace whose issue times run
+// backwards must clamp to "now" instead of panicking the engine.
+func TestReplayOutOfOrderIssueTolerated(t *testing.T) {
+	events := []Event{
+		{Issue: 5000, Offset: 0, Len: 512},
+		{Issue: 1000, Offset: 4096, Len: 512}, // earlier than its predecessor
+		{Issue: 9000, Offset: 8192, Len: 512},
+	}
+	eng := sim.NewEngine()
+	target := &fakeTarget{eng: eng, delay: 10}
+	Replay(eng, target, events, nil)
+	eng.Run()
+	if len(target.seen) != 3 {
+		t.Fatalf("target saw %d I/Os", len(target.seen))
+	}
+	if target.seen[1].Issue != 5000 {
+		t.Fatalf("out-of-order event issued at %v, want clamped to 5000", target.seen[1].Issue)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	eng := sim.NewEngine()
+	if n := Replay(eng, &fakeTarget{eng: eng, delay: 1}, nil, nil); n != 0 {
+		t.Fatalf("empty replay reported %d", n)
+	}
+	eng.Run() // nothing scheduled; must not panic
+}
+
 // Property: WriteCSV/ReadCSV round-trips arbitrary events.
 func TestCSVRoundTripProperty(t *testing.T) {
 	prop := func(raw []uint32) bool {

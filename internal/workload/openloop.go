@@ -1,0 +1,377 @@
+// Open-loop load generation: I/Os arrive on a clock (fixed-rate,
+// Poisson, or bursty on-off), independent of completions, the way
+// traffic from many independent clients hits a storage server. The
+// closed-loop engine in workload.go can only sweep queue depth; this one
+// sweeps *offered load*, which is what the paper's interference and
+// tail-latency claims (Sections III-V) are really about. Arrivals beyond
+// the in-flight admission cap wait in a bounded FIFO; beyond that they
+// are dropped — overload is observable (Deferred/Dropped counters)
+// instead of unbounded.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ArrivalKind selects the arrival process of an open-loop job.
+type ArrivalKind int
+
+// The three arrival processes.
+const (
+	// FixedRate spaces arrivals exactly 1/Rate apart.
+	FixedRate ArrivalKind = iota
+	// Poisson draws exponential interarrival gaps with mean 1/Rate.
+	Poisson
+	// Bursty is an on-off modulated Poisson process: exponential gaps at
+	// Rate during each On window, silence during each Off gap.
+	Bursty
+)
+
+var arrivalNames = []string{"fixed", "poisson", "bursty"}
+
+func (k ArrivalKind) String() string {
+	if int(k) < len(arrivalNames) {
+		return arrivalNames[k]
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(k))
+}
+
+// Arrival describes an open-loop arrival process. Rate is the mean
+// arrival rate in I/Os per second while the process is active; Bursty
+// additionally cycles through On (active) and Off (silent) windows.
+type Arrival struct {
+	Kind ArrivalKind
+	Rate float64  // arrivals per second while active (> 0)
+	On   sim.Time // Bursty: length of the active window (> 0)
+	Off  sim.Time // Bursty: length of the silent gap
+}
+
+// arrivalClock generates the arrival instants of one process. It is
+// driven chained — each arrival computes the next — so the event heap
+// holds at most one pending arrival per tenant.
+type arrivalClock struct {
+	a     Arrival
+	rng   *sim.RNG
+	next  sim.Time // the upcoming arrival instant
+	phase sim.Time // Bursty: start of the first On window
+}
+
+func newArrivalClock(a Arrival, start sim.Time, rng *sim.RNG) *arrivalClock {
+	if a.Rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	if a.Kind == Bursty && a.On <= 0 {
+		panic("workload: bursty arrivals need a positive On window")
+	}
+	c := &arrivalClock{a: a, rng: rng, phase: start}
+	switch a.Kind {
+	case FixedRate:
+		c.next = start // the first arrival fires immediately
+	default:
+		c.next = c.skipOff(start + c.gap())
+	}
+	return c
+}
+
+// gap draws one interarrival gap (>= 1ns so the clock always advances).
+func (c *arrivalClock) gap() sim.Time {
+	mean := 1e9 / c.a.Rate // ns
+	var g sim.Time
+	if c.a.Kind == FixedRate {
+		g = sim.Time(mean)
+	} else {
+		g = sim.Time(c.rng.Exp(mean))
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// skipOff pushes an instant that lands in an Off gap to the start of the
+// next On window.
+func (c *arrivalClock) skipOff(t sim.Time) sim.Time {
+	if c.a.Kind != Bursty || c.a.Off <= 0 {
+		return t
+	}
+	cycle := c.a.On + c.a.Off
+	p := (t - c.phase) % cycle
+	if p >= c.a.On {
+		t += cycle - p
+	}
+	return t
+}
+
+// pop returns the current arrival instant and advances the clock.
+func (c *arrivalClock) pop() sim.Time {
+	t := c.next
+	c.next = c.skipOff(t + c.gap())
+	return t
+}
+
+// Open-loop admission defaults.
+const (
+	// DefaultMaxInFlight is the admission cap when OpenJob.MaxInFlight is
+	// zero; sync stacks are always clamped to 1.
+	DefaultMaxInFlight = 32
+	// DefaultQueueCap bounds the arrival FIFO when OpenJob.QueueCap is
+	// zero. Arrivals past cap+queue are dropped, never buffered.
+	DefaultQueueCap = 1024
+)
+
+// OpenJob describes one open-loop tenant.
+type OpenJob struct {
+	Name          string
+	Pattern       Pattern
+	WriteFraction float64 // RandRW only
+	BlockSize     int
+	Arrival       Arrival
+
+	// MaxInFlight caps concurrently submitted I/Os (0: DefaultMaxInFlight;
+	// clamped to 1 on synchronous stacks, which serve one I/O at a time).
+	MaxInFlight int
+	// QueueCap bounds the FIFO of admitted-but-waiting arrivals
+	// (0: DefaultQueueCap; negative: no queue, overload drops instantly).
+	QueueCap int
+
+	TotalIOs     int      // stop after this many arrivals (0: use Duration)
+	Duration     sim.Time // stop generating arrivals after this much virtual time
+	WarmupIOs    int      // arrivals discarded from measurement, by count
+	WarmupTime   sim.Time // completions before this offset are discarded
+	Region       int64    // bytes of the device to touch (0: whole device)
+	Seed         uint64
+	SeriesBucket sim.Time
+	Trace        *trace.Recorder // when set, record every measured I/O
+}
+
+// OpenResult extends Result with the open-loop admission counters. The
+// Job field shadows the embedded (zero) Result.Job with the OpenJob that
+// produced it. Latencies are measured from *arrival*, so queueing delay
+// under overload is part of every percentile — that is the point.
+type OpenResult struct {
+	Result
+	Job       OpenJob
+	Offered   uint64 // arrivals generated by the arrival process
+	Admitted  uint64 // arrivals submitted to the stack
+	Deferred  uint64 // arrivals that had to wait in the admission queue
+	Dropped   uint64 // arrivals discarded because the queue was full
+	PeakQueue int    // high-water mark of the admission queue
+}
+
+// pendingIO is one arrival waiting for (or holding) an admission slot.
+type pendingIO struct {
+	seq     int
+	write   bool
+	offset  int64
+	arrival sim.Time
+}
+
+type openRunner struct {
+	sys      *core.System
+	job      OpenJob
+	ops      *opStream
+	clock    *arrivalClock
+	clockRNG *sim.RNG // seeds the arrival clock once start() fixes t=0
+
+	cap      int
+	queueCap int
+	queue    []pendingIO // FIFO window [head:]
+	head     int
+	inFlight int
+
+	generating bool
+	stopAt     sim.Time // arrival generation deadline (0: none)
+	startT     sim.Time
+	arriveFn   func() // bound once; the chained arrival event
+
+	m   meter
+	res OpenResult
+}
+
+// mixTenantSeed derives a tenant's private seed so co-tenants that carry
+// the same OpenJob.Seed still draw independent streams.
+func mixTenantSeed(seed uint64, tenant int) uint64 {
+	return seed ^ 0x9e3779b97f4a7c15*uint64(tenant+1)
+}
+
+func newOpenRunner(sys *core.System, job OpenJob, tenant int) *openRunner {
+	if job.TotalIOs == 0 && job.Duration == 0 {
+		panic("workload: open-loop job needs a stop condition (TotalIOs or Duration)")
+	}
+	capIF := job.MaxInFlight
+	if capIF == 0 {
+		capIF = DefaultMaxInFlight
+	}
+	if capIF < 0 {
+		panic("workload: open-loop admission cap must be positive")
+	}
+	if sys.Cfg.Stack == core.KernelSync {
+		capIF = 1 // pvsync2 serves one I/O at a time
+	}
+	qc := job.QueueCap
+	if qc == 0 {
+		qc = DefaultQueueCap
+	}
+	if qc < 0 {
+		qc = 0
+	}
+	base := sim.NewRNG(mixTenantSeed(job.Seed, tenant))
+	r := &openRunner{
+		sys: sys,
+		job: job,
+		ops: newOpStream(sys, job.Pattern, job.WriteFraction, job.BlockSize,
+			job.Region, base.Fork()),
+		clockRNG: base.Fork(),
+		cap:      capIF,
+		queueCap: qc,
+	}
+	r.arriveFn = r.arrive
+	r.res.Job = job
+	if job.SeriesBucket > 0 {
+		r.res.Series = metrics.NewSeries(job.SeriesBucket)
+		r.res.WriteSeries = metrics.NewSeries(job.SeriesBucket)
+	}
+	return r
+}
+
+func (r *openRunner) start() {
+	r.startT = r.sys.Eng.Now()
+	if r.job.Duration > 0 {
+		r.stopAt = r.startT + r.job.Duration
+	}
+	r.m = meter{
+		warmupIOs:  r.job.WarmupIOs,
+		warmupTime: r.job.WarmupTime,
+		blockSize:  r.job.BlockSize,
+		startT:     r.startT,
+		trace:      r.job.Trace,
+		res:        &r.res.Result,
+	}
+	r.generating = true
+	r.clock = newArrivalClock(r.job.Arrival, r.startT, r.clockRNG)
+	r.scheduleNext()
+}
+
+// scheduleNext chains the next arrival event; the heap never holds more
+// than one pending arrival per tenant.
+func (r *openRunner) scheduleNext() {
+	if !r.generating {
+		return
+	}
+	if r.job.TotalIOs > 0 && int(r.res.Offered) >= r.job.TotalIOs {
+		r.generating = false
+		return
+	}
+	t := r.clock.pop()
+	if r.stopAt > 0 && t >= r.stopAt {
+		r.generating = false
+		return
+	}
+	r.sys.Eng.At(t, r.arriveFn)
+}
+
+func (r *openRunner) queued() int { return len(r.queue) - r.head }
+
+func (r *openRunner) arrive() {
+	now := r.sys.Eng.Now()
+	seq := int(r.res.Offered)
+	r.res.Offered++
+	// Chain the next arrival before issuing this one: at equal
+	// timestamps the offered stream stays ahead of the completion work
+	// the submission below schedules.
+	r.scheduleNext()
+	write, offset := r.ops.next()
+	p := pendingIO{seq: seq, write: write, offset: offset, arrival: now}
+	switch {
+	case r.inFlight < r.cap && r.queued() == 0:
+		r.issue(p)
+	case r.queued() < r.queueCap:
+		r.res.Deferred++
+		if r.head > 0 && len(r.queue) == cap(r.queue) {
+			// Compact instead of growing: memory stays O(QueueCap).
+			n := copy(r.queue, r.queue[r.head:])
+			r.queue = r.queue[:n]
+			r.head = 0
+		}
+		r.queue = append(r.queue, p)
+		if q := r.queued(); q > r.res.PeakQueue {
+			r.res.PeakQueue = q
+		}
+	default:
+		r.res.Dropped++
+	}
+}
+
+func (r *openRunner) issue(p pendingIO) {
+	r.inFlight++
+	r.res.Admitted++
+	r.sys.Submit(p.write, p.offset, r.job.BlockSize, func() { r.onDone(p) })
+}
+
+func (r *openRunner) onDone(p pendingIO) {
+	now := r.sys.Eng.Now()
+	r.inFlight--
+	// Latency counts from arrival: queueing delay is part of what an
+	// open-loop client experiences.
+	r.m.observe(p.seq, p.write, p.offset, p.arrival, now)
+	if r.queued() > 0 && r.inFlight < r.cap {
+		next := r.queue[r.head]
+		r.head++
+		if r.head == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.head = 0
+		}
+		r.issue(next)
+	}
+}
+
+func (r *openRunner) result() *OpenResult {
+	r.m.finish()
+	return &r.res
+}
+
+// RunOpen drives one open-loop job against sys to completion: arrivals
+// stop at the job's stop condition, the engine drains the queue and all
+// in-flight I/Os, and deferred accounting is finalized.
+func RunOpen(sys *core.System, job OpenJob) *OpenResult {
+	return RunTenants(sys, job)[0]
+}
+
+// RunTenants drives N open-loop tenants concurrently against one system
+// — the multi-tenant mixing the paper's interference sections study
+// (e.g. a latency-sensitive random reader beside a bandwidth-hog
+// sequential writer). Tenants share the stack, the queues, and the
+// device; each gets its own arrival process, admission state, and
+// Result. Tenants carrying identical Seeds still draw independent
+// streams (the tenant index is mixed into every seed).
+func RunTenants(sys *core.System, jobs ...OpenJob) []*OpenResult {
+	if len(jobs) == 0 {
+		panic("workload: RunTenants needs at least one job")
+	}
+	if sys.Cfg.Stack == core.KernelSync && len(jobs) > 1 {
+		// The per-tenant admission clamp bounds each tenant to one
+		// in-flight I/O, but the pvsync2 invariant is global: a second
+		// tenant would overlap the first mid-syscall and panic deep in
+		// the stack. Fail here, where the mistake is legible.
+		panic("workload: synchronous stacks serve one tenant at a time (one I/O outstanding globally)")
+	}
+	runners := make([]*openRunner, len(jobs))
+	for i, job := range jobs {
+		runners[i] = newOpenRunner(sys, job, i)
+	}
+	for _, r := range runners {
+		r.start()
+	}
+	sys.Eng.Run()
+	sys.Finalize()
+	out := make([]*OpenResult, len(runners))
+	for i, r := range runners {
+		out[i] = r.result()
+	}
+	return out
+}

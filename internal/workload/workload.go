@@ -58,13 +58,17 @@ type Job struct {
 
 // Result carries everything an experiment needs.
 type Result struct {
-	Job         Job
-	Read        metrics.Histogram // read completion latencies
-	Write       metrics.Histogram // write completion latencies
-	All         metrics.Histogram
-	IOs         uint64
-	Bytes       int64
-	Wall        sim.Time        // issue start to last completion
+	Job   Job
+	Read  metrics.Histogram // read completion latencies
+	Write metrics.Histogram // write completion latencies
+	All   metrics.Histogram
+	IOs   uint64
+	Bytes int64
+	// Wall is the measured window: from the end of warmup (the last
+	// discarded completion for count-based warmup, the warmup-time offset
+	// for time-based warmup, the issue start with no warmup) to the last
+	// measured completion. Never negative; 0 when nothing was measured.
+	Wall        sim.Time
 	Series      *metrics.Series // per-bucket mean latency (SeriesBucket set)
 	WriteSeries *metrics.Series
 }
@@ -95,30 +99,148 @@ func Run(sys *core.System, job Job) *Result {
 	return r.result()
 }
 
+// opStream generates a job's (write, offset) sequence. The closed-loop
+// and open-loop runners share it, so a given pattern+seed produces the
+// same I/O stream regardless of how arrivals are paced.
+type opStream struct {
+	pattern       Pattern
+	writeFraction float64
+	blockSize     int
+	blocks        int64 // region / block size
+	seqCursor     int64
+	rng           *sim.RNG
+}
+
+// newOpStream validates the pattern geometry and returns a stream.
+func newOpStream(sys *core.System, pattern Pattern, writeFraction float64, blockSize int, region int64, rng *sim.RNG) *opStream {
+	if blockSize <= 0 {
+		panic("workload: block size must be positive")
+	}
+	if region == 0 || region > sys.ExportedBytes() {
+		region = sys.ExportedBytes()
+	}
+	blocks := region / int64(blockSize)
+	if blocks <= 0 {
+		panic("workload: region smaller than one block")
+	}
+	return &opStream{
+		pattern:       pattern,
+		writeFraction: writeFraction,
+		blockSize:     blockSize,
+		blocks:        blocks,
+		rng:           rng,
+	}
+}
+
+func (s *opStream) next() (write bool, offset int64) {
+	switch s.pattern {
+	case SeqRead, SeqWrite:
+		offset = (s.seqCursor % s.blocks) * int64(s.blockSize)
+		s.seqCursor++
+		write = s.pattern == SeqWrite
+	case RandRead, RandWrite:
+		offset = s.rng.Int63n(s.blocks) * int64(s.blockSize)
+		write = s.pattern == RandWrite
+	case RandRW:
+		offset = s.rng.Int63n(s.blocks) * int64(s.blockSize)
+		write = s.rng.Bool(s.writeFraction)
+	default:
+		panic("workload: unknown pattern")
+	}
+	return write, offset
+}
+
+// meter accumulates the measured-window statistics shared by the
+// closed-loop and open-loop runners: warmup discard (by I/O count and by
+// time), per-direction histograms, optional series and trace, and the
+// measurement window behind Result.Wall.
+type meter struct {
+	warmupIOs  int
+	warmupTime sim.Time
+	blockSize  int
+	startT     sim.Time
+	trace      *trace.Recorder
+
+	measured     uint64
+	bytes        int64
+	lastDone     sim.Time
+	lastWarm     sim.Time // completion time of the last discarded I/O
+	measureStart sim.Time // start of the measured window
+	measureSet   bool
+	res          *Result
+}
+
+// observe records one completion. seq is the I/O's issue (or arrival)
+// order, start the instant its latency is measured from.
+func (m *meter) observe(seq int, write bool, offset int64, start, now sim.Time) {
+	m.lastDone = now
+	if seq < m.warmupIOs || now-m.startT < m.warmupTime {
+		m.lastWarm = now
+		return
+	}
+	if !m.measureSet {
+		// The measured window opens when warmup ends: at the warmup-time
+		// offset, or at the last discarded completion, whichever is later.
+		m.measureSet = true
+		ws := m.startT + m.warmupTime
+		if m.lastWarm > ws {
+			ws = m.lastWarm
+		}
+		m.measureStart = ws
+	}
+	lat := now - start
+	m.measured++
+	m.bytes += int64(m.blockSize)
+	m.res.All.Record(lat)
+	if write {
+		m.res.Write.Record(lat)
+	} else {
+		m.res.Read.Record(lat)
+	}
+	if m.res.Series != nil {
+		if write {
+			m.res.WriteSeries.Observe(now, lat.Micros())
+		} else {
+			m.res.Series.Observe(now, lat.Micros())
+		}
+	}
+	if m.trace != nil {
+		m.trace.Record(trace.Event{
+			Issue:   start - m.startT,
+			Write:   write,
+			Offset:  offset,
+			Len:     m.blockSize,
+			Latency: lat,
+		})
+	}
+}
+
+// finish settles the result's counters and measurement window.
+func (m *meter) finish() {
+	m.res.IOs = m.measured
+	m.res.Bytes = m.bytes
+	wall := m.lastDone - m.measureStart
+	if !m.measureSet || wall < 0 {
+		wall = 0
+	}
+	m.res.Wall = wall
+}
+
 type runner struct {
 	sys *core.System
 	job Job
-	rng *sim.RNG
-
-	region    int64
-	blocks    int64 // region / block size
-	seqCursor int64
+	ops *opStream
 
 	issued    int
 	completed int
-	measured  uint64
-	bytes     int64
 	startT    sim.Time
-	lastDone  sim.Time
 	stopped   bool
 
+	m   meter
 	res Result
 }
 
 func newRunner(sys *core.System, job Job) *runner {
-	if job.BlockSize <= 0 {
-		panic("workload: block size must be positive")
-	}
 	if job.QueueDepth <= 0 {
 		job.QueueDepth = 1
 	}
@@ -128,20 +250,11 @@ func newRunner(sys *core.System, job Job) *runner {
 	if job.TotalIOs == 0 && job.Duration == 0 {
 		panic("workload: job needs a stop condition (TotalIOs or Duration)")
 	}
-	region := job.Region
-	if region == 0 || region > sys.ExportedBytes() {
-		region = sys.ExportedBytes()
-	}
-	blocks := region / int64(job.BlockSize)
-	if blocks <= 0 {
-		panic("workload: region smaller than one block")
-	}
 	r := &runner{
-		sys:    sys,
-		job:    job,
-		rng:    sim.NewRNG(job.Seed ^ 0x9e3779b9),
-		region: region,
-		blocks: blocks,
+		sys: sys,
+		job: job,
+		ops: newOpStream(sys, job.Pattern, job.WriteFraction, job.BlockSize,
+			job.Region, sim.NewRNG(job.Seed^0x9e3779b9)),
 	}
 	r.res.Job = job
 	if job.SeriesBucket > 0 {
@@ -153,6 +266,14 @@ func newRunner(sys *core.System, job Job) *runner {
 
 func (r *runner) start() {
 	r.startT = r.sys.Eng.Now()
+	r.m = meter{
+		warmupIOs:  r.job.WarmupIOs,
+		warmupTime: r.job.WarmupTime,
+		blockSize:  r.job.BlockSize,
+		startT:     r.startT,
+		trace:      r.job.Trace,
+		res:        &r.res,
+	}
 	for i := 0; i < r.job.QueueDepth; i++ {
 		if !r.issueNext() {
 			break
@@ -174,30 +295,12 @@ func (r *runner) wantMore() bool {
 	return true
 }
 
-func (r *runner) nextOp() (write bool, offset int64) {
-	switch r.job.Pattern {
-	case SeqRead, SeqWrite:
-		offset = (r.seqCursor % r.blocks) * int64(r.job.BlockSize)
-		r.seqCursor++
-		write = r.job.Pattern == SeqWrite
-	case RandRead, RandWrite:
-		offset = r.rng.Int63n(r.blocks) * int64(r.job.BlockSize)
-		write = r.job.Pattern == RandWrite
-	case RandRW:
-		offset = r.rng.Int63n(r.blocks) * int64(r.job.BlockSize)
-		write = r.rng.Bool(r.job.WriteFraction)
-	default:
-		panic("workload: unknown pattern")
-	}
-	return write, offset
-}
-
 func (r *runner) issueNext() bool {
 	if !r.wantMore() {
 		r.stopped = r.stopped || r.job.TotalIOs > 0 && r.issued >= r.job.TotalIOs+r.job.WarmupIOs
 		return false
 	}
-	write, offset := r.nextOp()
+	write, offset := r.ops.next()
 	seq := r.issued
 	r.issued++
 	start := r.sys.Eng.Now()
@@ -208,42 +311,12 @@ func (r *runner) issueNext() bool {
 }
 
 func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time) {
-	now := r.sys.Eng.Now()
 	r.completed++
-	r.lastDone = now
-	if seq >= r.job.WarmupIOs && now-r.startT >= r.job.WarmupTime {
-		lat := now - start
-		r.measured++
-		r.bytes += int64(r.job.BlockSize)
-		r.res.All.Record(lat)
-		if write {
-			r.res.Write.Record(lat)
-		} else {
-			r.res.Read.Record(lat)
-		}
-		if r.res.Series != nil {
-			if write {
-				r.res.WriteSeries.Observe(now, lat.Micros())
-			} else {
-				r.res.Series.Observe(now, lat.Micros())
-			}
-		}
-		if r.job.Trace != nil {
-			r.job.Trace.Record(trace.Event{
-				Issue:   start - r.startT,
-				Write:   write,
-				Offset:  offset,
-				Len:     r.job.BlockSize,
-				Latency: lat,
-			})
-		}
-	}
+	r.m.observe(seq, write, offset, start, r.sys.Eng.Now())
 	r.issueNext()
 }
 
 func (r *runner) result() *Result {
-	r.res.IOs = r.measured
-	r.res.Bytes = r.bytes
-	r.res.Wall = r.lastDone - r.startT - r.job.WarmupTime
+	r.m.finish()
 	return &r.res
 }
