@@ -193,6 +193,39 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	sys.Eng.Run()
 }
 
+// BenchmarkStripedVolume reports the routing cost of the volume layer:
+// simulated 4KB random reads per second of wall time through a 4-wide
+// RAID-0 stripe of ULL devices on the libaio stack (one queue pair and
+// stack instance per member). Steady-state routing is pooled, so
+// allocs/op gates the router's hot path alongside the event core's.
+func BenchmarkStripedVolume(b *testing.B) {
+	children := make([]core.Layer, 4)
+	for i := range children {
+		children[i] = core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: ssd.ZSSD()}}
+	}
+	g := core.Build(core.Topology{
+		Root:         core.Volume{Kind: core.Striped, Children: children},
+		Precondition: 0.9,
+	})
+	region := int64(0.9*float64(g.ExportedBytes())) >> 20 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	var issue func()
+	rng := sim.NewRNG(3)
+	issue = func() {
+		off := rng.Int63n(region/4096) * 4096
+		g.Submit(false, off, 4096, func() {
+			done++
+			if done < b.N {
+				issue()
+			}
+		})
+	}
+	issue()
+	g.Engine().Run()
+}
+
 // BenchmarkNBDModel reports the cost of one simulated NBD file read.
 func BenchmarkNBDModel(b *testing.B) {
 	m := nbd.NewModel(nbd.SPDKNBD(ssd.ZSSD()))

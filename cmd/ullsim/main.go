@@ -4,10 +4,13 @@
 // Usage:
 //
 //	ullsim list                 # show available experiments
+//	ullsim list -json           # machine-readable registry (id, title, shards)
 //	ullsim run fig4a [fig5 ...] # run specific experiments
 //	ullsim run all              # run everything
 //	ullsim run ext-loadcurve    # open-loop latency vs offered load (hockey stick)
 //	ullsim run ext-tenants      # reader tail latency vs co-tenant write rate
+//	ullsim run ext-stripe       # IOPS/tail vs stripe width (striped Z-SSD volume)
+//	ullsim run ext-tier         # read tail vs tier-migration pressure
 //
 // Flags:
 //
@@ -22,8 +25,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,8 +61,12 @@ func main() {
 	}
 	switch args[0] {
 	case "list":
-		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		lf := flag.NewFlagSet("list", flag.ExitOnError)
+		asJSON := lf.Bool("json", false, "machine-readable listing (id, title, shards)")
+		lf.Parse(args[1:]) // ExitOnError: exits 2 itself on a bad flag
+		if err := writeList(os.Stdout, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "ullsim:", err)
+			os.Exit(1)
 		}
 	case "run":
 		ids := args[1:]
@@ -124,6 +133,37 @@ func main() {
 	}
 }
 
+// listEntry is one experiment in the -json registry listing.
+type listEntry struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Shards int    `json:"shards"`
+}
+
+// writeList renders the experiment registry: the human table by
+// default, or a JSON array (id, title, quick-scale shard count) for
+// tooling. Shard counts come from the quick-scale plan — the unit the
+// orchestrator distributes, so tools can size -parallel runs.
+func writeList(w io.Writer, asJSON bool) error {
+	if !asJSON {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	var entries []listEntry
+	for _, e := range experiments.All() {
+		entries = append(entries, listEntry{
+			ID:     e.ID,
+			Title:  e.Title,
+			Shards: len(e.Plan(experiments.Options{Quick: true}).Shards),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
 func writeCSV(dir string, t *metrics.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -141,11 +181,14 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `ullsim — "Faster than Flash" (IISWC 2019) reproduction harness
 
 usage:
-  ullsim list
+  ullsim list [-json]
   ullsim [-full] [-seed N] [-parallel N] [-csv DIR] run <id>... | all
 
 open-loop extensions (latency vs offered load, multi-tenant mixes):
   ullsim run ext-loadcurve ext-tenants
+
+topology extensions (striped and tiered multi-device volumes):
+  ullsim run ext-stripe ext-tier
 `)
 	flag.PrintDefaults()
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestWriteListHuman(t *testing.T) {
+	var sb strings.Builder
+	if err := writeList(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"tab1", "fig10", "ext-stripe", "ext-tier"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("human listing missing %q", id)
+		}
+	}
+	if strings.Contains(out, "{") {
+		t.Error("human listing looks like JSON")
+	}
+}
+
+func TestWriteListJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := writeList(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	var entries []listEntry
+	if err := json.Unmarshal([]byte(sb.String()), &entries); err != nil {
+		t.Fatalf("listing is not valid JSON: %v", err)
+	}
+	if len(entries) != len(experiments.All()) {
+		t.Fatalf("listed %d experiments, registry has %d", len(entries), len(experiments.All()))
+	}
+	byID := map[string]listEntry{}
+	for _, e := range entries {
+		if e.ID == "" || e.Title == "" {
+			t.Errorf("incomplete entry %+v", e)
+		}
+		byID[e.ID] = e
+	}
+	// Spot-check shard counts against the quick-scale plans.
+	for _, id := range []string{"fig4a", "ext-stripe", "ext-tier"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		want := len(e.Plan(experiments.Options{Quick: true}).Shards)
+		if got := byID[id].Shards; got != want {
+			t.Errorf("%s shards = %d, want %d", id, got, want)
+		}
+	}
+	// tab1 has no simulation to fan out: zero shards is the honest count.
+	if byID["tab1"].Shards != 0 {
+		t.Errorf("tab1 shards = %d, want 0", byID["tab1"].Shards)
+	}
+}

@@ -1,0 +1,76 @@
+package core_test
+
+// The fixed-seed compatibility guard for the topology redesign: the old
+// NewSystem(Config) one-device shorthand now lowers onto the layer
+// graph, and these goldens — captured from the direct wiring the
+// shorthand replaced — pin the lowering to bit-exact equivalence. Any
+// drift in construction order, seeding, or event scheduling shows up
+// here as a changed latency integral.
+//
+// (This file lives in package core_test because it drives the system
+// through the workload engine, which imports core.)
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func TestNewSystemCompatGoldens(t *testing.T) {
+	type tc struct {
+		name  string
+		stack core.StackKind
+		mode  kernel.Mode
+		qd    int
+		nvme  bool // NVMe750 instead of ZSSD
+
+		// Goldens: nanosecond-exact values recorded from the pre-redesign
+		// direct wiring (mean, p99, read mean, write mean, wall).
+		mean, p99, readMean, writeMean, wall int64
+	}
+	cases := []tc{
+		{"zssd-sync-int", core.KernelSync, kernel.Interrupt, 1, false, 14351, 16786, 15665, 11404, 8610814},
+		{"zssd-sync-poll", core.KernelSync, kernel.Poll, 1, false, 12370, 17919, 13695, 9397, 7422300},
+		{"zssd-sync-hybrid", core.KernelSync, kernel.Hybrid, 1, false, 13075, 20479, 13857, 11320, 7845342},
+		{"zssd-async", core.KernelAsync, 0, 8, false, 14992, 20479, 16415, 11802, 1124407},
+		{"zssd-spdk", core.SPDK, 0, 4, false, 12619, 16895, 14008, 9502, 1896240},
+		{"nvme750-async", core.KernelAsync, 0, 8, true, 125255, 753663, 175079, 13487, 9967405},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dev := ssd.ZSSD()
+			if c.nvme {
+				dev = ssd.NVMe750()
+			}
+			cfg := core.DefaultConfig(dev)
+			cfg.Stack = c.stack
+			cfg.Mode = c.mode
+			cfg.Precondition = 0.9
+			cfg.Device.Seed = dev.Seed ^ 0xd5eed
+			sys := core.NewSystem(cfg)
+			region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+			res := workload.Run(sys, workload.Job{
+				Pattern:       workload.RandRW,
+				WriteFraction: 0.3,
+				BlockSize:     4096,
+				QueueDepth:    c.qd,
+				TotalIOs:      600,
+				WarmupIOs:     60,
+				Region:        region,
+				Seed:          0x70b0,
+			})
+			got := [5]int64{
+				int64(res.All.Mean()), int64(res.All.Percentile(99)),
+				int64(res.Read.Mean()), int64(res.Write.Mean()), int64(res.Wall),
+			}
+			want := [5]int64{c.mean, c.p99, c.readMean, c.writeMean, c.wall}
+			if got != want {
+				t.Errorf("fixed-seed output drifted from the pre-redesign wiring:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}

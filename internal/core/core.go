@@ -49,14 +49,24 @@ type Target interface {
 	Submit(write bool, offset int64, length int, done func())
 }
 
-// Config assembles a system.
+// Config assembles a one-device system: the shorthand that lowers onto
+// the topology graph (see topology.go) with a single Stack over a
+// single Queue.
 type Config struct {
 	Device ssd.Config
 	NVMe   nvme.Config
 	Stack  StackKind
 	Mode   kernel.Mode  // completion method for KernelSync
-	Kernel kernel.Costs // zero value -> DefaultCosts
-	SPDK   spdk.Costs   // zero value -> DefaultCosts
+	Kernel kernel.Costs // zero value -> DefaultCosts unless KernelSet
+	SPDK   spdk.Costs   // zero value -> DefaultCosts unless SPDKSet
+
+	// KernelSet and SPDKSet mark the cost tables as authoritative even
+	// when they are the zero value, mirroring Options.Seed/SeedSet: the
+	// zero table is a valid (free) cost model, not a sentinel. Any
+	// nonzero field in a table also counts as presence, so a table with
+	// deliberately-zero poll costs is never silently replaced.
+	KernelSet bool
+	SPDKSet   bool
 
 	// Precondition is the fraction of the LPN space instantly mapped
 	// before the run (sequential layout), so reads touch real media and
@@ -77,7 +87,8 @@ func DefaultConfig(dev ssd.Config) Config {
 	}
 }
 
-// System is a fully wired host + device.
+// System is a fully wired one-device host + device: the shorthand view
+// over a single-leaf topology graph.
 type System struct {
 	Cfg  Config
 	Eng  *sim.Engine
@@ -85,56 +96,64 @@ type System struct {
 	QP   *nvme.QueuePair
 	Core *cpu.Core
 
-	target    Target
-	spdkStack *spdk.Stack
+	graph *Graph
 }
 
-// NewSystem builds and wires a system.
+// NewSystem builds and wires a one-device system by lowering the config
+// onto the topology graph. Output is bit-exact with the historical
+// direct wiring: the lowering performs the same constructions in the
+// same order with the same seeds.
 func NewSystem(cfg Config) *System {
 	if cfg.NVMe.Depth == 0 {
 		cfg.NVMe = nvme.DefaultConfig()
 	}
-	if cfg.Kernel.PollIter() == 0 {
+	// Presence, not a magic field, decides defaulting: the old
+	// PollIter()==0 sentinel silently replaced deliberately-zero cost
+	// tables (any table whose poll stages were free), the same bug the
+	// Seed/SeedSet fix removed from Options.
+	if !cfg.KernelSet && cfg.Kernel == (kernel.Costs{}) {
 		cfg.Kernel = kernel.DefaultCosts()
 	}
-	if cfg.SPDK.PollIter() == 0 {
+	if !cfg.SPDKSet && cfg.SPDK == (spdk.Costs{}) {
 		cfg.SPDK = spdk.DefaultCosts()
 	}
-	eng := sim.NewEngine()
-	dev := ssd.NewDevice(cfg.Device, eng)
-	if cfg.Precondition > 0 {
-		dev.Precondition(cfg.Precondition)
+	g := Build(Topology{
+		Root: Stack{
+			Kind:   cfg.Stack,
+			Mode:   cfg.Mode,
+			Kernel: &cfg.Kernel,
+			SPDK:   &cfg.SPDK,
+			Queue:  Queue{Device: cfg.Device, NVMe: cfg.NVMe},
+		},
+		Precondition: cfg.Precondition,
+	})
+	return &System{
+		Cfg:   cfg,
+		Eng:   g.eng,
+		Dev:   g.devices[0],
+		QP:    g.queues[0],
+		Core:  g.cpu,
+		graph: g,
 	}
-	qp := nvme.New(eng, dev, cfg.NVMe)
-	core := cpu.NewCore()
-	s := &System{Cfg: cfg, Eng: eng, Dev: dev, QP: qp, Core: core}
-	switch cfg.Stack {
-	case KernelSync:
-		s.target = kernel.NewSyncStack(eng, qp, core, cfg.Kernel, cfg.Mode)
-	case KernelAsync:
-		s.target = kernel.NewAsyncStack(eng, qp, core, cfg.Kernel)
-	case SPDK:
-		st := spdk.NewStack(eng, qp, core, cfg.SPDK)
-		s.spdkStack = st
-		s.target = st
-	default:
-		panic(fmt.Sprintf("core: unknown stack kind %d", cfg.Stack))
-	}
-	return s
 }
 
 // Submit issues one I/O through the configured stack.
 func (s *System) Submit(write bool, offset int64, length int, done func()) {
-	s.target.Submit(write, offset, length, done)
+	s.graph.Submit(write, offset, length, done)
 }
+
+// Engine returns the system's event engine.
+func (s *System) Engine() *sim.Engine { return s.Eng }
+
+// Serial reports whether the stack serves one I/O at a time (pvsync2).
+func (s *System) Serial() bool { return s.Cfg.Stack == KernelSync }
+
+// Graph returns the underlying topology graph.
+func (s *System) Graph() *Graph { return s.graph }
 
 // ExportedBytes reports the device's host-visible capacity.
 func (s *System) ExportedBytes() int64 { return s.Dev.ExportedBytes() }
 
 // Finalize settles deferred accounting (the SPDK continuous poll spin).
 // Call once after the run's events have drained.
-func (s *System) Finalize() {
-	if s.spdkStack != nil {
-		s.spdkStack.Finalize(s.Eng.Now())
-	}
-}
+func (s *System) Finalize() { s.graph.Finalize() }

@@ -1,0 +1,230 @@
+// Topology: system composition as a layer graph. The paper's whole
+// argument (Sections III-V) is that ULL performance is decided by how
+// host-stack layers compose over the device; this file turns that
+// layering into an explicit, composable API. Every layer lowers to the
+// one universal contract — Target — so a workload engine drives a
+// single device behind SPDK, a RAID-0 stripe of Z-SSDs behind libaio,
+// or a Z-SSD write-absorbing tier in front of a conventional NVMe SSD
+// through exactly the same interface.
+//
+// The graph has three layer kinds:
+//
+//   - Queue: one NVMe queue pair bound to one simulated SSD — the
+//     bottom of every path (it is driven by a Stack, not a Target
+//     itself).
+//   - Stack: a host I/O path (kernel sync with a completion method,
+//     kernel async/libaio, or SPDK) over one Queue; the leaf Target.
+//   - Volume: a router composing N child layers under one Target —
+//     Striped, Concat, or Tiered (see volume.go).
+//
+// Build lowers a Topology into a Graph, the Target-rooted runnable
+// system; NewSystem remains the one-device shorthand that lowers onto
+// the same graph.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+	"repro/internal/spdk"
+	"repro/internal/ssd"
+)
+
+// Host is the contract the workload engines drive: any Target-rooted
+// system — the one-device System shorthand or a built topology Graph.
+type Host interface {
+	Target
+	// Engine returns the event engine the system schedules on.
+	Engine() *sim.Engine
+	// ExportedBytes reports the host-visible capacity of the root.
+	ExportedBytes() int64
+	// Serial reports whether the root serves one I/O at a time (a bare
+	// pvsync2 stack); workload engines clamp concurrency to 1.
+	Serial() bool
+	// Finalize settles deferred accounting (the SPDK continuous poll
+	// spin) once the run's events have drained.
+	Finalize()
+}
+
+// built is the result of lowering one layer: its Target plus the
+// properties the layers above (and the workload engines) need.
+type built struct {
+	target   Target
+	exported int64
+	serial   bool
+}
+
+// Layer is one node of a topology graph: anything that lowers itself
+// into a Target wired onto the build's engine and CPU core. The layer
+// set is closed — Stack and Volume are the composable nodes, Queue the
+// device pairing a Stack drives.
+type Layer interface {
+	lower(g *Graph) built
+}
+
+// Queue is the bottom layer: one NVMe queue pair bound to one device.
+//
+// Members of one graph that share a device seed are decorrelated at
+// build time (the build ordinal is mixed in), so a volume of
+// identically configured devices does not draw identical firmware
+// jitter on every member. Explicitly distinct seeds are honored as
+// given, and the first device is always bit-exact with the
+// single-device shorthand.
+type Queue struct {
+	Device ssd.Config
+	// NVMe is the queue-pair protocol config; the zero value (Depth 0)
+	// means nvme.DefaultConfig.
+	NVMe nvme.Config
+}
+
+// lower builds the device and its queue pair, applying the duplicate-
+// seed decorrelation documented on Queue.
+func (q Queue) lower(g *Graph) *nvme.QueuePair {
+	ncfg := q.NVMe
+	if ncfg.Depth == 0 {
+		ncfg = nvme.DefaultConfig()
+	}
+	dcfg := q.Device
+	for mix := uint64(len(g.devices)); g.seeds[dcfg.Seed]; mix++ {
+		dcfg.Seed ^= 0x9e3779b97f4a7c15 * mix
+	}
+	g.seeds[dcfg.Seed] = true
+	dev := ssd.NewDevice(dcfg, g.eng)
+	if g.pre > 0 {
+		dev.Precondition(g.pre)
+	}
+	qp := nvme.New(g.eng, dev, ncfg)
+	g.devices = append(g.devices, dev)
+	g.queues = append(g.queues, qp)
+	return qp
+}
+
+// Stack is the host I/O path layer: one stack instance driving one
+// Queue. It is the leaf Target of every topology.
+type Stack struct {
+	Kind StackKind
+	Mode kernel.Mode // completion method for KernelSync
+	// Kernel and SPDK override the stack cost tables; nil means the
+	// calibrated defaults. A pointer carries presence, so a
+	// deliberately-zero table is honored, never silently replaced.
+	Kernel *kernel.Costs
+	SPDK   *spdk.Costs
+	Queue  Queue
+}
+
+func (s Stack) lower(g *Graph) built {
+	qp := s.Queue.lower(g)
+	kc := kernel.DefaultCosts()
+	if s.Kernel != nil {
+		kc = *s.Kernel
+	}
+	var t Target
+	switch s.Kind {
+	case KernelSync:
+		t = kernel.NewSyncStack(g.eng, qp, g.cpu, kc, s.Mode)
+	case KernelAsync:
+		t = kernel.NewAsyncStack(g.eng, qp, g.cpu, kc)
+	case SPDK:
+		sc := spdk.DefaultCosts()
+		if s.SPDK != nil {
+			sc = *s.SPDK
+		}
+		st := spdk.NewStack(g.eng, qp, g.cpu, sc)
+		g.spdks = append(g.spdks, st)
+		t = st
+	default:
+		panic(fmt.Sprintf("core: unknown stack kind %d", s.Kind))
+	}
+	return built{target: t, exported: qp.Device().ExportedBytes(), serial: s.Kind == KernelSync}
+}
+
+// Topology describes a layer graph rooted at a single Target.
+type Topology struct {
+	Root Layer
+	// Precondition is the fraction of every device's LPN space instantly
+	// mapped before the run (sequential layout), as in Config.
+	Precondition float64
+}
+
+// Graph is a built topology: one Target root over any number of stacks
+// and devices, sharing one event engine and one accounting CPU core.
+// It satisfies Host, so the workload engines drive it exactly like the
+// one-device System.
+type Graph struct {
+	eng *sim.Engine
+	cpu *cpu.Core
+	pre float64
+
+	root    built
+	devices []*ssd.Device
+	queues  []*nvme.QueuePair
+	spdks   []*spdk.Stack
+	volumes []*volume
+	seeds   map[uint64]bool // configured device seeds, for decorrelation
+}
+
+// Build lowers a topology into its runnable Graph.
+func Build(t Topology) *Graph {
+	if t.Root == nil {
+		panic("core: topology needs a root layer")
+	}
+	g := &Graph{eng: sim.NewEngine(), cpu: cpu.NewCore(), pre: t.Precondition,
+		seeds: make(map[uint64]bool)}
+	g.root = t.Root.lower(g)
+	return g
+}
+
+// Submit issues one I/O into the root layer.
+func (g *Graph) Submit(write bool, offset int64, length int, done func()) {
+	g.root.target.Submit(write, offset, length, done)
+}
+
+// Engine returns the shared event engine.
+func (g *Graph) Engine() *sim.Engine { return g.eng }
+
+// CPU returns the shared accounting core. All stacks in the graph
+// charge it, modeling one submitting host core per leaf aggregated.
+func (g *Graph) CPU() *cpu.Core { return g.cpu }
+
+// ExportedBytes reports the root layer's host-visible capacity.
+func (g *Graph) ExportedBytes() int64 { return g.root.exported }
+
+// Serial reports whether the root serves one I/O at a time. Volumes
+// are never serial: they queue segments per busy synchronous leaf, the
+// way one submitting thread per member device would.
+func (g *Graph) Serial() bool { return g.root.serial }
+
+// Precondition reports the fraction applied to every device at build.
+func (g *Graph) Precondition() float64 { return g.pre }
+
+// Devices returns every device in the graph, in lowering order
+// (depth-first, left to right).
+func (g *Graph) Devices() []*ssd.Device { return g.devices }
+
+// QueuePairs returns every NVMe queue pair, in lowering order.
+func (g *Graph) QueuePairs() []*nvme.QueuePair { return g.queues }
+
+// VolumeStats snapshots every volume layer's counters, in lowering
+// order (children before parents; the root volume, if any, is last).
+func (g *Graph) VolumeStats() []VolumeStats {
+	out := make([]VolumeStats, len(g.volumes))
+	for i, v := range g.volumes {
+		out[i] = v.stats
+		if v.tier != nil {
+			out[i].FastChunks = v.tier.slots
+			out[i].FastInUse = v.tier.used()
+		}
+	}
+	return out
+}
+
+// Finalize settles deferred accounting on every SPDK stack in the
+// graph. Call once after the run's events have drained.
+func (g *Graph) Finalize() {
+	for _, st := range g.spdks {
+		st.Finalize(g.eng.Now())
+	}
+}

@@ -1,0 +1,491 @@
+// The volume layer: a router composing N child Targets under one
+// Target. Three kinds cover the ROADMAP's multi-device scenarios:
+//
+//   - Striped: RAID-0 chunk interleaving for bandwidth/IOPS scaling
+//     across members (the ext-stripe scaling curve).
+//   - Concat: members appended back to back (linear/JBOD).
+//   - Tiered: a fast write-absorbing tier (Z-SSD class) in front of a
+//     capacity backend (conventional NVMe class). Writes land on the
+//     fast tier while it has room; watermark-driven migration drains
+//     chunks to the backend in allocation order, and reads route to
+//     whichever tier holds the chunk.
+//
+// The router tracks in-flight segments per child and queues behind busy
+// synchronous leaves (a pvsync2 member serves one I/O at a time), so
+// any stack kind composes under any volume. Per-I/O state is pooled:
+// steady-state routing allocates nothing.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// VolumeKind selects the router policy of a Volume layer.
+type VolumeKind int
+
+// The volume kinds.
+const (
+	// Striped interleaves Chunk-sized units across the children, RAID-0
+	// style.
+	Striped VolumeKind = iota
+	// Concat appends the children back to back.
+	Concat
+	// Tiered pairs a fast write tier (child 0) with a capacity backend
+	// (child 1); capacity is the backend's, the fast tier is a cache.
+	Tiered
+)
+
+func (k VolumeKind) String() string {
+	switch k {
+	case Striped:
+		return "striped"
+	case Concat:
+		return "concat"
+	case Tiered:
+		return "tiered"
+	default:
+		return fmt.Sprintf("VolumeKind(%d)", int(k))
+	}
+}
+
+// Volume tuning defaults.
+const (
+	// DefaultChunk is the stripe unit / tier chunk when Volume.Chunk is
+	// zero: 64KiB, the classic md-raid default.
+	DefaultChunk = 64 << 10
+	// DefaultLowWater and DefaultHighWater bound tier migration: when
+	// fast-tier occupancy crosses the high watermark, chunks migrate to
+	// the backend until it falls to the low one.
+	DefaultLowWater  = 0.70
+	DefaultHighWater = 0.90
+)
+
+// Volume is the router layer spec: N child layers composed under one
+// Target.
+type Volume struct {
+	Kind VolumeKind
+	// Chunk is the stripe unit (Striped) or tier chunk (Tiered) in
+	// bytes; 0 means DefaultChunk. Concat ignores it.
+	Chunk    int64
+	Children []Layer
+
+	// Tiered tuning. FastBytes caps the write-tier footprint (0: the
+	// whole fast device); LowWater/HighWater are occupancy fractions of
+	// the fast tier's chunk slots (0: defaults).
+	FastBytes           int64
+	LowWater, HighWater float64
+}
+
+func (v Volume) lower(g *Graph) built {
+	if len(v.Children) == 0 {
+		panic("core: volume needs at least one child layer")
+	}
+	if v.Kind == Tiered && len(v.Children) != 2 {
+		panic("core: tiered volume needs exactly two children (fast, slow)")
+	}
+	chunk := v.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	vol := &volume{kind: v.Kind, chunk: chunk}
+	vol.stats.Kind = v.Kind
+	for _, c := range v.Children {
+		b := c.lower(g)
+		cap := math.MaxInt
+		if b.serial {
+			cap = 1
+		}
+		vol.leaves = append(vol.leaves, &vleaf{target: b.target, exported: b.exported, cap: cap})
+	}
+	switch v.Kind {
+	case Striped:
+		min := vol.leaves[0].exported
+		for _, l := range vol.leaves[1:] {
+			if l.exported < min {
+				min = l.exported
+			}
+		}
+		vol.exported = min / chunk * chunk * int64(len(vol.leaves))
+	case Concat:
+		vol.bounds = make([]int64, len(vol.leaves)+1)
+		for i, l := range vol.leaves {
+			vol.bounds[i+1] = vol.bounds[i] + l.exported
+		}
+		vol.exported = vol.bounds[len(vol.leaves)]
+	case Tiered:
+		vol.exported = vol.leaves[1].exported / chunk * chunk
+		fastBytes := vol.leaves[0].exported
+		if v.FastBytes > 0 && v.FastBytes < fastBytes {
+			fastBytes = v.FastBytes
+		}
+		lo, hi := v.LowWater, v.HighWater
+		if hi <= 0 {
+			hi = DefaultHighWater
+		}
+		if lo <= 0 {
+			lo = DefaultLowWater
+		}
+		if lo >= hi {
+			panic("core: tiered volume needs LowWater < HighWater")
+		}
+		slots := fastBytes / chunk
+		if slots < 1 {
+			panic("core: tiered volume's fast tier is smaller than one chunk")
+		}
+		ts := &tierState{
+			slots:    slots,
+			slotOf:   make(map[int64]int64),
+			low:      int64(lo * float64(slots)),
+			high:     int64(hi * float64(slots)),
+			migChunk: -1,
+		}
+		if ts.high < 1 {
+			ts.high = 1
+		}
+		if ts.low >= ts.high {
+			ts.low = ts.high - 1
+		}
+		// Free slots pop in ascending order (LIFO off a descending init).
+		ts.free = make([]int64, slots)
+		for i := range ts.free {
+			ts.free[i] = slots - 1 - int64(i)
+		}
+		vol.tier = ts
+	default:
+		panic(fmt.Sprintf("core: unknown volume kind %d", v.Kind))
+	}
+	if vol.exported <= 0 {
+		panic("core: volume exports no capacity (children smaller than one chunk?)")
+	}
+	g.volumes = append(g.volumes, vol)
+	return built{target: vol, exported: vol.exported, serial: false}
+}
+
+// VolumeStats counts one volume layer's routing and tiering activity.
+type VolumeStats struct {
+	Kind     VolumeKind
+	HostIOs  uint64 // I/Os submitted to the volume
+	ChildIOs uint64 // segments issued to children (> HostIOs on splits)
+	Queued   uint64 // segments that waited behind a busy serial child
+
+	// Tiered only.
+	FastWrites    uint64 // writes absorbed by the fast tier
+	WriteAround   uint64 // writes that bypassed a full fast tier
+	FastReads     uint64 // reads served by the fast tier
+	SlowReads     uint64 // reads served by the capacity tier
+	Migrations    uint64 // chunks migrated fast -> slow
+	MigratedBytes int64
+	FastChunks    int64 // fast-tier slot capacity
+	FastInUse     int64 // slots currently mapped
+}
+
+// vleaf is one child of a built volume: its Target plus the in-flight
+// cap and FIFO that serialize access to synchronous members.
+type vleaf struct {
+	target   Target
+	exported int64
+	cap      int // 1 for serial children, effectively unbounded otherwise
+	inflight int
+	queue    sim.FIFO[*vseg]
+}
+
+// vpending tracks one host I/O (or one migration step) across its
+// child segments; done fires when the last segment completes.
+type vpending struct {
+	left int
+	done func()
+	next *vpending
+}
+
+// vseg is one child segment: pooled, with its completion callback bound
+// once so steady-state routing schedules no fresh closures.
+type vseg struct {
+	v      *volume
+	leaf   *vleaf
+	parent *vpending
+	write  bool
+	offset int64 // child-local offset
+	length int
+	fn     func()
+	next   *vseg
+}
+
+// tierState is the Tiered router's mapping: which chunks live on the
+// fast tier, which slots are free, and the watermark-driven migration
+// machinery. All structures are deterministic (the map is only ever
+// looked up, never iterated).
+type tierState struct {
+	slots  int64
+	slotOf map[int64]int64 // chunk index -> fast slot
+	free   []int64         // free slots, popped LIFO (ascending)
+	order  sim.FIFO[int64] // allocated chunks, migration order
+	low    int64           // migrate down to this many used slots
+	high   int64           // start migrating at this many used slots
+
+	migrating bool
+	migChunk  int64 // chunk being migrated; -1 when idle
+	migDirty  bool  // host wrote the chunk mid-migration
+}
+
+func (t *tierState) used() int64 { return t.slots - int64(len(t.free)) }
+
+// volume is the built router: the Target a Volume spec lowers to.
+type volume struct {
+	kind     VolumeKind
+	chunk    int64
+	leaves   []*vleaf
+	bounds   []int64 // Concat: cumulative child boundaries
+	exported int64
+	tier     *tierState
+	stats    VolumeStats
+
+	freeSegs *vseg
+	freePend *vpending
+}
+
+func (v *volume) getPending(left int, done func()) *vpending {
+	p := v.freePend
+	if p == nil {
+		p = &vpending{}
+	} else {
+		v.freePend = p.next
+		p.next = nil
+	}
+	p.left = left
+	p.done = done
+	return p
+}
+
+func (v *volume) getSeg() *vseg {
+	s := v.freeSegs
+	if s == nil {
+		s = &vseg{v: v}
+		s.fn = func() { s.v.segDone(s) }
+	} else {
+		v.freeSegs = s.next
+		s.next = nil
+	}
+	return s
+}
+
+// dispatch routes one segment to a child, queueing behind a busy serial
+// leaf. Completions are always delivered through engine events, so
+// nothing here re-enters synchronously.
+func (v *volume) dispatch(l *vleaf, write bool, offset int64, length int, p *vpending) {
+	s := v.getSeg()
+	s.leaf = l
+	s.parent = p
+	s.write = write
+	s.offset = offset
+	s.length = length
+	v.stats.ChildIOs++
+	if l.inflight < l.cap && l.queue.Len() == 0 {
+		v.issue(s)
+	} else {
+		v.stats.Queued++
+		l.queue.Push(s)
+	}
+}
+
+func (v *volume) issue(s *vseg) {
+	s.leaf.inflight++
+	s.leaf.target.Submit(s.write, s.offset, s.length, s.fn)
+}
+
+func (v *volume) segDone(s *vseg) {
+	l, p := s.leaf, s.parent
+	s.leaf = nil
+	s.parent = nil
+	s.next = v.freeSegs
+	v.freeSegs = s
+	l.inflight--
+	if l.queue.Len() > 0 && l.inflight < l.cap {
+		v.issue(l.queue.Pop())
+	}
+	p.left--
+	if p.left == 0 {
+		done := p.done
+		p.done = nil
+		p.next = v.freePend
+		v.freePend = p
+		done()
+	}
+}
+
+// Submit fans one host I/O out into child segments and completes when
+// the last segment does.
+func (v *volume) Submit(write bool, offset int64, length int, done func()) {
+	if offset < 0 || length <= 0 || offset+int64(length) > v.exported {
+		panic(fmt.Sprintf("core: volume I/O [%d, %d) outside exported %d bytes",
+			offset, offset+int64(length), v.exported))
+	}
+	v.stats.HostIOs++
+	switch v.kind {
+	case Striped:
+		v.submitStriped(write, offset, length, done)
+	case Concat:
+		v.submitConcat(write, offset, length, done)
+	default:
+		v.submitTiered(write, offset, length, done)
+	}
+}
+
+// chunkSpans reports how many chunk-aligned spans [offset, offset+length)
+// covers.
+func (v *volume) chunkSpans(offset int64, length int) int {
+	return int((offset+int64(length)-1)/v.chunk-offset/v.chunk) + 1
+}
+
+func (v *volume) submitStriped(write bool, offset int64, length int, done func()) {
+	n := int64(len(v.leaves))
+	p := v.getPending(v.chunkSpans(offset, length), done)
+	for length > 0 {
+		ci := offset / v.chunk
+		within := offset % v.chunk
+		span := v.chunk - within
+		if span > int64(length) {
+			span = int64(length)
+		}
+		leaf := v.leaves[ci%n]
+		v.dispatch(leaf, write, (ci/n)*v.chunk+within, int(span), p)
+		offset += span
+		length -= int(span)
+	}
+}
+
+func (v *volume) submitConcat(write bool, offset int64, length int, done func()) {
+	// Count the children the range crosses, then dispatch.
+	first := v.leafAt(offset)
+	last := v.leafAt(offset + int64(length) - 1)
+	p := v.getPending(last-first+1, done)
+	for i := first; i <= last; i++ {
+		lo, hi := v.bounds[i], v.bounds[i+1]
+		start, end := offset, offset+int64(length)
+		if start < lo {
+			start = lo
+		}
+		if end > hi {
+			end = hi
+		}
+		v.dispatch(v.leaves[i], write, start-lo, int(end-start), p)
+	}
+}
+
+// leafAt locates the Concat child covering the given byte.
+func (v *volume) leafAt(offset int64) int {
+	for i := 1; i < len(v.bounds); i++ {
+		if offset < v.bounds[i] {
+			return i - 1
+		}
+	}
+	panic("core: concat offset out of range")
+}
+
+func (v *volume) submitTiered(write bool, offset int64, length int, done func()) {
+	t := v.tier
+	fast, slow := v.leaves[0], v.leaves[1]
+	p := v.getPending(v.chunkSpans(offset, length), done)
+	for length > 0 {
+		ci := offset / v.chunk
+		within := offset % v.chunk
+		span := v.chunk - within
+		if span > int64(length) {
+			span = int64(length)
+		}
+		slot, onFast := t.slotOf[ci]
+		switch {
+		case write && !onFast && len(t.free) > 0:
+			// Absorb the write: allocate a fast slot for the chunk.
+			slot = t.free[len(t.free)-1]
+			t.free = t.free[:len(t.free)-1]
+			t.slotOf[ci] = slot
+			t.order.Push(ci)
+			fallthrough
+		case write && onFast:
+			v.stats.FastWrites++
+			if ci == t.migChunk {
+				t.migDirty = true
+			}
+			v.dispatch(fast, true, slot*v.chunk+within, int(span), p)
+		case write:
+			// Fast tier full: write around to the backend.
+			v.stats.WriteAround++
+			v.dispatch(slow, true, ci*v.chunk+within, int(span), p)
+		case onFast:
+			v.stats.FastReads++
+			v.dispatch(fast, false, slot*v.chunk+within, int(span), p)
+		default:
+			v.stats.SlowReads++
+			v.dispatch(slow, false, ci*v.chunk+within, int(span), p)
+		}
+		offset += span
+		length -= int(span)
+	}
+	if write {
+		v.maybeMigrate()
+	}
+}
+
+// maybeMigrate starts the migration chain once fast-tier occupancy
+// crosses the high watermark; the chain drains chunks in allocation
+// order until occupancy falls to the low watermark. One chunk migrates
+// at a time: read it from the fast tier, rewrite it on the backend,
+// then free the slot — each step a normal child I/O, so migration
+// traffic contends with host traffic exactly the way the paper's
+// device-internal interference does (Section V).
+func (v *volume) maybeMigrate() {
+	t := v.tier
+	if t.migrating || t.used() < t.high {
+		return
+	}
+	t.migrating = true
+	v.migrateNext()
+}
+
+func (v *volume) migrateNext() {
+	t := v.tier
+	for {
+		if t.used() <= t.low || t.order.Len() == 0 {
+			t.migrating = false
+			return
+		}
+		c := t.order.Pop()
+		if _, ok := t.slotOf[c]; !ok {
+			continue // stale entry (already migrated)
+		}
+		v.migrateChunk(c)
+		return
+	}
+}
+
+func (v *volume) migrateChunk(c int64) {
+	t := v.tier
+	fast, slow := v.leaves[0], v.leaves[1]
+	slot := t.slotOf[c]
+	t.migChunk = c
+	t.migDirty = false
+	// Read the chunk off the fast tier, then rewrite it on the backend.
+	rp := v.getPending(1, func() {
+		wp := v.getPending(1, func() {
+			t.migChunk = -1
+			if t.migDirty {
+				// The host rewrote the chunk mid-flight: the fast copy
+				// is newer, so it stays resident and re-queues — this
+				// attempt moved nothing, so it does not count as a
+				// migration.
+				t.order.Push(c)
+			} else {
+				v.stats.Migrations++
+				v.stats.MigratedBytes += v.chunk
+				delete(t.slotOf, c)
+				t.free = append(t.free, slot)
+			}
+			v.migrateNext()
+		})
+		v.dispatch(slow, true, c*v.chunk, int(v.chunk), wp)
+	})
+	v.dispatch(fast, false, slot*v.chunk, int(v.chunk), rp)
+}

@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Extensions live alongside the paper artifacts.
-	for _, id := range []string{"ext-lightq", "ext-pollopt", "ext-loadcurve", "ext-tenants"} {
+	for _, id := range []string{"ext-lightq", "ext-pollopt", "ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("extension %s not registered", id)
 		}
@@ -180,7 +180,7 @@ func TestRunRegionConfinement(t *testing.T) {
 // sweeps every code path.
 var shortSet = []string{
 	"tab1", "fig4a", "fig10", "fig12", "fig20", "fig23", "ext-lightq",
-	"ext-loadcurve", "ext-tenants",
+	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
 }
 
 // raceSet trims the lane further for `go test -race -short`: the
@@ -192,7 +192,7 @@ var shortSet = []string{
 // loadCurveScale), so including them costs seconds, not minutes.
 var raceSet = []string{
 	"tab1", "fig6", "fig12", "fig23", "ext-lightq",
-	"ext-loadcurve", "ext-tenants",
+	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
 }
 
 // laneIDs picks the experiment set for the current test mode: the whole
@@ -419,5 +419,97 @@ func TestHelpers(t *testing.T) {
 	}
 	if len(patternNames()) != 4 {
 		t.Fatal("patternNames")
+	}
+}
+
+// TestStripeScalesWithWidth is ext-stripe's acceptance check: for the
+// asynchronous stacks, IOPS at the widest stripe must clearly exceed
+// the single-device rate (near-linear scaling is the headline; >2x at
+// width 4+ is the floor that catches a router serializing everything).
+func TestStripeScalesWithWidth(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race build trims the sweep to widths 1-2 on one stack; the non-race lanes check scaling")
+	}
+	e, ok := ByID("ext-stripe")
+	if !ok {
+		t.Fatal("ext-stripe not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	const (
+		colStack = 0
+		colWidth = 1
+		colIOPS  = 2
+	)
+	iops := map[string]map[string]float64{}
+	for _, row := range tables[0].Rows {
+		st := row[colStack]
+		if iops[st] == nil {
+			iops[st] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(row[colIOPS], 64)
+		if err != nil {
+			t.Fatalf("kIOPS cell %q: %v", row[colIOPS], err)
+		}
+		iops[st][row[colWidth]] = v
+	}
+	for _, st := range []string{"libaio", "spdk"} {
+		w1, w8 := iops[st]["1"], iops[st]["8"]
+		if w1 <= 0 || w8 < 2*w1 {
+			t.Errorf("%s: width-8 stripe %.1f kIOPS not >2x width-1 %.1f", st, w8, w1)
+		}
+	}
+}
+
+// TestTierTailGrowsWithWritePressure is ext-tier's acceptance check:
+// the read p99 under the heaviest write share must exceed the
+// no-migration baseline, and the baseline row must show zero
+// migrations.
+func TestTierTailGrowsWithWritePressure(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race build trims the sweep to one write share; the non-race lanes check the growth")
+	}
+	e, ok := ByID("ext-tier")
+	if !ok {
+		t.Fatal("ext-tier not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	tb := tables[0]
+	const (
+		colReadP99    = 3
+		colMigrations = 7
+	)
+	if tb.Rows[0][colMigrations] != "0" {
+		t.Fatalf("baseline write share migrated %s chunks, want 0", tb.Rows[0][colMigrations])
+	}
+	base := parseUS(t, tb.Rows[0][colReadP99])
+	heavy := parseUS(t, tb.Rows[len(tb.Rows)-1][colReadP99])
+	if heavy <= base {
+		t.Fatalf("read p99 under heaviest writes (%.2fus) not above baseline (%.2fus)", heavy, base)
+	}
+	if tb.Rows[len(tb.Rows)-1][colMigrations] == "0" {
+		t.Fatal("heaviest write share never migrated")
+	}
+}
+
+// TestTopologyExperimentsDeterministic renders ext-stripe and ext-tier
+// twice serially and once through 4 workers: all three must be
+// byte-identical for a fixed seed (the acceptance bar for the topology
+// router — per-leaf queues and tier migration included).
+func TestTopologyExperimentsDeterministic(t *testing.T) {
+	if raceEnabled && testing.Short() {
+		t.Skip("three topology lanes are too slow under the race detector; TestParallelMatchesSerial covers these experiments")
+	}
+	ids := []string{"ext-stripe", "ext-tier"}
+	a := renderLane(t, Options{Quick: true, Seed: 0x7070, Parallel: 1}, ids)
+	b := renderLane(t, Options{Quick: true, Seed: 0x7070, Parallel: 1}, ids)
+	if a != b {
+		t.Fatal("repeat serial runs differ for a fixed seed")
+	}
+	c := renderLane(t, Options{Quick: true, Seed: 0x7070, Parallel: 4}, ids)
+	if a != c {
+		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
 	}
 }

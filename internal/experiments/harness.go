@@ -248,10 +248,16 @@ func spdkSystem(dev ssd.Config, seed uint64) *core.System {
 // on sys: the preconditioned span, aligned down to 1MiB, so reads always
 // hit mapped media. Zero when the device is not preconditioned.
 func confineRegion(sys *core.System) int64 {
-	if sys.Cfg.Precondition <= 0 {
+	return confineSpan(sys.Cfg.Precondition, sys.ExportedBytes())
+}
+
+// confineSpan is the shared confinement computation: the preconditioned
+// fraction of an exported capacity, aligned down to 1MiB.
+func confineSpan(pre float64, exported int64) int64 {
+	if pre <= 0 {
 		return 0
 	}
-	region := int64(sys.Cfg.Precondition * float64(sys.ExportedBytes()))
+	region := int64(pre * float64(exported))
 	const align = 1 << 20
 	return region / align * align
 }

@@ -1,0 +1,40 @@
+package sim
+
+// FIFO is a compact-on-wrap queue: Pop advances a head index instead of
+// re-slicing, and Push compacts the backing slice once appends would
+// otherwise grow past the consumed head, so memory stays O(peak queue)
+// and steady-state operation allocates nothing. It backs the open-loop
+// admission queue, the volume router's per-leaf segment queues, and the
+// tier-migration order.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len reports the queued element count.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.head }
+
+// Push appends v.
+func (f *FIFO[T]) Push(v T) {
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.buf = append(f.buf, v)
+}
+
+// Pop removes and returns the oldest element. The vacated slot is
+// zeroed so pooled or pointer elements are released immediately.
+// Popping an empty FIFO panics (callers gate on Len).
+func (f *FIFO[T]) Pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return v
+}

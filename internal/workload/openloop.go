@@ -172,7 +172,7 @@ type pendingIO struct {
 }
 
 type openRunner struct {
-	sys      *core.System
+	sys      core.Host
 	job      OpenJob
 	ops      *opStream
 	clock    *arrivalClock
@@ -180,8 +180,7 @@ type openRunner struct {
 
 	cap      int
 	queueCap int
-	queue    []pendingIO // FIFO window [head:]
-	head     int
+	queue    sim.FIFO[pendingIO]
 	inFlight int
 
 	generating bool
@@ -199,7 +198,7 @@ func mixTenantSeed(seed uint64, tenant int) uint64 {
 	return seed ^ 0x9e3779b97f4a7c15*uint64(tenant+1)
 }
 
-func newOpenRunner(sys *core.System, job OpenJob, tenant int) *openRunner {
+func newOpenRunner(sys core.Host, job OpenJob, tenant int) *openRunner {
 	if job.TotalIOs == 0 && job.Duration == 0 {
 		panic("workload: open-loop job needs a stop condition (TotalIOs or Duration)")
 	}
@@ -210,7 +209,7 @@ func newOpenRunner(sys *core.System, job OpenJob, tenant int) *openRunner {
 	if capIF < 0 {
 		panic("workload: open-loop admission cap must be positive")
 	}
-	if sys.Cfg.Stack == core.KernelSync {
+	if sys.Serial() {
 		capIF = 1 // pvsync2 serves one I/O at a time
 	}
 	qc := job.QueueCap
@@ -240,7 +239,7 @@ func newOpenRunner(sys *core.System, job OpenJob, tenant int) *openRunner {
 }
 
 func (r *openRunner) start() {
-	r.startT = r.sys.Eng.Now()
+	r.startT = r.sys.Engine().Now()
 	if r.job.Duration > 0 {
 		r.stopAt = r.startT + r.job.Duration
 	}
@@ -272,13 +271,11 @@ func (r *openRunner) scheduleNext() {
 		r.generating = false
 		return
 	}
-	r.sys.Eng.At(t, r.arriveFn)
+	r.sys.Engine().At(t, r.arriveFn)
 }
 
-func (r *openRunner) queued() int { return len(r.queue) - r.head }
-
 func (r *openRunner) arrive() {
-	now := r.sys.Eng.Now()
+	now := r.sys.Engine().Now()
 	seq := int(r.res.Offered)
 	r.res.Offered++
 	// Chain the next arrival before issuing this one: at equal
@@ -288,18 +285,12 @@ func (r *openRunner) arrive() {
 	write, offset := r.ops.next()
 	p := pendingIO{seq: seq, write: write, offset: offset, arrival: now}
 	switch {
-	case r.inFlight < r.cap && r.queued() == 0:
+	case r.inFlight < r.cap && r.queue.Len() == 0:
 		r.issue(p)
-	case r.queued() < r.queueCap:
+	case r.queue.Len() < r.queueCap:
 		r.res.Deferred++
-		if r.head > 0 && len(r.queue) == cap(r.queue) {
-			// Compact instead of growing: memory stays O(QueueCap).
-			n := copy(r.queue, r.queue[r.head:])
-			r.queue = r.queue[:n]
-			r.head = 0
-		}
-		r.queue = append(r.queue, p)
-		if q := r.queued(); q > r.res.PeakQueue {
+		r.queue.Push(p)
+		if q := r.queue.Len(); q > r.res.PeakQueue {
 			r.res.PeakQueue = q
 		}
 	default:
@@ -314,19 +305,13 @@ func (r *openRunner) issue(p pendingIO) {
 }
 
 func (r *openRunner) onDone(p pendingIO) {
-	now := r.sys.Eng.Now()
+	now := r.sys.Engine().Now()
 	r.inFlight--
 	// Latency counts from arrival: queueing delay is part of what an
 	// open-loop client experiences.
 	r.m.observe(p.seq, p.write, p.offset, p.arrival, now)
-	if r.queued() > 0 && r.inFlight < r.cap {
-		next := r.queue[r.head]
-		r.head++
-		if r.head == len(r.queue) {
-			r.queue = r.queue[:0]
-			r.head = 0
-		}
-		r.issue(next)
+	if r.queue.Len() > 0 && r.inFlight < r.cap {
+		r.issue(r.queue.Pop())
 	}
 }
 
@@ -337,8 +322,9 @@ func (r *openRunner) result() *OpenResult {
 
 // RunOpen drives one open-loop job against sys to completion: arrivals
 // stop at the job's stop condition, the engine drains the queue and all
-// in-flight I/Os, and deferred accounting is finalized.
-func RunOpen(sys *core.System, job OpenJob) *OpenResult {
+// in-flight I/Os, and deferred accounting is finalized. Like Run, sys
+// is any Target-rooted system (core.Host).
+func RunOpen(sys core.Host, job OpenJob) *OpenResult {
 	return RunTenants(sys, job)[0]
 }
 
@@ -349,11 +335,11 @@ func RunOpen(sys *core.System, job OpenJob) *OpenResult {
 // device; each gets its own arrival process, admission state, and
 // Result. Tenants carrying identical Seeds still draw independent
 // streams (the tenant index is mixed into every seed).
-func RunTenants(sys *core.System, jobs ...OpenJob) []*OpenResult {
+func RunTenants(sys core.Host, jobs ...OpenJob) []*OpenResult {
 	if len(jobs) == 0 {
 		panic("workload: RunTenants needs at least one job")
 	}
-	if sys.Cfg.Stack == core.KernelSync && len(jobs) > 1 {
+	if sys.Serial() && len(jobs) > 1 {
 		// The per-tenant admission clamp bounds each tenant to one
 		// in-flight I/O, but the pvsync2 invariant is global: a second
 		// tenant would overlap the first mid-syscall and panic deep in
@@ -367,7 +353,7 @@ func RunTenants(sys *core.System, jobs ...OpenJob) []*OpenResult {
 	for _, r := range runners {
 		r.start()
 	}
-	sys.Eng.Run()
+	sys.Engine().Run()
 	sys.Finalize()
 	out := make([]*OpenResult, len(runners))
 	for i, r := range runners {

@@ -89,12 +89,14 @@ func (r *Result) BandwidthMBps() float64 {
 	return float64(r.Bytes) / 1e6 / r.Wall.Seconds()
 }
 
-// Run drives job against sys until the stop condition, runs the engine to
-// drain, finalizes deferred accounting, and returns the measurements.
-func Run(sys *core.System, job Job) *Result {
+// Run drives job against sys until the stop condition, runs the engine
+// to drain, finalizes deferred accounting, and returns the measurements.
+// sys is any Target-rooted system: the one-device core.System shorthand
+// or a built core.Graph topology (stripes, tiers, concats).
+func Run(sys core.Host, job Job) *Result {
 	r := newRunner(sys, job)
 	r.start()
-	sys.Eng.Run()
+	sys.Engine().Run()
 	sys.Finalize()
 	return r.result()
 }
@@ -112,7 +114,7 @@ type opStream struct {
 }
 
 // newOpStream validates the pattern geometry and returns a stream.
-func newOpStream(sys *core.System, pattern Pattern, writeFraction float64, blockSize int, region int64, rng *sim.RNG) *opStream {
+func newOpStream(sys core.Host, pattern Pattern, writeFraction float64, blockSize int, region int64, rng *sim.RNG) *opStream {
 	if blockSize <= 0 {
 		panic("workload: block size must be positive")
 	}
@@ -227,7 +229,7 @@ func (m *meter) finish() {
 }
 
 type runner struct {
-	sys *core.System
+	sys core.Host
 	job Job
 	ops *opStream
 
@@ -240,11 +242,11 @@ type runner struct {
 	res Result
 }
 
-func newRunner(sys *core.System, job Job) *runner {
+func newRunner(sys core.Host, job Job) *runner {
 	if job.QueueDepth <= 0 {
 		job.QueueDepth = 1
 	}
-	if sys.Cfg.Stack == core.KernelSync && job.QueueDepth != 1 {
+	if sys.Serial() && job.QueueDepth != 1 {
 		panic("workload: synchronous stacks serve one I/O at a time")
 	}
 	if job.TotalIOs == 0 && job.Duration == 0 {
@@ -265,7 +267,7 @@ func newRunner(sys *core.System, job Job) *runner {
 }
 
 func (r *runner) start() {
-	r.startT = r.sys.Eng.Now()
+	r.startT = r.sys.Engine().Now()
 	r.m = meter{
 		warmupIOs:  r.job.WarmupIOs,
 		warmupTime: r.job.WarmupTime,
@@ -289,7 +291,7 @@ func (r *runner) wantMore() bool {
 	if r.job.TotalIOs > 0 && r.issued >= r.job.TotalIOs+r.job.WarmupIOs {
 		return false
 	}
-	if r.job.Duration > 0 && r.sys.Eng.Now()-r.startT >= r.job.Duration {
+	if r.job.Duration > 0 && r.sys.Engine().Now()-r.startT >= r.job.Duration {
 		return false
 	}
 	return true
@@ -303,7 +305,7 @@ func (r *runner) issueNext() bool {
 	write, offset := r.ops.next()
 	seq := r.issued
 	r.issued++
-	start := r.sys.Eng.Now()
+	start := r.sys.Engine().Now()
 	r.sys.Submit(write, offset, r.job.BlockSize, func() {
 		r.onDone(seq, write, offset, start)
 	})
@@ -312,7 +314,7 @@ func (r *runner) issueNext() bool {
 
 func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time) {
 	r.completed++
-	r.m.observe(seq, write, offset, start, r.sys.Eng.Now())
+	r.m.observe(seq, write, offset, start, r.sys.Engine().Now())
 	r.issueNext()
 }
 

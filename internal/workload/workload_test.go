@@ -179,3 +179,67 @@ func TestStackKindString(t *testing.T) {
 		t.Fatal("stack kind names")
 	}
 }
+
+// stripedHost builds a 2-way striped volume of small ULL devices on the
+// libaio stack — the workload engines must drive any Target-rooted
+// Host, not just the one-device System.
+func stripedHost() core.Host {
+	return core.Build(core.Topology{
+		Root: core.Volume{Kind: core.Striped, Children: []core.Layer{
+			core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: smallULL()}},
+			core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: smallULL()}},
+		}},
+		Precondition: 1.0,
+	})
+}
+
+func TestRunOnTopologyHost(t *testing.T) {
+	res := Run(stripedHost(), Job{
+		Pattern: RandRead, BlockSize: 4096, QueueDepth: 4,
+		TotalIOs: 400, WarmupIOs: 40, Seed: 9,
+	})
+	if res.IOs != 400 {
+		t.Fatalf("measured IOs = %d, want 400", res.IOs)
+	}
+	if res.Wall <= 0 || res.IOPS() <= 0 {
+		t.Fatal("derived rates not positive")
+	}
+}
+
+func TestRunOpenOnTopologyHost(t *testing.T) {
+	res := RunOpen(stripedHost(), OpenJob{
+		Pattern: RandRead, BlockSize: 4096,
+		Arrival:  Arrival{Kind: Poisson, Rate: 30000},
+		TotalIOs: 300, Seed: 5,
+	})
+	if res.Offered != 300 || res.IOs == 0 {
+		t.Fatalf("offered %d, measured %d", res.Offered, res.IOs)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d at a modest rate", res.Dropped)
+	}
+}
+
+// TestRunTenantsOnSerialTopology: a volume over sync leaves is not
+// Serial (the router queues per leaf), so multi-tenant runs that would
+// panic on a bare pvsync2 system are legal on the composed one.
+func TestRunTenantsOnSerialTopology(t *testing.T) {
+	g := core.Build(core.Topology{
+		Root: core.Volume{Kind: core.Striped, Children: []core.Layer{
+			core.Stack{Kind: core.KernelSync, Mode: kernel.Poll, Queue: core.Queue{Device: smallULL()}},
+			core.Stack{Kind: core.KernelSync, Mode: kernel.Poll, Queue: core.Queue{Device: smallULL()}},
+		}},
+		Precondition: 1.0,
+	})
+	results := RunTenants(g,
+		OpenJob{Name: "a", Pattern: RandRead, BlockSize: 4096,
+			Arrival: Arrival{Kind: FixedRate, Rate: 20000}, TotalIOs: 100, Seed: 1},
+		OpenJob{Name: "b", Pattern: RandRead, BlockSize: 4096,
+			Arrival: Arrival{Kind: FixedRate, Rate: 20000}, TotalIOs: 100, Seed: 2},
+	)
+	for i, r := range results {
+		if r.Offered != 100 {
+			t.Fatalf("tenant %d offered %d, want 100", i, r.Offered)
+		}
+	}
+}

@@ -12,7 +12,7 @@
 // experiment harness that regenerates every table and figure of the
 // paper's evaluation.
 //
-// Quick start:
+// Quick start — one device behind one stack (the shorthand):
 //
 //	sys := repro.NewSystem(repro.SystemConfig{
 //		Device: repro.ZSSD(),
@@ -26,6 +26,36 @@
 //		TotalIOs:  100000,
 //	})
 //	fmt.Println(res.All.Summarize())
+//
+// Compose a topology — systems are layer graphs lowered onto one
+// Target contract, so multi-device volumes run through the same
+// workload engines as a single device. A RAID-0 stripe of four Z-SSDs
+// behind SPDK:
+//
+//	vol := repro.BuildTopology(repro.Topology{
+//		Root: repro.StripedVolume(64<<10,
+//			repro.StackOn(repro.SPDK, 0, repro.ZSSD()),
+//			repro.StackOn(repro.SPDK, 0, repro.ZSSD()),
+//			repro.StackOn(repro.SPDK, 0, repro.ZSSD()),
+//			repro.StackOn(repro.SPDK, 0, repro.ZSSD()),
+//		),
+//		Precondition: 0.9,
+//	})
+//	res = repro.RunJob(vol, repro.Job{
+//		Pattern: repro.RandRead, BlockSize: 4096,
+//		QueueDepth: 8, TotalIOs: 100000,
+//	})
+//
+// Or a Z-SSD write-absorbing tier in front of a conventional NVMe SSD,
+// with watermark-driven migration:
+//
+//	tier := repro.BuildTopology(repro.Topology{
+//		Root: repro.TieredVolume(64<<10, 32<<20,
+//			repro.StackOn(repro.KernelAsync, 0, repro.ZSSD()),
+//			repro.StackOn(repro.KernelAsync, 0, repro.NVMe750()),
+//		),
+//		Precondition: 0.9,
+//	})
 //
 // Reproduce a figure:
 //
@@ -79,6 +109,39 @@ type (
 	NBDConfig = nbd.ModelConfig
 	// NBDModel is the wired server-client system.
 	NBDModel = nbd.Model
+
+	// Topology describes a system as a layer graph rooted at one Target.
+	Topology = core.Topology
+	// Layer is one node of a topology graph (StackLayer or VolumeLayer).
+	Layer = core.Layer
+	// QueueLayer pairs one device with its NVMe queue pair.
+	QueueLayer = core.Queue
+	// StackLayer drives one QueueLayer through a host I/O path.
+	StackLayer = core.Stack
+	// VolumeLayer composes child layers under one Target (Striped,
+	// Concat, or Tiered).
+	VolumeLayer = core.Volume
+	// VolumeKind selects a VolumeLayer's router policy.
+	VolumeKind = core.VolumeKind
+	// VolumeStats counts a volume layer's routing and tiering activity.
+	VolumeStats = core.VolumeStats
+	// TopologySystem is a built topology: the Target-rooted runnable
+	// system (it satisfies Host, like System).
+	TopologySystem = core.Graph
+	// Host is the contract every workload runner drives: any
+	// Target-rooted system.
+	Host = core.Host
+)
+
+// Volume router policies.
+const (
+	// Striped interleaves chunk-sized units across members, RAID-0 style.
+	Striped = core.Striped
+	// Concat appends members back to back.
+	Concat = core.Concat
+	// Tiered puts a fast write-absorbing tier in front of a capacity
+	// backend with watermark-driven migration.
+	Tiered = core.Tiered
 )
 
 // Access patterns (FIO rw= equivalents).
@@ -128,11 +191,43 @@ func NVMe750() DeviceConfig { return ssd.NVMe750() }
 // and interrupt completion.
 func DefaultSystemConfig(dev DeviceConfig) SystemConfig { return core.DefaultConfig(dev) }
 
-// NewSystem builds and wires a system.
+// NewSystem builds and wires a one-device system (the shorthand that
+// lowers onto the topology graph).
 func NewSystem(cfg SystemConfig) *System { return core.NewSystem(cfg) }
 
-// RunJob drives job against sys to completion and returns measurements.
-func RunJob(sys *System, job Job) *Result { return workload.Run(sys, job) }
+// BuildTopology lowers a layer graph into its runnable system.
+func BuildTopology(t Topology) *TopologySystem { return core.Build(t) }
+
+// StackOn returns the leaf layer: one host stack over one device with
+// the default NVMe queue pair. mode picks the completion method for
+// KernelSync and is ignored by the other stacks.
+func StackOn(kind core.StackKind, mode kernel.Mode, dev DeviceConfig) StackLayer {
+	return StackLayer{Kind: kind, Mode: mode, Queue: QueueLayer{Device: dev}}
+}
+
+// StripedVolume composes children into a RAID-0 stripe with the given
+// chunk (stripe unit) in bytes; 0 means the 64KiB default.
+func StripedVolume(chunk int64, children ...Layer) VolumeLayer {
+	return VolumeLayer{Kind: Striped, Chunk: chunk, Children: children}
+}
+
+// ConcatVolume appends children back to back under one Target.
+func ConcatVolume(children ...Layer) VolumeLayer {
+	return VolumeLayer{Kind: Concat, Children: children}
+}
+
+// TieredVolume puts fast in front of slow: writes land on the fast
+// tier while it has room (capped at fastBytes; 0 means the whole fast
+// device) and migrate to the backend in allocation order once
+// occupancy crosses the high watermark.
+func TieredVolume(chunk, fastBytes int64, fast, slow Layer) VolumeLayer {
+	return VolumeLayer{Kind: Tiered, Chunk: chunk, FastBytes: fastBytes,
+		Children: []Layer{fast, slow}}
+}
+
+// RunJob drives job against any Target-rooted system — a one-device
+// System or a built TopologySystem — and returns measurements.
+func RunJob(sys Host, job Job) *Result { return workload.Run(sys, job) }
 
 // DefaultKernelCosts returns the calibrated storage-stack cost table.
 func DefaultKernelCosts() KernelCosts { return kernel.DefaultCosts() }

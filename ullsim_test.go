@@ -106,3 +106,54 @@ func TestFacadeTimeUnits(t *testing.T) {
 		t.Fatal("spdk costs")
 	}
 }
+
+func TestFacadeTopology(t *testing.T) {
+	small := func() repro.DeviceConfig {
+		cfg := repro.ZSSD()
+		cfg.Channels = 4
+		cfg.WaysPerChannel = 2
+		cfg.PagesPerBlock = 16
+		cfg.BlocksPerUnit = 16
+		return cfg
+	}
+	vol := repro.BuildTopology(repro.Topology{
+		Root: repro.StripedVolume(64<<10,
+			repro.StackOn(repro.KernelAsync, 0, small()),
+			repro.StackOn(repro.KernelAsync, 0, small()),
+		),
+		Precondition: 1.0,
+	})
+	res := repro.RunJob(vol, repro.Job{
+		Pattern: repro.RandRead, BlockSize: 4096,
+		QueueDepth: 4, TotalIOs: 300, Seed: 3,
+	})
+	if res.IOs != 300 {
+		t.Fatalf("IOs = %d", res.IOs)
+	}
+	if len(vol.Devices()) != 2 {
+		t.Fatalf("devices = %d", len(vol.Devices()))
+	}
+	stats := vol.VolumeStats()
+	if len(stats) != 1 || stats[0].Kind != repro.Striped || stats[0].HostIOs == 0 {
+		t.Fatalf("volume stats = %+v", stats)
+	}
+
+	tier := repro.BuildTopology(repro.Topology{
+		Root: repro.TieredVolume(64<<10, 8*(64<<10),
+			repro.StackOn(repro.KernelAsync, 0, small()),
+			repro.StackOn(repro.KernelAsync, 0, small()),
+		),
+		Precondition: 1.0,
+	})
+	res = repro.RunJob(tier, repro.Job{
+		Pattern: repro.RandRW, WriteFraction: 0.5, BlockSize: 4096,
+		QueueDepth: 4, TotalIOs: 400, Seed: 4,
+	})
+	if res.IOs != 400 {
+		t.Fatalf("tiered IOs = %d", res.IOs)
+	}
+	ts := tier.VolumeStats()[0]
+	if ts.FastWrites == 0 || ts.Migrations == 0 {
+		t.Fatalf("tier never absorbed or migrated: %+v", ts)
+	}
+}
