@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/nbd"
 	"repro/internal/sim"
@@ -223,6 +224,82 @@ func BenchmarkStripedVolume(b *testing.B) {
 		})
 	}
 	issue()
+	g.Engine().Run()
+}
+
+// BenchmarkFSBufferedRead reports the page-cache hit path's simulator
+// cost: 4KB random reads over a fully warmed cache on the filesystem
+// layer. Every read is a hit — a map lookup, LRU relinks, CPU charges,
+// and one pooled event — so allocs/op gates the hot path at zero
+// alongside the event core's.
+func BenchmarkFSBufferedRead(b *testing.B) {
+	g := core.Build(core.Topology{
+		Root: core.FS{
+			Config: fs.Config{CacheBytes: 64 << 20, DirtyExpire: -1},
+			Child:  core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: ssd.ZSSD()}},
+		},
+		Precondition: 0.9,
+	})
+	region := int64(16 << 20)
+	// Fault the region in, a bounded batch at a time (the NVMe queue
+	// holds 1024 entries).
+	for off := int64(0); off < region; {
+		pending := 0
+		for ; off < region && pending < 512; off += 4096 {
+			g.Submit(false, off, 4096, func() {})
+			pending++
+		}
+		g.Engine().Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	rng := sim.NewRNG(3)
+	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		if done < b.N {
+			issue()
+		}
+	}
+	issue = func() {
+		off := rng.Int63n(region/4096) * 4096
+		g.Submit(false, off, 4096, donefn)
+	}
+	issue()
+	g.Engine().Run()
+}
+
+// BenchmarkFSFsync reports the cost of one buffered write + ordered-
+// journal fsync cycle through the filesystem layer: dirty-page
+// writeback, two journal records, and two barrier flushes per
+// iteration, all simulated.
+func BenchmarkFSFsync(b *testing.B) {
+	g := core.Build(core.Topology{
+		Root: core.FS{
+			Config: fs.Config{CacheBytes: 8 << 20, Journal: fs.OrderedJournal, DirtyExpire: -1},
+			Child:  core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: ssd.ZSSD()}},
+		},
+		Precondition: 0.9,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	var cycle func()
+	var wdone, sdone func()
+	sdone = func() {
+		done++
+		if done < b.N {
+			cycle()
+		}
+	}
+	wdone = func() { g.Sync(sdone) }
+	cycle = func() {
+		off := int64(done%1024) * 4096
+		g.Submit(true, off, 4096, wdone)
+	}
+	cycle()
 	g.Engine().Run()
 }
 

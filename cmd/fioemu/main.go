@@ -8,6 +8,12 @@
 //	fioemu -dev nvme -rw randwrite -bs 4096 -iodepth 32 -engine libaio -runtime 500ms
 //	fioemu -dev ull -rw randrw -rwmixwrite 20 -bs 4096 -iodepth 4 -engine libaio -ios 50000
 //
+// Filesystem: -fs routes I/O through the page-cache layer (buffered
+// reads, write-back buffered writes), -journal picks the fsync commit
+// protocol, and -syncratio N issues one fsync per N writes:
+//
+//	fioemu -dev ull -rw randwrite -ios 20000 -engine libaio -fs -journal ordered -syncratio 32
+//
 // Traces: -trace-out records the run's per-I/O trace as CSV;
 // -replay re-issues a recorded trace (open loop) instead of a synthetic
 // pattern, so a stream captured on one device can be replayed on another:
@@ -19,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,27 +35,86 @@ import (
 )
 
 func main() {
-	dev := flag.String("dev", "ull", "device: ull | nvme")
-	rw := flag.String("rw", "randread", "pattern: read | randread | write | randwrite | randrw")
-	mixWrite := flag.Int("rwmixwrite", 50, "write percentage for randrw")
-	bs := flag.Int("bs", 4096, "block size in bytes")
-	depth := flag.Int("iodepth", 1, "queue depth (libaio/spdk)")
-	engine := flag.String("engine", "pvsync2", "engine: pvsync2 | libaio | spdk")
-	completion := flag.String("completion", "interrupt", "pvsync2 completion: interrupt | poll | hybrid")
-	ios := flag.Int("ios", 0, "total I/Os (0 = use -runtime)")
-	runtime := flag.Duration("runtime", 0, "simulated runtime (e.g. 500ms)")
-	precond := flag.Float64("precondition", 0.9, "fraction of LPN space preconditioned")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	traceOut := flag.String("trace-out", "", "record the run's I/O trace to this CSV file")
-	replay := flag.String("replay", "", "replay a recorded trace instead of a synthetic pattern")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg := repro.DefaultSystemConfig(deviceConfig(*dev))
-	cfg.Precondition = *precond
-	switch *engine {
+// config carries the parsed flag set; separated from run so tests can
+// check the flag-to-system wiring without executing a simulation.
+type config struct {
+	dev        string
+	rw         string
+	mixWrite   int
+	bs         int
+	depth      int
+	engine     string
+	completion string
+	ios        int
+	runtime    time.Duration
+	precond    float64
+	seed       uint64
+	traceOut   string
+	replay     string
+
+	fsOn      bool
+	fsCache   int64
+	journal   string
+	syncRatio int
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	c := &config{}
+	fl := flag.NewFlagSet("fioemu", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	fl.StringVar(&c.dev, "dev", "ull", "device: ull | nvme")
+	fl.StringVar(&c.rw, "rw", "randread", "pattern: read | randread | write | randwrite | randrw")
+	fl.IntVar(&c.mixWrite, "rwmixwrite", 50, "write percentage for randrw (0-100)")
+	fl.IntVar(&c.bs, "bs", 4096, "block size in bytes")
+	fl.IntVar(&c.depth, "iodepth", 1, "queue depth (libaio/spdk)")
+	fl.StringVar(&c.engine, "engine", "pvsync2", "engine: pvsync2 | libaio | spdk")
+	fl.StringVar(&c.completion, "completion", "interrupt", "pvsync2 completion: interrupt | poll | hybrid")
+	fl.IntVar(&c.ios, "ios", 0, "total I/Os (0 = use -runtime)")
+	fl.DurationVar(&c.runtime, "runtime", 0, "simulated runtime (e.g. 500ms)")
+	fl.Float64Var(&c.precond, "precondition", 0.9, "fraction of LPN space preconditioned")
+	fl.Uint64Var(&c.seed, "seed", 1, "workload seed")
+	fl.StringVar(&c.traceOut, "trace-out", "", "record the run's I/O trace to this CSV file")
+	fl.StringVar(&c.replay, "replay", "", "replay a recorded trace instead of a synthetic pattern")
+	fl.BoolVar(&c.fsOn, "fs", false, "route I/O through the filesystem/page-cache layer (buffered I/O)")
+	fl.Int64Var(&c.fsCache, "fscache", 64<<20, "page-cache capacity in bytes (with -fs)")
+	fl.StringVar(&c.journal, "journal", "none", "fsync journal mode: none | ordered | log (implies a filesystem layer)")
+	fl.IntVar(&c.syncRatio, "syncratio", 0, "issue one fsync per N writes (0 = never)")
+	if err := fl.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.mixWrite < 0 || c.mixWrite > 100 {
+		return nil, fmt.Errorf("-rwmixwrite %d out of range: want a write percentage in 0-100", c.mixWrite)
+	}
+	if c.syncRatio < 0 {
+		return nil, fmt.Errorf("-syncratio %d out of range: want 0 (never) or a positive write count", c.syncRatio)
+	}
+	return c, nil
+}
+
+// journalMode maps the -journal flag.
+func journalMode(name string) (repro.JournalMode, error) {
+	switch name {
+	case "none":
+		return repro.NoJournal, nil
+	case "ordered":
+		return repro.OrderedJournal, nil
+	case "log":
+		return repro.LogStructured, nil
+	default:
+		return 0, fmt.Errorf("unknown journal mode %q (want none, ordered, or log)", name)
+	}
+}
+
+// stackFor maps the -engine/-completion flags onto the stack layer.
+func stackFor(engine, completion string) (repro.SystemConfig, error) {
+	var cfg repro.SystemConfig
+	switch engine {
 	case "pvsync2":
 		cfg.Stack = repro.KernelSync
-		switch *completion {
+		switch completion {
 		case "interrupt":
 			cfg.Mode = repro.Interrupt
 		case "poll":
@@ -56,25 +122,69 @@ func main() {
 		case "hybrid":
 			cfg.Mode = repro.Hybrid
 		default:
-			fatal("unknown completion %q", *completion)
+			return cfg, fmt.Errorf("unknown completion %q", completion)
 		}
 	case "libaio":
 		cfg.Stack = repro.KernelAsync
 	case "spdk":
 		cfg.Stack = repro.SPDK
 	default:
-		fatal("unknown engine %q", *engine)
+		return cfg, fmt.Errorf("unknown engine %q", engine)
 	}
+	return cfg, nil
+}
 
-	job := repro.Job{
-		BlockSize:  *bs,
-		QueueDepth: *depth,
-		TotalIOs:   *ios,
-		Duration:   repro.Time(runtime.Nanoseconds()),
-		WarmupIOs:  *ios / 10,
-		Seed:       *seed,
+func deviceConfig(name string) (repro.DeviceConfig, error) {
+	switch name {
+	case "ull", "zssd":
+		return repro.ZSSD(), nil
+	case "nvme", "750":
+		return repro.NVMe750(), nil
+	default:
+		return repro.DeviceConfig{}, fmt.Errorf("unknown device %q (want ull or nvme)", name)
 	}
-	switch *rw {
+}
+
+// topology lowers the parsed flags into the layer graph: one stack over
+// one device, optionally under a filesystem layer.
+func (c *config) topology() (repro.Topology, error) {
+	dev, err := deviceConfig(c.dev)
+	if err != nil {
+		return repro.Topology{}, err
+	}
+	scfg, err := stackFor(c.engine, c.completion)
+	if err != nil {
+		return repro.Topology{}, err
+	}
+	mode, err := journalMode(c.journal)
+	if err != nil {
+		return repro.Topology{}, err
+	}
+	var root repro.Layer = repro.StackOn(scfg.Stack, scfg.Mode, dev)
+	if c.fsOn || mode != repro.NoJournal {
+		fcfg := repro.FSConfig{Journal: mode}
+		if c.fsOn {
+			fcfg.CacheBytes = c.fsCache
+			// The kernel's default 128KiB readahead window, in pages.
+			fcfg.ReadaheadPages = 32
+		}
+		root = repro.FSOn(fcfg, root)
+	}
+	return repro.Topology{Root: root, Precondition: c.precond}, nil
+}
+
+// job assembles the workload description.
+func (c *config) job() (repro.Job, error) {
+	job := repro.Job{
+		BlockSize:  c.bs,
+		QueueDepth: c.depth,
+		TotalIOs:   c.ios,
+		Duration:   repro.Time(c.runtime.Nanoseconds()),
+		WarmupIOs:  c.ios / 10,
+		SyncEvery:  c.syncRatio,
+		Seed:       c.seed,
+	}
+	switch c.rw {
 	case "read":
 		job.Pattern = repro.SeqRead
 	case "randread":
@@ -85,85 +195,137 @@ func main() {
 		job.Pattern = repro.RandWrite
 	case "randrw":
 		job.Pattern = repro.RandRW
-		job.WriteFraction = float64(*mixWrite) / 100
+		job.WriteFraction = float64(c.mixWrite) / 100
 	default:
-		fatal("unknown rw %q", *rw)
+		return job, fmt.Errorf("unknown rw %q", c.rw)
 	}
 	if job.TotalIOs == 0 && job.Duration == 0 {
 		job.TotalIOs = 10000
 		job.WarmupIOs = 1000
 	}
-	if cfg.Stack == repro.KernelSync && *depth != 1 {
-		fatal("pvsync2 is synchronous; use -iodepth 1 or -engine libaio/spdk")
+	return job, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0 // -h is a successful help request, as with ExitOnError
+		}
+		fmt.Fprintf(stderr, "fioemu: %v\n", err)
+		return 2
+	}
+	topo, err := c.topology()
+	if err != nil {
+		fmt.Fprintf(stderr, "fioemu: %v\n", err)
+		return 2
+	}
+	job, err := c.job()
+	if err != nil {
+		fmt.Fprintf(stderr, "fioemu: %v\n", err)
+		return 2
+	}
+	// A passthrough FS config lowers to the bare serial stack, so the
+	// wrap only lifts the depth restriction when a real layer is built.
+	wrapped := false
+	if fsl, ok := topo.Root.(repro.FSLayer); ok {
+		wrapped = !fsl.Config.Passthrough()
+	}
+	if c.engine == "pvsync2" && c.depth != 1 && !wrapped {
+		fmt.Fprintln(stderr, "fioemu: pvsync2 is synchronous; use -iodepth 1, -engine libaio/spdk, or -fs (the filesystem layer absorbs concurrency)")
+		return 2
 	}
 
-	sys := repro.NewSystem(cfg)
+	g := repro.BuildTopology(topo)
 	// Confine I/O to the preconditioned region so reads touch media.
-	if *precond > 0 {
-		job.Region = int64(*precond*float64(sys.ExportedBytes())) >> 20 << 20
+	if c.precond > 0 {
+		job.Region = int64(c.precond*float64(g.ExportedBytes())) >> 20 << 20
 	}
-	if *traceOut != "" {
+	if c.traceOut != "" {
 		job.Trace = trace.NewRecorder()
 	}
 
 	start := time.Now()
 	var res *repro.Result
-	if *replay != "" {
-		res = replayTrace(sys, *replay)
+	if c.replay != "" {
+		res, err = replayTrace(g, c.replay)
+		if err != nil {
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "replayed %d events from %s\n", res.IOs, c.replay)
 	} else {
-		res = repro.RunJob(sys, job)
+		res = repro.RunJob(g, job)
 	}
 	elapsed := time.Since(start)
 
 	if job.Trace != nil {
-		f, err := os.Create(*traceOut)
+		f, err := os.Create(c.traceOut)
 		if err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
 		}
 		if err := job.Trace.WriteCSV(f); err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
 		}
-		fmt.Printf("trace: %d events written to %s\n", job.Trace.Len(), *traceOut)
+		fmt.Fprintf(stdout, "trace: %d events written to %s\n", job.Trace.Len(), c.traceOut)
 	}
 
 	s := res.All.Summarize()
-	fmt.Printf("%s: %s bs=%d depth=%d engine=%s\n", *dev, *rw, *bs, *depth, *engine)
-	if cfg.Stack == repro.KernelSync {
-		fmt.Printf("  completion=%s\n", cfg.Mode)
+	fmt.Fprintf(stdout, "%s: %s bs=%d depth=%d engine=%s\n", c.dev, c.rw, c.bs, c.depth, c.engine)
+	if c.engine == "pvsync2" {
+		fmt.Fprintf(stdout, "  completion=%s\n", c.completion)
 	}
-	fmt.Printf("  ios=%d bw=%.1f MB/s iops=%.0f\n", res.IOs, res.BandwidthMBps(), res.IOPS())
-	fmt.Printf("  lat (us): mean=%.2f p50=%.2f p99=%.2f p99.99=%.2f p99.999=%.2f max=%.2f\n",
+	fmt.Fprintf(stdout, "  ios=%d bw=%.1f MB/s iops=%.0f\n", res.IOs, res.BandwidthMBps(), res.IOPS())
+	fmt.Fprintf(stdout, "  lat (us): mean=%.2f p50=%.2f p99=%.2f p99.99=%.2f p99.999=%.2f max=%.2f\n",
 		s.Mean.Micros(), s.P50.Micros(), s.P99.Micros(), s.P9999.Micros(), s.P5N.Micros(), s.Max.Micros())
 	if res.Read.Count() > 0 && res.Write.Count() > 0 {
-		fmt.Printf("  read lat mean=%.2fus (n=%d)  write lat mean=%.2fus (n=%d)\n",
+		fmt.Fprintf(stdout, "  read lat mean=%.2fus (n=%d)  write lat mean=%.2fus (n=%d)\n",
 			res.Read.Mean().Micros(), res.Read.Count(),
 			res.Write.Mean().Micros(), res.Write.Count())
 	}
-	u := sys.Core.Utilization(sys.Eng.Now())
-	fmt.Printf("  cpu: user=%.1f%% kernel=%.1f%% idle=%.1f%%\n", u.User, u.Kernel, u.Idle)
-	fmt.Printf("  device power: %.2f W avg\n", sys.Dev.Meter().AvgWatts(sys.Eng.Now()))
-	fmt.Printf("  simulated %v in %v wall\n", sys.Eng.Now(), elapsed.Round(time.Millisecond))
+	if res.Fsyncs > 0 {
+		fs := res.Fsync.Summarize()
+		fmt.Fprintf(stdout, "  fsync (us): n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f\n",
+			res.Fsyncs, fs.Mean.Micros(), fs.P50.Micros(), fs.P99.Micros(), fs.Max.Micros())
+	}
+	for _, st := range g.FSStats() {
+		total := st.Hits + st.Misses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = 100 * float64(st.Hits) / float64(total)
+		}
+		fmt.Fprintf(stdout, "  fs: journal=%s cache hit=%.1f%% (%d/%d) wb pages=%d barriers=%d jwrites=%d\n",
+			c.journal, hitPct, st.Hits, total, st.WritebackPages, st.Barriers, st.JournalWrites)
+	}
+	u := g.CPU().Utilization(g.Engine().Now())
+	fmt.Fprintf(stdout, "  cpu: user=%.1f%% kernel=%.1f%% idle=%.1f%%\n", u.User, u.Kernel, u.Idle)
+	fmt.Fprintf(stdout, "  device power: %.2f W avg\n", g.Devices()[0].Meter().AvgWatts(g.Engine().Now()))
+	fmt.Fprintf(stdout, "  simulated %v in %v wall\n", g.Engine().Now(), elapsed.Round(time.Millisecond))
+	return 0
 }
 
-// replayTrace re-issues a recorded trace against sys and synthesizes a
-// Result from the replayed latencies.
-func replayTrace(sys *repro.System, path string) *repro.Result {
+// replayTrace re-issues a recorded trace against the built system and
+// synthesizes a Result from the replayed latencies.
+func replayTrace(g *repro.TopologySystem, path string) (*repro.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal("%v", err)
+		return nil, err
 	}
 	defer f.Close()
 	events, err := trace.ReadCSV(f)
 	if err != nil {
-		fatal("%v", err)
+		return nil, err
 	}
 	out := trace.NewRecorder()
-	trace.Replay(sys.Eng, sysTarget{sys}, events, out)
-	sys.Eng.Run()
-	sys.Finalize()
+	trace.Replay(g.Engine(), graphTarget{g}, events, out)
+	g.Engine().Run()
+	g.Finalize()
 	res := &repro.Result{}
 	for _, e := range out.Events() {
 		res.All.Record(e.Latency)
@@ -178,30 +340,12 @@ func replayTrace(sys *repro.System, path string) *repro.Result {
 			res.Wall = end
 		}
 	}
-	fmt.Printf("replayed %d events from %s\n", len(events), path)
-	return res
+	return res, nil
 }
 
-// sysTarget adapts core.System to trace.Target.
-type sysTarget struct{ sys *core.System }
+// graphTarget adapts the built topology to trace.Target.
+type graphTarget struct{ g *core.Graph }
 
-func (t sysTarget) Submit(write bool, off int64, n int, done func()) {
-	t.sys.Submit(write, off, n, done)
-}
-
-func deviceConfig(name string) repro.DeviceConfig {
-	switch name {
-	case "ull", "zssd":
-		return repro.ZSSD()
-	case "nvme", "750":
-		return repro.NVMe750()
-	default:
-		fatal("unknown device %q (want ull or nvme)", name)
-		panic("unreachable")
-	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "fioemu: "+format+"\n", args...)
-	os.Exit(2)
+func (t graphTarget) Submit(write bool, off int64, n int, done func()) {
+	t.g.Submit(write, off, n, done)
 }

@@ -11,6 +11,9 @@
 //	ullsim run ext-tenants      # reader tail latency vs co-tenant write rate
 //	ullsim run ext-stripe       # IOPS/tail vs stripe width (striped Z-SSD volume)
 //	ullsim run ext-tier         # read tail vs tier-migration pressure
+//	ullsim run ext-fsync        # fsync tail vs journal mode (filesystem layer)
+//	ullsim run ext-buffered     # buffered vs O_DIRECT: page-cache overhead share
+//	ullsim run ext-cachewb      # read tail vs write-back pressure
 //
 // Flags:
 //
@@ -189,6 +192,9 @@ open-loop extensions (latency vs offered load, multi-tenant mixes):
 
 topology extensions (striped and tiered multi-device volumes):
   ullsim run ext-stripe ext-tier
+
+filesystem extensions (page cache, write-back, journaled fsync):
+  ullsim run ext-fsync ext-buffered ext-cachewb
 `)
 	flag.PrintDefaults()
 }

@@ -1,0 +1,108 @@
+// Fsync-tail walkthrough: put the filesystem/page-cache layer over
+// each device and compare what fsync(2) really costs under the three
+// journal modes.
+//
+// Part 1 runs a 4KB random writer that fsyncs every 16 writes on the
+// ULL SSD and the conventional NVMe SSD, under NoJournal, ordered
+// journaling (ext4 data=ordered: journal record, barrier flush, commit
+// record, second flush), and a log-structured mode (F2FS shape: one
+// barrier, but append segments owe cleaning). The buffered writes
+// themselves complete in memcpy time — the dirty-page pool absorbs
+// them — so the fsync column is the whole durability bill.
+//
+// Part 2 shows why the paper's host-software argument applies: the
+// ordered journal's extra round trips cost roughly the same host-side
+// protocol on both devices, but on the ULL device they are many
+// multiples of the raw write latency the device is capable of.
+//
+// The registered experiment ext-fsync runs the same comparison as a
+// sharded sweep: `go run ./cmd/ullsim run ext-fsync`.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+const seed = 42
+
+// fsWriter builds the filesystem layer (64MiB cache, the given journal
+// mode) over a libaio stack on dev.
+func fsWriter(dev repro.DeviceConfig, mode repro.JournalMode) *repro.TopologySystem {
+	dev.Seed ^= seed
+	return repro.BuildTopology(repro.Topology{
+		Root: repro.FSOn(repro.FSConfig{
+			CacheBytes: 64 << 20,
+			Journal:    mode,
+		}, repro.StackOn(repro.KernelAsync, 0, dev)),
+		Precondition: 0.9,
+	})
+}
+
+// rawWriteMean measures the bare-stack QD1 4KB random write latency —
+// the yardstick the fsync bill is compared against.
+func rawWriteMean(dev repro.DeviceConfig) repro.Time {
+	dev.Seed ^= seed
+	sys := repro.NewSystem(repro.SystemConfig{
+		Device: dev, Stack: repro.KernelAsync, Precondition: 0.9,
+	})
+	res := repro.RunJob(sys, repro.Job{
+		Pattern: repro.RandWrite, BlockSize: 4096,
+		TotalIOs: 2000, WarmupIOs: 200,
+		Region: int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20,
+		Seed:   seed,
+	})
+	return res.Write.Mean()
+}
+
+func main() {
+	devices := []struct {
+		name string
+		cfg  repro.DeviceConfig
+	}{
+		{"ull ", repro.ZSSD()},
+		{"nvme", repro.NVMe750()},
+	}
+	modes := []repro.JournalMode{repro.NoJournal, repro.OrderedJournal, repro.LogStructured}
+
+	fmt.Println("4KB random writer, fsync every 16 writes, libaio, 64MiB page cache:")
+	fmt.Println("dev   journal  write us  fsync mean  fsync p50  fsync p99  fsync/raw  barriers")
+	raw := map[string]repro.Time{}
+	for _, d := range devices {
+		raw[d.name] = rawWriteMean(d.cfg)
+		for _, m := range modes {
+			g := fsWriter(d.cfg, m)
+			res := repro.RunJob(g, repro.Job{
+				Pattern: repro.RandWrite, BlockSize: 4096, QueueDepth: 4,
+				TotalIOs: 6000, WarmupIOs: 600, SyncEvery: 16,
+				Region: int64(0.9*float64(g.ExportedBytes())) >> 20 << 20,
+				Seed:   seed,
+			})
+			st := g.FSStats()[0]
+			fmt.Printf("%s  %-7s  %8.2f  %10.2f  %9.2f  %9.2f  %8.1fx  %.1f/sync\n",
+				d.name, m,
+				res.Write.Mean().Micros(),
+				res.Fsync.Mean().Micros(),
+				res.Fsync.Percentile(50).Micros(),
+				res.Fsync.Percentile(99).Micros(),
+				float64(res.Fsync.Mean())/float64(raw[d.name]),
+				float64(st.Barriers)/float64(st.Fsyncs))
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("the raw QD1 write each device is capable of:")
+	for _, d := range devices {
+		fmt.Printf("  %s  %6.2f us\n", d.name, raw[d.name].Micros())
+	}
+	fmt.Println()
+	fmt.Println("ordered journaling adds two records and two barrier flushes per sync —")
+	fmt.Println("host-ordered serialized round trips. The buffered write column shows why")
+	fmt.Println("applications love the page cache (memcpy time). The ULL device can retire")
+	fmt.Println("a write in ~10us, yet a journaled fsync costs over a millisecond: the")
+	fmt.Println("commit protocol, not the media, is what the user waits for — the paper's")
+	fmt.Println("host-software argument applied to durability. (The conventional SSD's")
+	fmt.Println("fsync is slower still, but there the barrier really is device cost:")
+	fmt.Println("each flush drains its DRAM write-back buffer to flash.)")
+}

@@ -49,6 +49,23 @@ type Target interface {
 	Submit(write bool, offset int64, length int, done func())
 }
 
+// Flusher is the optional Target extension for durability barriers: a
+// device flush (NVMe Flush) driven through the stack's own submission
+// and completion machinery. Every built-in Target implements it — the
+// kernel stacks, SPDK, and volumes (which fan the barrier out to every
+// member).
+type Flusher interface {
+	Flush(done func())
+}
+
+// Syncer is the optional Target extension for full fsync(2) semantics:
+// write back dirty cached state, run the journal commit protocol, and
+// barrier the device. The filesystem layer implements it; bare stacks
+// only implement Flusher (on a raw block device fsync is just a flush).
+type Syncer interface {
+	Sync(done func())
+}
+
 // Config assembles a one-device system: the shorthand that lowers onto
 // the topology graph (see topology.go) with a single Stack over a
 // single Queue.
@@ -140,6 +157,12 @@ func NewSystem(cfg Config) *System {
 // Submit issues one I/O through the configured stack.
 func (s *System) Submit(write bool, offset int64, length int, done func()) {
 	s.graph.Submit(write, offset, length, done)
+}
+
+// Sync issues one durability barrier (a device flush through the
+// stack): fsync on a raw block device.
+func (s *System) Sync(done func()) {
+	s.graph.Sync(done)
 }
 
 // Engine returns the system's event engine.

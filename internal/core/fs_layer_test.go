@@ -1,0 +1,176 @@
+package core
+
+// Tests for the filesystem topology layer: the bit-exact passthrough
+// guarantee (an FS with no cache and no journal must lower to its child
+// unchanged — the ISSUE 5 acceptance bar), buffered-I/O composition
+// over each stack kind, and the Host.Sync fallback chain (FS fsync vs
+// bare stack flush vs volume barrier fan-out).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/kernel"
+)
+
+// runFingerprint drives a fixed I/O sequence and folds every completion
+// instant into a string: any scheduling or seeding drift shows up.
+func runFingerprint(g *Graph) string {
+	var total int64
+	done := 0
+	for i := 0; i < 96; i++ {
+		start := g.Engine().Now()
+		g.Submit(i%3 == 0, int64(i%32)*4096, 4096, func() {
+			total += int64(g.Engine().Now() - start)
+			done++
+		})
+		if g.Serial() || i%8 == 7 {
+			g.Engine().Run() // serial stacks take one I/O at a time
+		}
+	}
+	g.Engine().Run()
+	g.Finalize()
+	d := g.Devices()[0].Stats()
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d", done, total, g.Engine().Now(),
+		d.HostReads, d.HostWrites, d.FlashReads)
+}
+
+// TestFSPassthroughBitExact: for every stack kind, composing a
+// zero-value FS layer over the stack produces byte-identical behavior
+// to the bare stack — same completions, same end time, same device
+// counters.
+func TestFSPassthroughBitExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		stack StackKind
+		mode  kernel.Mode
+	}{
+		{"sync-poll", KernelSync, kernel.Poll},
+		{"sync-int", KernelSync, kernel.Interrupt},
+		{"async", KernelAsync, 0},
+		{"spdk", SPDK, 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			leaf := func() Layer {
+				return Stack{Kind: c.stack, Mode: c.mode, Queue: Queue{Device: smallULL()}}
+			}
+			bare := Build(Topology{Root: leaf(), Precondition: 0.9})
+			wrapped := Build(Topology{Root: FS{Child: leaf()}, Precondition: 0.9})
+			if len(wrapped.FSStats()) != 0 {
+				t.Fatal("passthrough FS still built a filesystem layer")
+			}
+			if got, want := wrapped.Serial(), bare.Serial(); got != want {
+				t.Fatalf("passthrough Serial() = %v, want %v", got, want)
+			}
+			if got, want := wrapped.ExportedBytes(), bare.ExportedBytes(); got != want {
+				t.Fatalf("passthrough exported %d bytes, want %d", got, want)
+			}
+			a, b := runFingerprint(bare), runFingerprint(wrapped)
+			if a != b {
+				t.Fatalf("passthrough diverged from the bare stack:\nbare:    %s\nwrapped: %s", a, b)
+			}
+		})
+	}
+}
+
+// TestFSLayerBuffered: a caching FS over libaio absorbs re-reads and
+// reserves the journal area out of the exported capacity.
+func TestFSLayerBuffered(t *testing.T) {
+	child := Stack{Kind: KernelAsync, Queue: Queue{Device: smallULL()}}
+	g := Build(Topology{
+		Root: FS{
+			Config: fs.Config{
+				CacheBytes: 1 << 20, Journal: fs.OrderedJournal,
+				JournalBytes: 1 << 20, DirtyExpire: -1,
+			},
+			Child: child,
+		},
+		Precondition: 0.9,
+	})
+	bare := Build(Topology{Root: child, Precondition: 0.9})
+	if want := bare.ExportedBytes() - 1<<20; g.ExportedBytes() != want {
+		t.Fatalf("exported = %d, want %d (journal reserved)", g.ExportedBytes(), want)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 8; i++ {
+			g.Submit(false, int64(i)*4096, 4096, func() {})
+		}
+		g.Engine().Run()
+	}
+	st := g.FSStats()
+	if len(st) != 1 {
+		t.Fatalf("FSStats len = %d, want 1", len(st))
+	}
+	if st[0].Misses != 8 || st[0].Hits != 8 {
+		t.Fatalf("stats = %+v, want 8 misses then 8 hits", st[0])
+	}
+	synced := false
+	g.Sync(func() { synced = true })
+	g.Engine().Run()
+	if !synced {
+		t.Fatal("fsync through the graph never completed")
+	}
+	if st := g.FSStats()[0]; st.Barriers != 2 || st.JournalWrites != 2 {
+		t.Fatalf("ordered fsync stats = %+v", st)
+	}
+	if g.Devices()[0].Stats().HostFlushes != 2 {
+		t.Fatalf("device saw %d flushes, want 2", g.Devices()[0].Stats().HostFlushes)
+	}
+}
+
+// TestFSOverSerialStack: the cache absorbs concurrency over a pvsync2
+// child — the composed root is not serial, and the FS gate keeps the
+// stack's one-at-a-time invariant.
+func TestFSOverSerialStack(t *testing.T) {
+	g := Build(Topology{
+		Root: FS{
+			Config: fs.Config{CacheBytes: 1 << 20, DirtyExpire: -1},
+			Child:  Stack{Kind: KernelSync, Mode: kernel.Poll, Queue: Queue{Device: smallULL()}},
+		},
+		Precondition: 0.9,
+	})
+	if g.Serial() {
+		t.Fatal("FS over a serial stack must not be serial")
+	}
+	done := 0
+	for i := 0; i < 16; i++ {
+		g.Submit(false, int64(i)*4096, 4096, func() { done++ })
+	}
+	g.Engine().Run()
+	if done != 16 {
+		t.Fatalf("completed %d/16 concurrent reads over the serial child", done)
+	}
+}
+
+// TestGraphSyncFallbacks: Sync on a bare stack issues one device flush;
+// on a volume it fans the barrier to every member.
+func TestGraphSyncFallbacks(t *testing.T) {
+	g := Build(Topology{Root: Stack{Kind: KernelAsync, Queue: Queue{Device: smallULL()}}})
+	g.Sync(func() {})
+	g.Engine().Run()
+	if got := g.Devices()[0].Stats().HostFlushes; got != 1 {
+		t.Fatalf("stack sync flushed %d times, want 1", got)
+	}
+
+	vol := Build(Topology{Root: Volume{Kind: Striped, Children: []Layer{
+		Stack{Kind: KernelAsync, Queue: Queue{Device: smallULL()}},
+		Stack{Kind: KernelSync, Mode: kernel.Poll, Queue: Queue{Device: smallULL()}},
+	}}})
+	synced := false
+	vol.Sync(func() { synced = true })
+	vol.Engine().Run()
+	if !synced {
+		t.Fatal("volume sync never completed")
+	}
+	for i, d := range vol.Devices() {
+		if got := d.Stats().HostFlushes; got != 1 {
+			t.Fatalf("member %d flushed %d times, want 1", i, got)
+		}
+	}
+	if vs := vol.VolumeStats()[0]; vs.Flushes != 1 {
+		t.Fatalf("volume flush count = %d, want 1", vs.Flushes)
+	}
+}

@@ -16,6 +16,10 @@
 //     kernel async/libaio, or SPDK) over one Queue; the leaf Target.
 //   - Volume: a router composing N child layers under one Target —
 //     Striped, Concat, or Tiered (see volume.go).
+//   - FS: a host filesystem + page cache over one child layer —
+//     buffered I/O, write-back, readahead, journaled fsync
+//     (internal/fs). With no cache and no journal it lowers to a
+//     bit-exact passthrough of its child.
 //
 // Build lowers a Topology into a Graph, the Target-rooted runnable
 // system; NewSystem remains the one-device shorthand that lowers onto
@@ -26,6 +30,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/nvme"
 	"repro/internal/sim"
@@ -44,6 +49,10 @@ type Host interface {
 	// Serial reports whether the root serves one I/O at a time (a bare
 	// pvsync2 stack); workload engines clamp concurrency to 1.
 	Serial() bool
+	// Sync runs one durability barrier against the root: full fsync
+	// semantics when the root is a filesystem layer, a bare device
+	// flush otherwise.
+	Sync(done func())
 	// Finalize settles deferred accounting (the SPDK continuous poll
 	// spin) once the run's events have drained.
 	Finalize()
@@ -141,6 +150,35 @@ func (s Stack) lower(g *Graph) built {
 	return built{target: t, exported: qp.Device().ExportedBytes(), serial: s.Kind == KernelSync}
 }
 
+// FS is the filesystem + page-cache layer: buffered reads and
+// write-back buffered writes over the child's block space, with
+// journaled fsync (see internal/fs). Any child that can flush composes
+// under it — a Stack or a Volume. A Passthrough config (no cache, no
+// journal) lowers to the child itself, bit-exactly.
+type FS struct {
+	Config fs.Config
+	Child  Layer
+}
+
+func (f FS) lower(g *Graph) built {
+	if f.Child == nil {
+		panic("core: fs layer needs a child layer")
+	}
+	b := f.Child.lower(g)
+	if f.Config.Passthrough() {
+		return b
+	}
+	be, ok := b.target.(fs.Backend)
+	if !ok {
+		panic("core: fs child target cannot flush")
+	}
+	m := fs.New(g.eng, g.cpu, be, b.exported, b.serial, f.Config)
+	g.fss = append(g.fss, m)
+	// The cache absorbs concurrency above a serial child (the FS gate
+	// serializes below), so the composed root is never serial.
+	return built{target: m, exported: m.ExportedBytes(), serial: false}
+}
+
 // Topology describes a layer graph rooted at a single Target.
 type Topology struct {
 	Root Layer
@@ -163,6 +201,7 @@ type Graph struct {
 	queues  []*nvme.QueuePair
 	spdks   []*spdk.Stack
 	volumes []*volume
+	fss     []*fs.FS
 	seeds   map[uint64]bool // configured device seeds, for decorrelation
 }
 
@@ -180,6 +219,21 @@ func Build(t Topology) *Graph {
 // Submit issues one I/O into the root layer.
 func (g *Graph) Submit(write bool, offset int64, length int, done func()) {
 	g.root.target.Submit(write, offset, length, done)
+}
+
+// Sync runs one durability barrier against the root: fsync semantics
+// when the root is a filesystem layer (writeback + journal commit +
+// device flush), a bare flush through the stack otherwise — which is
+// exactly what fsync on a raw block device does.
+func (g *Graph) Sync(done func()) {
+	switch t := g.root.target.(type) {
+	case Syncer:
+		t.Sync(done)
+	case Flusher:
+		t.Flush(done)
+	default:
+		panic("core: root target supports no durability barrier")
+	}
 }
 
 // Engine returns the shared event engine.
@@ -217,6 +271,16 @@ func (g *Graph) VolumeStats() []VolumeStats {
 			out[i].FastChunks = v.tier.slots
 			out[i].FastInUse = v.tier.used()
 		}
+	}
+	return out
+}
+
+// FSStats snapshots every filesystem layer's counters, in lowering
+// order. Passthrough FS layers lower to their child and do not appear.
+func (g *Graph) FSStats() []fs.Stats {
+	out := make([]fs.Stats, len(g.fss))
+	for i, m := range g.fss {
+		out[i] = m.Stats()
 	}
 	return out
 }

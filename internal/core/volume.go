@@ -98,7 +98,8 @@ func (v Volume) lower(g *Graph) built {
 		if b.serial {
 			cap = 1
 		}
-		vol.leaves = append(vol.leaves, &vleaf{target: b.target, exported: b.exported, cap: cap})
+		fl, _ := b.target.(Flusher)
+		vol.leaves = append(vol.leaves, &vleaf{target: b.target, flusher: fl, exported: b.exported, cap: cap})
 	}
 	switch v.Kind {
 	case Striped:
@@ -170,6 +171,7 @@ type VolumeStats struct {
 	HostIOs  uint64 // I/Os submitted to the volume
 	ChildIOs uint64 // segments issued to children (> HostIOs on splits)
 	Queued   uint64 // segments that waited behind a busy serial child
+	Flushes  uint64 // barrier requests fanned out to every member
 
 	// Tiered only.
 	FastWrites    uint64 // writes absorbed by the fast tier
@@ -186,6 +188,7 @@ type VolumeStats struct {
 // cap and FIFO that serialize access to synchronous members.
 type vleaf struct {
 	target   Target
+	flusher  Flusher // the child's barrier path; nil if unsupported
 	exported int64
 	cap      int // 1 for serial children, effectively unbounded otherwise
 	inflight int
@@ -207,6 +210,7 @@ type vseg struct {
 	leaf   *vleaf
 	parent *vpending
 	write  bool
+	flush  bool  // flush barrier instead of a data segment
 	offset int64 // child-local offset
 	length int
 	fn     func()
@@ -279,8 +283,30 @@ func (v *volume) dispatch(l *vleaf, write bool, offset int64, length int, p *vpe
 	s.leaf = l
 	s.parent = p
 	s.write = write
+	s.flush = false
 	s.offset = offset
 	s.length = length
+	v.enqueue(l, s)
+}
+
+// dispatchFlush routes a barrier segment to a child, queueing behind the
+// same per-leaf FIFO as data segments so it lands after everything the
+// volume already handed the leaf.
+func (v *volume) dispatchFlush(l *vleaf, p *vpending) {
+	if l.flusher == nil {
+		panic("core: volume member target cannot flush")
+	}
+	s := v.getSeg()
+	s.leaf = l
+	s.parent = p
+	s.write = false
+	s.flush = true
+	s.offset = 0
+	s.length = 0
+	v.enqueue(l, s)
+}
+
+func (v *volume) enqueue(l *vleaf, s *vseg) {
 	v.stats.ChildIOs++
 	if l.inflight < l.cap && l.queue.Len() == 0 {
 		v.issue(s)
@@ -292,7 +318,11 @@ func (v *volume) dispatch(l *vleaf, write bool, offset int64, length int, p *vpe
 
 func (v *volume) issue(s *vseg) {
 	s.leaf.inflight++
-	s.leaf.target.Submit(s.write, s.offset, s.length, s.fn)
+	if s.flush {
+		s.leaf.flusher.Flush(s.fn)
+	} else {
+		s.leaf.target.Submit(s.write, s.offset, s.length, s.fn)
+	}
 }
 
 func (v *volume) segDone(s *vseg) {
@@ -330,6 +360,18 @@ func (v *volume) Submit(write bool, offset int64, length int, done func()) {
 		v.submitConcat(write, offset, length, done)
 	default:
 		v.submitTiered(write, offset, length, done)
+	}
+}
+
+// Flush fans one durability barrier out to every member and completes
+// when the last member's flush does — the way md flushes a RAID set.
+// Barriers ride the same per-leaf FIFOs as data segments, so a busy
+// serial member finishes its in-flight I/O first.
+func (v *volume) Flush(done func()) {
+	v.stats.Flushes++
+	p := v.getPending(len(v.leaves), done)
+	for _, l := range v.leaves {
+		v.dispatchFlush(l, p)
 	}
 }
 

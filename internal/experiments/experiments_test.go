@@ -22,7 +22,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	// Extensions live alongside the paper artifacts.
-	for _, id := range []string{"ext-lightq", "ext-pollopt", "ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier"} {
+	for _, id := range []string{"ext-lightq", "ext-pollopt", "ext-loadcurve", "ext-tenants",
+		"ext-stripe", "ext-tier", "ext-fsync", "ext-buffered", "ext-cachewb"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("extension %s not registered", id)
 		}
@@ -181,6 +182,7 @@ func TestRunRegionConfinement(t *testing.T) {
 var shortSet = []string{
 	"tab1", "fig4a", "fig10", "fig12", "fig20", "fig23", "ext-lightq",
 	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
+	"ext-fsync", "ext-buffered", "ext-cachewb",
 }
 
 // raceSet trims the lane further for `go test -race -short`: the
@@ -189,10 +191,13 @@ var shortSet = []string{
 // over async, sync, SPDK-paired, NBD, light-queue, and open-loop shards.
 // ext-loadcurve and ext-tenants additionally auto-shrink their sweeps
 // and windows under the detector (see loadPoints/tenantFracs/
-// loadCurveScale), so including them costs seconds, not minutes.
+// loadCurveScale), so including them costs seconds, not minutes; the
+// filesystem trio shrinks to one shard each on race-reduced device
+// geometry (fsyncDevices/fsyncModes/bufferedStacks/cwbSweep).
 var raceSet = []string{
 	"tab1", "fig6", "fig12", "fig23", "ext-lightq",
 	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
+	"ext-fsync", "ext-buffered", "ext-cachewb",
 }
 
 // laneIDs picks the experiment set for the current test mode: the whole
@@ -509,6 +514,136 @@ func TestTopologyExperimentsDeterministic(t *testing.T) {
 		t.Fatal("repeat serial runs differ for a fixed seed")
 	}
 	c := renderLane(t, Options{Quick: true, Seed: 0x7070, Parallel: 4}, ids)
+	if a != c {
+		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
+	}
+}
+
+// TestFsyncJournalCostsMore is ext-fsync's acceptance check: on the ULL
+// device the ordered journal's fsync p99 must exceed the no-journal
+// fsync p99 (two extra serialized round trips per sync), and every
+// fsync must dwarf the raw device write it protects.
+func TestFsyncJournalCostsMore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race build trims the sweep to one journal mode; the non-race lanes compare modes")
+	}
+	e, ok := ByID("ext-fsync")
+	if !ok {
+		t.Fatal("ext-fsync not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	tb := tables[0]
+	const (
+		colDevice  = 0
+		colJournal = 1
+		colRaw     = 2
+		colP99     = 6
+	)
+	p99 := map[string]float64{} // "device/journal" -> fsync p99
+	raw := map[string]float64{}
+	for _, row := range tb.Rows {
+		key := row[colDevice] + "/" + row[colJournal]
+		p99[key] = parseUS(t, row[colP99])
+		raw[key] = parseUS(t, row[colRaw])
+	}
+	for _, dev := range []string{"ull", "nvme"} {
+		if p99[dev+"/ordered"] <= p99[dev+"/none"] {
+			t.Errorf("%s: ordered fsync p99 (%.2fus) not above no-journal (%.2fus)",
+				dev, p99[dev+"/ordered"], p99[dev+"/none"])
+		}
+		for _, m := range []string{"none", "ordered", "log"} {
+			if p99[dev+"/"+m] <= raw[dev+"/"+m] {
+				t.Errorf("%s/%s: fsync p99 (%.2fus) not above the raw write (%.2fus)",
+					dev, m, p99[dev+"/"+m], raw[dev+"/"+m])
+			}
+		}
+	}
+}
+
+// TestBufferedShareGrowsOnULL is ext-buffered's acceptance check: for
+// every stack, the filesystem's share of buffered-miss latency on the
+// ULL device must exceed its share on the conventional SSD — the
+// paper's "host software dominates as the device shrinks", applied to
+// the page cache.
+func TestBufferedShareGrowsOnULL(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race build trims the sweep to one stack on one device; the non-race lanes compare devices")
+	}
+	e, ok := ByID("ext-buffered")
+	if !ok {
+		t.Fatal("ext-buffered not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	tb := tables[0]
+	const (
+		colDevice = 0
+		colStack  = 1
+		colDirect = 2
+		colShare  = 5
+		colHit    = 6
+	)
+	share := map[string]float64{} // "device/stack"
+	for _, row := range tb.Rows {
+		share[row[colDevice]+"/"+row[colStack]] = parseUS(t, row[colShare])
+		// A warm cache hit must beat even the fastest direct path.
+		if hit, direct := parseUS(t, row[colHit]), parseUS(t, row[colDirect]); hit >= direct {
+			t.Errorf("%s/%s: cache hit (%.2fus) not below O_DIRECT (%.2fus)",
+				row[colDevice], row[colStack], hit, direct)
+		}
+	}
+	for _, st := range []string{"kernel-poll", "libaio", "spdk"} {
+		if share["ull/"+st] <= share["nvme/"+st] {
+			t.Errorf("%s: fs share on ULL (%.1f%%) not above conventional (%.1f%%)",
+				st, share["ull/"+st], share["nvme/"+st])
+		}
+	}
+}
+
+// TestCacheWBReadTailGrowsWithWrites is ext-cachewb's acceptance check:
+// at the default dirty ratio, the buffered read p99 under the heaviest
+// write share must exceed the read-only baseline, and the baseline row
+// must show zero write-back activity.
+func TestCacheWBReadTailGrowsWithWrites(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race build trims the sweep to one point; the non-race lanes check the growth")
+	}
+	e, ok := ByID("ext-cachewb")
+	if !ok {
+		t.Fatal("ext-cachewb not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	tb := tables[0]
+	const (
+		colP99      = 4
+		colWBWrites = 7
+	)
+	if tb.Rows[0][colWBWrites] != "0" {
+		t.Fatalf("read-only baseline wrote back %s batches, want 0", tb.Rows[0][colWBWrites])
+	}
+	base := parseUS(t, tb.Rows[0][colP99])
+	heavy := parseUS(t, tb.Rows[3][colP99]) // write frac 0.75 at default ratio
+	if heavy <= base {
+		t.Fatalf("read p99 under heavy buffered writes (%.2fus) not above read-only baseline (%.2fus)", heavy, base)
+	}
+	if tb.Rows[3][colWBWrites] == "0" {
+		t.Fatal("heavy write share never triggered write-back")
+	}
+}
+
+// TestFSExperimentsDeterministic renders the filesystem trio twice
+// serially and once through 4 workers: all three must be byte-identical
+// for a fixed seed (the ISSUE 5 acceptance bar).
+func TestFSExperimentsDeterministic(t *testing.T) {
+	if raceEnabled && testing.Short() {
+		t.Skip("three filesystem lanes are too slow under the race detector; TestParallelMatchesSerial covers these experiments")
+	}
+	ids := []string{"ext-fsync", "ext-buffered", "ext-cachewb"}
+	a := renderLane(t, Options{Quick: true, Seed: 0xf5, Parallel: 1}, ids)
+	b := renderLane(t, Options{Quick: true, Seed: 0xf5, Parallel: 1}, ids)
+	if a != b {
+		t.Fatal("repeat serial runs differ for a fixed seed")
+	}
+	c := renderLane(t, Options{Quick: true, Seed: 0xf5, Parallel: 4}, ids)
 	if a != c {
 		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
 	}

@@ -60,6 +60,7 @@ type SyncStack struct {
 
 type syncIO struct {
 	write     bool
+	flush     bool // device flush barrier instead of a data transfer
 	offset    int64
 	length    int
 	cid       uint16
@@ -100,7 +101,11 @@ func NewSyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Cos
 	s.ringFn = func() {
 		io := s.current
 		io.submitEnd = s.eng.Now()
-		s.qp.Submit(io.write, io.offset, io.length, io.cid)
+		if io.flush {
+			s.qp.SubmitFlush(io.cid)
+		} else {
+			s.qp.Submit(io.write, io.offset, io.length, io.cid)
+		}
 		if s.mode == Hybrid {
 			s.armHybridSleep(io)
 		}
@@ -138,6 +143,18 @@ func (s *SyncStack) chargeN(fn cpu.Fn, c StageCost, n int64) {
 // the application. Submitting while an I/O is outstanding panics: the
 // pvsync2 engine is strictly serial.
 func (s *SyncStack) Submit(write bool, offset int64, length int, done func()) {
+	s.begin(write, false, offset, length, done)
+}
+
+// Flush issues one synchronous device flush barrier — the durable tail
+// of an fsync(2): an empty bio with REQ_PREFLUSH through the same
+// syscall/VFS/blk-mq/driver pipeline, completed by the configured
+// method. Like Submit, the stack is strictly serial.
+func (s *SyncStack) Flush(done func()) {
+	s.begin(false, true, 0, 0, done)
+}
+
+func (s *SyncStack) begin(write, flush bool, offset int64, length int, done func()) {
 	if s.busy {
 		panic("kernel: overlapping I/O on a synchronous stack")
 	}
@@ -156,6 +173,7 @@ func (s *SyncStack) Submit(write bool, offset int64, length int, done func()) {
 	io := &s.io
 	*io = syncIO{
 		write:  write,
+		flush:  flush,
 		offset: offset,
 		length: length,
 		cid:    s.nextCID,
@@ -313,6 +331,7 @@ type AsyncStack struct {
 type asyncIO struct {
 	s        *AsyncStack
 	write    bool
+	flush    bool // device flush barrier instead of a data transfer
 	offset   int64
 	length   int
 	cid      uint16
@@ -340,7 +359,11 @@ func (s *AsyncStack) getIO() *asyncIO {
 	if io == nil {
 		io = &asyncIO{s: s}
 		io.submitFn = func() {
-			io.s.qp.Submit(io.write, io.offset, io.length, io.cid)
+			if io.flush {
+				io.s.qp.SubmitFlush(io.cid)
+			} else {
+				io.s.qp.Submit(io.write, io.offset, io.length, io.cid)
+			}
 		}
 		return io
 	}
@@ -358,6 +381,17 @@ func (s *AsyncStack) putIO(io *asyncIO) {
 // Submit issues one asynchronous I/O; any number may be outstanding up to
 // the queue depth.
 func (s *AsyncStack) Submit(write bool, offset int64, length int, done func()) {
+	s.begin(write, false, offset, length, done)
+}
+
+// Flush issues one asynchronous device flush barrier (the durable tail
+// of an fsync: an empty REQ_PREFLUSH bio) alongside any outstanding
+// I/Os; completion is reaped like any other command.
+func (s *AsyncStack) Flush(done func()) {
+	s.begin(false, true, 0, 0, done)
+}
+
+func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done func()) {
 	s.core.Charge(cpu.FnAppUser, s.costs.AppSetup.Time, s.costs.AppSetup.Loads, s.costs.AppSetup.Stores)
 	s.core.Charge(cpu.FnSyscall, s.costs.Syscall.Time, s.costs.Syscall.Loads, s.costs.Syscall.Stores)
 	s.core.Charge(cpu.FnVFS, s.costs.VFS.Time, s.costs.VFS.Loads, s.costs.VFS.Stores)
@@ -369,6 +403,7 @@ func (s *AsyncStack) Submit(write bool, offset int64, length int, done func()) {
 
 	io := s.getIO()
 	io.write = write
+	io.flush = flush
 	io.offset = offset
 	io.length = length
 	io.cid = s.nextCID

@@ -1,0 +1,120 @@
+package metrics
+
+// Boundary tests for the histogram's log-bucket geometry: exact powers
+// of two, linear sub-bucket edges, and the top of the sim.Time range,
+// pinning the "about 3%" relative-error claim in the package comment to
+// its real bound of 1/subBuckets = 3.125%.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBucketPowersOfTwo: every power of two from the first log bucket
+// up to the top of int64 round-trips through bucketIndex/bucketUpper —
+// the upper bound stays inside the same bucket and within 1/32 of the
+// value.
+func TestBucketPowersOfTwo(t *testing.T) {
+	for exp := 5; exp <= 62; exp++ {
+		v := sim.Time(1) << uint(exp)
+		i := bucketIndex(v)
+		u := bucketUpper(i)
+		if u < v {
+			t.Fatalf("2^%d: bucketUpper(%d) = %d below the value", exp, i, u)
+		}
+		if bucketIndex(u) != i {
+			t.Fatalf("2^%d: upper bound %d landed in bucket %d, not %d (round trip broken)",
+				exp, u, bucketIndex(u), i)
+		}
+		// A power of two opens its octave: the first sub-bucket.
+		if want := (exp-4)*subBuckets + 0; i != want {
+			t.Fatalf("2^%d: bucket %d, want %d (first sub-bucket of the octave)", exp, i, want)
+		}
+		if rel := float64(u-v) / float64(v); rel > 1.0/subBuckets {
+			t.Fatalf("2^%d: relative error %.4f above 1/%d", exp, rel, subBuckets)
+		}
+	}
+}
+
+// TestBucketSubBucketEdges walks every linear sub-bucket edge of a few
+// octaves: the edge value starts its bucket, the value just below it
+// closes the previous one, and bucketUpper is exactly the next edge
+// minus one.
+func TestBucketSubBucketEdges(t *testing.T) {
+	for _, exp := range []int{5, 9, 20, 40, 61} {
+		shift := uint(exp - 5)
+		for sub := 0; sub < subBuckets; sub++ {
+			edge := sim.Time(uint64(subBuckets+sub) << shift)
+			i := bucketIndex(edge)
+			if want := (exp-4)*subBuckets + sub; i != want {
+				t.Fatalf("exp %d sub %d: bucketIndex(%d) = %d, want %d", exp, sub, edge, i, want)
+			}
+			if u, want := bucketUpper(i), sim.Time(uint64(subBuckets+sub+1)<<shift)-1; u != want {
+				t.Fatalf("exp %d sub %d: bucketUpper(%d) = %d, want %d (next edge - 1)", exp, sub, i, u, want)
+			}
+			if below := bucketIndex(edge - 1); below != i-1 {
+				t.Fatalf("exp %d sub %d: %d landed in bucket %d, want %d (previous bucket)",
+					exp, sub, edge-1, below, i-1)
+			}
+		}
+	}
+}
+
+// TestBucketNearTimeMax: the top of the sim.Time range stays exact —
+// MaxInt64 is its own bucket upper bound, and recording near-max values
+// neither panics nor loses them.
+func TestBucketNearTimeMax(t *testing.T) {
+	top := sim.Time(math.MaxInt64)
+	i := bucketIndex(top)
+	if u := bucketUpper(i); u != top {
+		t.Fatalf("bucketUpper(bucketIndex(max)) = %d, want %d", u, top)
+	}
+	for _, v := range []sim.Time{top, top - 1, top / 2, top/2 + 1} {
+		i := bucketIndex(v)
+		if u := bucketUpper(i); u < v {
+			t.Fatalf("near-max %d: upper %d below value", v, u)
+		}
+		if bucketIndex(bucketUpper(i)) != i {
+			t.Fatalf("near-max %d: upper bound escaped its bucket", v)
+		}
+	}
+	var h Histogram
+	h.Record(top)
+	h.Record(top - 1)
+	if h.Count() != 2 || h.Max() != top {
+		t.Fatalf("near-max records lost: count=%d max=%d", h.Count(), h.Max())
+	}
+	if p := h.Percentile(100); p != top {
+		t.Fatalf("p100 = %d, want the recorded max %d", p, top)
+	}
+}
+
+// TestBucketRelativeErrorBound pins the package comment's accuracy
+// claim: for every representable value at or above subBuckets, the
+// quantization error of reporting the bucket's upper bound is at most
+// 1/subBuckets (3.125%); below subBuckets the mapping is exact.
+func TestBucketRelativeErrorBound(t *testing.T) {
+	for v := sim.Time(0); v < subBuckets; v++ {
+		if bucketUpper(bucketIndex(v)) != v {
+			t.Fatalf("small value %d not exact", v)
+		}
+	}
+	rng := sim.NewRNG(0xb0c4e7)
+	for trial := 0; trial < 20000; trial++ {
+		// Spread trials across the full magnitude range.
+		v := sim.Time(rng.Uint64() >> 1 >> uint(rng.Intn(58)))
+		if v < subBuckets {
+			v += subBuckets
+		}
+		u := bucketUpper(bucketIndex(v))
+		if u < v {
+			t.Fatalf("value %d: upper %d below value", v, u)
+		}
+		if rel := float64(u-v) / float64(v); rel > 1.0/subBuckets {
+			t.Fatalf("value %d: relative error %.4f above 1/%d = %.4f",
+				v, rel, subBuckets, 1.0/subBuckets)
+		}
+	}
+}

@@ -165,8 +165,27 @@ func (qp *QueuePair) Submit(write bool, offset int64, length int, cid uint16) {
 	c := qp.getCmd()
 	c.cid = cid
 	c.req.Write = write
+	c.req.Op = ssd.OpRead // recycled contexts may carry a stale Flush op
 	c.req.Offset = offset
 	c.req.Len = length
+	qp.eng.After(qp.cfg.PCIeLatency+qp.cfg.FetchCost, c.fetchFn)
+}
+
+// SubmitFlush enqueues an NVMe Flush command: no data transfer, the
+// device completes it once every buffered write has reached media. Like
+// Submit, the caller has already paid its host-side submission costs.
+func (qp *QueuePair) SubmitFlush(cid uint16) {
+	if qp.inflight >= qp.cfg.Depth {
+		panic(fmt.Sprintf("nvme: queue overflow (depth %d)", qp.cfg.Depth))
+	}
+	qp.inflight++
+	qp.Submitted++
+	c := qp.getCmd()
+	c.cid = cid
+	c.req.Write = false
+	c.req.Op = ssd.OpFlush
+	c.req.Offset = 0
+	c.req.Len = 0
 	qp.eng.After(qp.cfg.PCIeLatency+qp.cfg.FetchCost, c.fetchFn)
 }
 

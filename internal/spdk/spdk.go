@@ -77,6 +77,7 @@ type Stack struct {
 type spdkReq struct {
 	s      *Stack
 	write  bool
+	flush  bool // device flush barrier instead of a data transfer
 	offset int64
 	length int
 	cid    uint16
@@ -89,7 +90,11 @@ func (s *Stack) getReq() *spdkReq {
 	if r == nil {
 		r = &spdkReq{s: s}
 		r.fn = func() {
-			r.s.qp.Submit(r.write, r.offset, r.length, r.cid)
+			if r.flush {
+				r.s.qp.SubmitFlush(r.cid)
+			} else {
+				r.s.qp.Submit(r.write, r.offset, r.length, r.cid)
+			}
 			r.next = r.s.freeReq
 			r.s.freeReq = r
 		}
@@ -122,6 +127,17 @@ func (s *Stack) charge(fn cpu.Fn, c StageCost) {
 
 // Submit issues one I/O through the userspace driver.
 func (s *Stack) Submit(write bool, offset int64, length int, done func()) {
+	s.begin(write, false, offset, length, done)
+}
+
+// Flush issues one NVMe Flush through the userspace driver (SPDK's
+// spdk_nvme_ns_cmd_flush): the same submission costs as a data command,
+// no transfer, completion by polling like everything else.
+func (s *Stack) Flush(done func()) {
+	s.begin(false, true, 0, 0, done)
+}
+
+func (s *Stack) begin(write, flush bool, offset int64, length int, done func()) {
 	if !s.started {
 		s.started = true
 		s.firstStart = s.eng.Now()
@@ -133,6 +149,7 @@ func (s *Stack) Submit(write bool, offset int64, length int, done func()) {
 
 	r := s.getReq()
 	r.write = write
+	r.flush = flush
 	r.offset = offset
 	r.length = length
 	r.cid = s.nextCID

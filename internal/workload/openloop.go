@@ -139,11 +139,18 @@ type OpenJob struct {
 	// (0: DefaultQueueCap; negative: no queue, overload drops instantly).
 	QueueCap int
 
-	TotalIOs     int      // stop after this many arrivals (0: use Duration)
-	Duration     sim.Time // stop generating arrivals after this much virtual time
-	WarmupIOs    int      // arrivals discarded from measurement, by count
-	WarmupTime   sim.Time // completions before this offset are discarded
-	Region       int64    // bytes of the device to touch (0: whole device)
+	TotalIOs   int      // stop after this many arrivals (0: use Duration)
+	Duration   sim.Time // stop generating arrivals after this much virtual time
+	WarmupIOs  int      // arrivals discarded from measurement, by count
+	WarmupTime sim.Time // completions before this offset are discarded
+	Region     int64    // bytes of the device to touch (0: whole device)
+	// SyncEvery chases every Nth write arrival with an fsync (0:
+	// never). The fsync rides the same admission machinery as an I/O —
+	// it takes a slot and can defer — but is never dropped: durability
+	// requests queue past a full FIFO instead of vanishing. Latencies
+	// land in Result.Fsync; fsyncs count in neither Offered nor
+	// Admitted.
+	SyncEvery    int
 	Seed         uint64
 	SeriesBucket sim.Time
 	Trace        *trace.Recorder // when set, record every measured I/O
@@ -167,6 +174,7 @@ type OpenResult struct {
 type pendingIO struct {
 	seq     int
 	write   bool
+	sync    bool // an fsync chasing the Nth write, not an I/O
 	offset  int64
 	arrival sim.Time
 }
@@ -183,10 +191,11 @@ type openRunner struct {
 	queue    sim.FIFO[pendingIO]
 	inFlight int
 
-	generating bool
-	stopAt     sim.Time // arrival generation deadline (0: none)
-	startT     sim.Time
-	arriveFn   func() // bound once; the chained arrival event
+	generating  bool
+	writesSince int      // write arrivals since the last fsync
+	stopAt      sim.Time // arrival generation deadline (0: none)
+	startT      sim.Time
+	arriveFn    func() // bound once; the chained arrival event
 
 	m   meter
 	res OpenResult
@@ -296,10 +305,38 @@ func (r *openRunner) arrive() {
 	default:
 		r.res.Dropped++
 	}
+	if write && r.job.SyncEvery > 0 {
+		r.writesSince++
+		if r.writesSince >= r.job.SyncEvery {
+			r.writesSince = 0
+			r.chaseSync(now)
+		}
+	}
+}
+
+// chaseSync enqueues the fsync that follows the Nth write. It competes
+// for an admission slot like an I/O but is never dropped — a client
+// does not skip durability because the queue is long.
+func (r *openRunner) chaseSync(now sim.Time) {
+	r.res.Fsyncs++
+	p := pendingIO{sync: true, arrival: now}
+	if r.inFlight < r.cap && r.queue.Len() == 0 {
+		r.issue(p)
+		return
+	}
+	r.res.Deferred++
+	r.queue.Push(p)
+	if q := r.queue.Len(); q > r.res.PeakQueue {
+		r.res.PeakQueue = q
+	}
 }
 
 func (r *openRunner) issue(p pendingIO) {
 	r.inFlight++
+	if p.sync {
+		r.sys.Sync(func() { r.onDone(p) })
+		return
+	}
 	r.res.Admitted++
 	r.sys.Submit(p.write, p.offset, r.job.BlockSize, func() { r.onDone(p) })
 }
@@ -307,9 +344,17 @@ func (r *openRunner) issue(p pendingIO) {
 func (r *openRunner) onDone(p pendingIO) {
 	now := r.sys.Engine().Now()
 	r.inFlight--
-	// Latency counts from arrival: queueing delay is part of what an
-	// open-loop client experiences.
-	r.m.observe(p.seq, p.write, p.offset, p.arrival, now)
+	if p.sync {
+		// Fsync latency counts from arrival too, but lands in its own
+		// histogram; warmup-window fsyncs are discarded with the rest.
+		if r.m.measureSet || r.job.WarmupIOs == 0 && r.job.WarmupTime == 0 {
+			r.res.Fsync.Record(now - p.arrival)
+		}
+	} else {
+		// Latency counts from arrival: queueing delay is part of what an
+		// open-loop client experiences.
+		r.m.observe(p.seq, p.write, p.offset, p.arrival, now)
+	}
 	if r.queue.Len() > 0 && r.inFlight < r.cap {
 		r.issue(r.queue.Pop())
 	}

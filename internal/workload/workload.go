@@ -51,9 +51,14 @@ type Job struct {
 	WarmupIOs     int      // completions discarded before measuring
 	WarmupTime    sim.Time // completions before this offset are discarded
 	Region        int64    // bytes of the device to touch (0: whole device)
-	Seed          uint64
-	SeriesBucket  sim.Time        // when set, record a latency time series
-	Trace         *trace.Recorder // when set, record every measured I/O
+	// SyncEvery issues one fsync after every N writes (fio's fsync=N;
+	// 0: never). The fsync occupies a queue slot like an I/O and runs
+	// full filesystem sync semantics on an FS-rooted host, a bare
+	// device flush otherwise; latencies land in Result.Fsync.
+	SyncEvery    int
+	Seed         uint64
+	SeriesBucket sim.Time        // when set, record a latency time series
+	Trace        *trace.Recorder // when set, record every measured I/O
 }
 
 // Result carries everything an experiment needs.
@@ -62,8 +67,13 @@ type Result struct {
 	Read  metrics.Histogram // read completion latencies
 	Write metrics.Histogram // write completion latencies
 	All   metrics.Histogram
-	IOs   uint64
-	Bytes int64
+	// Fsync holds fsync latencies (SyncEvery jobs); fsyncs are not
+	// I/Os — they appear in neither All nor the IOPS denominator.
+	// Warmup-window fsyncs are discarded like warmup I/Os.
+	Fsync  metrics.Histogram
+	Fsyncs uint64 // fsyncs issued, warmup included
+	IOs    uint64
+	Bytes  int64
 	// Wall is the measured window: from the end of warmup (the last
 	// discarded completion for count-based warmup, the warmup-time offset
 	// for time-based warmup, the issue start with no warmup) to the last
@@ -233,10 +243,12 @@ type runner struct {
 	job Job
 	ops *opStream
 
-	issued    int
-	completed int
-	startT    sim.Time
-	stopped   bool
+	issued       int
+	completed    int
+	writesSince  int // writes issued since the last fsync
+	pendingSyncs int
+	startT       sim.Time
+	stopped      bool
 
 	m   meter
 	res Result
@@ -298,11 +310,27 @@ func (r *runner) wantMore() bool {
 }
 
 func (r *runner) issueNext() bool {
+	// A due fsync takes the next slot before any further I/O, the way
+	// fio's fsync=N interleaves the sync into the job's own stream.
+	if r.pendingSyncs > 0 {
+		r.pendingSyncs--
+		start := r.sys.Engine().Now()
+		r.res.Fsyncs++
+		r.sys.Sync(func() { r.onSyncDone(start) })
+		return true
+	}
 	if !r.wantMore() {
 		r.stopped = r.stopped || r.job.TotalIOs > 0 && r.issued >= r.job.TotalIOs+r.job.WarmupIOs
 		return false
 	}
 	write, offset := r.ops.next()
+	if write && r.job.SyncEvery > 0 {
+		r.writesSince++
+		if r.writesSince >= r.job.SyncEvery {
+			r.writesSince = 0
+			r.pendingSyncs++
+		}
+	}
 	seq := r.issued
 	r.issued++
 	start := r.sys.Engine().Now()
@@ -310,6 +338,14 @@ func (r *runner) issueNext() bool {
 		r.onDone(seq, write, offset, start)
 	})
 	return true
+}
+
+func (r *runner) onSyncDone(start sim.Time) {
+	now := r.sys.Engine().Now()
+	if r.m.measureSet || r.job.WarmupIOs == 0 && r.job.WarmupTime == 0 {
+		r.res.Fsync.Record(now - start)
+	}
+	r.issueNext()
 }
 
 func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time) {

@@ -243,3 +243,68 @@ func TestRunTenantsOnSerialTopology(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSyncEvery: fsync=N semantics on the closed-loop engine — one
+// fsync per N writes, each a real device flush, latencies in
+// Result.Fsync, and none of it counted as I/O.
+func TestRunSyncEvery(t *testing.T) {
+	sys := asyncSys()
+	res := Run(sys, Job{
+		Pattern: RandWrite, BlockSize: 4096, QueueDepth: 4,
+		TotalIOs: 100, SyncEvery: 10, Seed: 3,
+	})
+	if res.IOs != 100 {
+		t.Fatalf("measured IOs = %d, want 100 (fsyncs must not count)", res.IOs)
+	}
+	if res.Fsyncs != 10 {
+		t.Fatalf("fsyncs = %d, want 10", res.Fsyncs)
+	}
+	if res.Fsync.Count() != 10 {
+		t.Fatalf("fsync latencies recorded = %d, want 10", res.Fsync.Count())
+	}
+	if res.Fsync.Mean() <= 0 {
+		t.Fatal("fsync latency not positive")
+	}
+	if got := sys.Dev.Stats().HostFlushes; got != 10 {
+		t.Fatalf("device flushes = %d, want 10", got)
+	}
+}
+
+// TestRunSyncEverySerialStack: on pvsync2 the fsync takes the single
+// slot like any other syscall — no overlap panic.
+func TestRunSyncEverySerialStack(t *testing.T) {
+	res := Run(syncSys(kernel.Poll), Job{
+		Pattern: SeqWrite, BlockSize: 4096,
+		TotalIOs: 40, SyncEvery: 8, Seed: 4,
+	})
+	if res.Fsyncs != 5 {
+		t.Fatalf("fsyncs = %d, want 5", res.Fsyncs)
+	}
+}
+
+// TestRunOpenSyncEvery: the open-loop engine chases every Nth write
+// arrival with an fsync that competes for admission but is never
+// dropped, and the run stays deterministic.
+func TestRunOpenSyncEvery(t *testing.T) {
+	run := func() *OpenResult {
+		return RunOpen(asyncSys(), OpenJob{
+			Pattern: RandWrite, BlockSize: 4096,
+			Arrival:  Arrival{Kind: Poisson, Rate: 50000},
+			TotalIOs: 200, SyncEvery: 20, MaxInFlight: 4, Seed: 6,
+		})
+	}
+	res := run()
+	if res.Fsyncs != 10 {
+		t.Fatalf("fsyncs = %d, want 10", res.Fsyncs)
+	}
+	if res.Fsync.Count() != 10 {
+		t.Fatalf("fsync latencies recorded = %d, want 10", res.Fsync.Count())
+	}
+	if res.Offered != 200 || res.Admitted != 200 {
+		t.Fatalf("offered/admitted = %d/%d, want 200/200 (fsyncs excluded)", res.Offered, res.Admitted)
+	}
+	a, b := run(), run()
+	if a.Fsync.Summarize() != b.Fsync.Summarize() || a.All.Summarize() != b.All.Summarize() {
+		t.Fatal("SyncEvery runs diverged for a fixed seed")
+	}
+}

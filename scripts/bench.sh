@@ -15,6 +15,6 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
 go test -run '^$' \
-	-bench 'BenchmarkSimulatorThroughput$|BenchmarkNBDModel$|BenchmarkStripedVolume$' \
+	-bench 'BenchmarkSimulatorThroughput$|BenchmarkNBDModel$|BenchmarkStripedVolume$|BenchmarkFSBufferedRead$|BenchmarkFSFsync$' \
 	-benchmem -count "$COUNT" . |
 	go run ./scripts/benchjson -out BENCH_simcore.json "$@"

@@ -57,6 +57,23 @@
 //		Precondition: 0.9,
 //	})
 //
+// Put a filesystem + page cache over any of those — buffered reads and
+// write-back buffered writes, with ext4-style ordered-journal fsync —
+// and drive it with a job that fsyncs every 32 writes:
+//
+//	fsys := repro.BuildTopology(repro.Topology{
+//		Root: repro.FSOn(repro.FSConfig{
+//			CacheBytes: 256 << 20,
+//			Journal:    repro.OrderedJournal,
+//		}, repro.StackOn(repro.KernelAsync, 0, repro.ZSSD())),
+//		Precondition: 0.9,
+//	})
+//	res = repro.RunJob(fsys, repro.Job{
+//		Pattern: repro.RandWrite, BlockSize: 4096,
+//		TotalIOs: 100000, SyncEvery: 32,
+//	})
+//	fmt.Println(res.Fsync.Summarize()) // fsync latency distribution
+//
 // Reproduce a figure:
 //
 //	exp, _ := repro.ExperimentByID("fig10")
@@ -70,6 +87,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/nbd"
@@ -125,6 +143,18 @@ type (
 	VolumeKind = core.VolumeKind
 	// VolumeStats counts a volume layer's routing and tiering activity.
 	VolumeStats = core.VolumeStats
+	// FSLayer puts a filesystem + page cache over one child layer.
+	FSLayer = core.FS
+	// FSConfig parameterizes the filesystem layer (cache size,
+	// readahead, write-back thresholds, journal mode).
+	FSConfig = fs.Config
+	// FSCosts is the filesystem-tier cost table.
+	FSCosts = fs.Costs
+	// JournalMode selects the fsync commit protocol.
+	JournalMode = fs.JournalMode
+	// FSStats counts a filesystem layer's cache, write-back, and
+	// journal activity.
+	FSStats = fs.Stats
 	// TopologySystem is a built topology: the Target-rooted runnable
 	// system (it satisfies Host, like System).
 	TopologySystem = core.Graph
@@ -142,6 +172,18 @@ const (
 	// Tiered puts a fast write-absorbing tier in front of a capacity
 	// backend with watermark-driven migration.
 	Tiered = core.Tiered
+)
+
+// Fsync journal modes for the filesystem layer.
+const (
+	// NoJournal: fsync is writeback plus one device flush.
+	NoJournal = fs.NoJournal
+	// OrderedJournal: ext4 data=ordered with barriers (journal record,
+	// flush, commit record, second flush).
+	OrderedJournal = fs.OrderedJournal
+	// LogStructured: F2FS-style append segments, one barrier, segment
+	// cleaning under utilization pressure.
+	LogStructured = fs.LogStructured
 )
 
 // Access patterns (FIO rw= equivalents).
@@ -224,6 +266,17 @@ func TieredVolume(chunk, fastBytes int64, fast, slow Layer) VolumeLayer {
 	return VolumeLayer{Kind: Tiered, Chunk: chunk, FastBytes: fastBytes,
 		Children: []Layer{fast, slow}}
 }
+
+// FSOn puts a filesystem + page cache over child: buffered reads with
+// readahead, write-back buffered writes, and fsync under cfg.Journal.
+// A zero-value cfg (no cache, no journal) lowers to the child itself,
+// bit-exactly.
+func FSOn(cfg FSConfig, child Layer) FSLayer {
+	return FSLayer{Config: cfg, Child: child}
+}
+
+// DefaultFSCosts returns the calibrated filesystem-tier cost table.
+func DefaultFSCosts() FSCosts { return fs.DefaultCosts() }
 
 // RunJob drives job against any Target-rooted system — a one-device
 // System or a built TopologySystem — and returns measurements.

@@ -157,3 +157,51 @@ func TestFacadeTopology(t *testing.T) {
 		t.Fatalf("tier never absorbed or migrated: %+v", ts)
 	}
 }
+
+// TestFacadeFS drives the filesystem layer end to end through the
+// public API: FSOn composition, buffered I/O, the SyncEvery knob, and
+// the fsync histogram + FS stats on the result side.
+func TestFacadeFS(t *testing.T) {
+	small := func() repro.DeviceConfig {
+		cfg := repro.ZSSD()
+		cfg.Channels = 4
+		cfg.WaysPerChannel = 2
+		cfg.PagesPerBlock = 16
+		cfg.BlocksPerUnit = 16
+		return cfg
+	}
+	fsys := repro.BuildTopology(repro.Topology{
+		Root: repro.FSOn(repro.FSConfig{
+			CacheBytes:   1 << 20,
+			Journal:      repro.OrderedJournal,
+			JournalBytes: 1 << 20, // the shrunk test device is ~4MiB
+		}, repro.StackOn(repro.KernelAsync, 0, small())),
+		Precondition: 1.0,
+	})
+	res := repro.RunJob(fsys, repro.Job{
+		Pattern: repro.RandWrite, BlockSize: 4096,
+		QueueDepth: 2, TotalIOs: 200, SyncEvery: 20, Seed: 5,
+	})
+	if res.IOs != 200 {
+		t.Fatalf("IOs = %d", res.IOs)
+	}
+	if res.Fsyncs != 10 || res.Fsync.Count() == 0 {
+		t.Fatalf("fsyncs = %d (recorded %d), want 10", res.Fsyncs, res.Fsync.Count())
+	}
+	st := fsys.FSStats()
+	if len(st) != 1 || st[0].Fsyncs != 10 || st[0].Barriers != 20 || st[0].JournalWrites != 20 {
+		t.Fatalf("fs stats = %+v, want 10 fsyncs with 2 barriers + 2 records each", st)
+	}
+	// The durability bill must exceed the buffered write's memcpy time.
+	if res.Fsync.Mean() <= res.Write.Mean() {
+		t.Fatalf("fsync mean %v not above buffered write mean %v", res.Fsync.Mean(), res.Write.Mean())
+	}
+	// A zero-value FSConfig is a passthrough: no filesystem layer built.
+	bare := repro.BuildTopology(repro.Topology{
+		Root:         repro.FSOn(repro.FSConfig{}, repro.StackOn(repro.KernelAsync, 0, small())),
+		Precondition: 1.0,
+	})
+	if len(bare.FSStats()) != 0 {
+		t.Fatal("zero-value FSConfig built a filesystem layer")
+	}
+}
