@@ -179,16 +179,18 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	done := 0
-	var issue func()
 	rng := sim.NewRNG(3)
+	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		if done < b.N {
+			issue()
+		}
+	}
 	issue = func() {
 		off := rng.Int63n(region/4096) * 4096
-		sys.Submit(false, off, 4096, func() {
-			done++
-			if done < b.N {
-				issue()
-			}
-		})
+		sys.Submit(false, off, 4096, donefn)
 	}
 	issue()
 	sys.Eng.Run()
@@ -212,16 +214,18 @@ func BenchmarkStripedVolume(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	done := 0
-	var issue func()
 	rng := sim.NewRNG(3)
+	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		if done < b.N {
+			issue()
+		}
+	}
 	issue = func() {
 		off := rng.Int63n(region/4096) * 4096
-		g.Submit(false, off, 4096, func() {
-			done++
-			if done < b.N {
-				issue()
-			}
-		})
+		g.Submit(false, off, 4096, donefn)
 	}
 	issue()
 	g.Engine().Run()
@@ -303,6 +307,33 @@ func BenchmarkFSFsync(b *testing.B) {
 	g.Engine().Run()
 }
 
+// BenchmarkEventSchedule measures the event core alone, without any
+// device model on top: one schedule+fire round trip per op ("fire"),
+// and one schedule+cancel+reap round trip ("cancel" — canceled events
+// are reaped lazily, so the cancel path still pays a pop). Scheduler
+// changes show up here directly instead of only through the end-to-end
+// benchmarks above.
+func BenchmarkEventSchedule(b *testing.B) {
+	b.Run("fire", func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.After(780, fn)
+			eng.Run()
+		}
+	})
+	b.Run("cancel", func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.After(780, fn).Cancel()
+			eng.Run()
+		}
+	})
+}
+
 // BenchmarkNBDModel reports the cost of one simulated NBD file read.
 func BenchmarkNBDModel(b *testing.B) {
 	m := nbd.NewModel(nbd.SPDKNBD(ssd.ZSSD()))
@@ -310,13 +341,15 @@ func BenchmarkNBDModel(b *testing.B) {
 	b.ResetTimer()
 	done := 0
 	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		if done < b.N {
+			issue()
+		}
+	}
 	issue = func() {
-		m.FileRead(int64(done)*4096, 4096, func() {
-			done++
-			if done < b.N {
-				issue()
-			}
-		})
+		m.FileRead(int64(done)*4096, 4096, donefn)
 	}
 	issue()
 	m.Engine().Run()

@@ -213,6 +213,7 @@ type FS struct {
 	// Background writeback.
 	wbActive    bool
 	wbPages     []*page
+	wbSort      wbSorter
 	wbLeft      int
 	wbExtentFn  func()
 	expireArmed bool

@@ -85,29 +85,44 @@ func (f *FS) startWritebackBatch() {
 	f.wbActive = true
 	f.stats.WritebackPages += uint64(len(f.wbPages))
 	// Dirty order approximates write order; sorting by page index turns
-	// neighboring dirtied pages into sequential extents.
-	sort.Slice(f.wbPages, func(i, j int) bool { return f.wbPages[i].idx < f.wbPages[j].idx })
+	// neighboring dirtied pages into sequential extents. sort.Sort on a
+	// pointer receiver (not sort.Slice) keeps the steady-state fsync path
+	// allocation-free.
+	f.wbSort.pages = f.wbPages
+	sort.Sort(&f.wbSort)
+	f.wbSort.pages = nil
 	f.wbLeft = 0
 	start, n := f.wbPages[0].idx, int64(1)
-	flushExtent := func(startIdx, pages int64) {
-		f.wbLeft++
-		f.stats.WritebackWrites++
-		bytes := pages * f.ps
-		if f.cfg.Journal == LogStructured {
-			f.noteLogBytes(bytes)
-		}
-		f.gate.submit(true, startIdx*f.ps, int(bytes), f.wbExtentFn)
-	}
 	for _, pg := range f.wbPages[1:] {
 		if pg.idx == start+n {
 			n++
 			continue
 		}
-		flushExtent(start, n)
+		f.flushExtent(start, n)
 		start, n = pg.idx, 1
 	}
-	flushExtent(start, n)
+	f.flushExtent(start, n)
 }
+
+// flushExtent issues one coalesced write-back extent to the child.
+func (f *FS) flushExtent(startIdx, pages int64) {
+	f.wbLeft++
+	f.stats.WritebackWrites++
+	bytes := pages * f.ps
+	if f.cfg.Journal == LogStructured {
+		f.noteLogBytes(bytes)
+	}
+	f.gate.submit(true, startIdx*f.ps, int(bytes), f.wbExtentFn)
+}
+
+// wbSorter orders a write-back batch by page index; a persistent
+// sort.Interface field avoids the per-batch closure and interface
+// allocations of sort.Slice.
+type wbSorter struct{ pages []*page }
+
+func (s *wbSorter) Len() int           { return len(s.pages) }
+func (s *wbSorter) Less(i, j int) bool { return s.pages[i].idx < s.pages[j].idx }
+func (s *wbSorter) Swap(i, j int)      { s.pages[i], s.pages[j] = s.pages[j], s.pages[i] }
 
 func (f *FS) wbExtentDone() {
 	f.wbLeft--

@@ -321,9 +321,21 @@ type AsyncStack struct {
 	core  *cpu.Core
 	costs Costs
 
-	pending map[uint16]*asyncIO
-	freeIOs *asyncIO // recycled I/O contexts
-	nextCID uint16
+	// pending is a direct-mapped CID table (the CID space is uint16, so
+	// the table covers it fully — no hashing, no collisions).
+	pending   []*asyncIO
+	nOut      int
+	freeIOs   *asyncIO   // recycled I/O contexts
+	freeBatch *doneBatch // recycled completion batches
+	deliverFn func(any)  // bound once: deliver one reaped batch
+	nextCID   uint16
+}
+
+// doneBatch carries every completion reaped by one interrupt through the
+// io_getevents delay as a single scheduled event instead of one per CQE.
+type doneBatch struct {
+	dones []func()
+	next  *doneBatch
 }
 
 // asyncIO is the pooled per-I/O context; submitFn is bound once so the
@@ -347,8 +359,9 @@ func NewAsyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Co
 		qp:      qp,
 		core:    core,
 		costs:   costs,
-		pending: make(map[uint16]*asyncIO),
+		pending: make([]*asyncIO, 1<<16),
 	}
+	s.deliverFn = s.deliver
 	qp.EnableInterrupts(true)
 	qp.SetMSIHandler(s.onMSI)
 	return s
@@ -409,7 +422,11 @@ func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done fun
 	io.cid = s.nextCID
 	io.done = done
 	s.nextCID++
+	if s.pending[io.cid] != nil {
+		panic(fmt.Sprintf("kernel: CID %d reused while outstanding", io.cid))
+	}
 	s.pending[io.cid] = io
+	s.nOut++
 	s.eng.After(submitDelay, io.submitFn)
 }
 
@@ -417,24 +434,60 @@ func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done fun
 // The submitter observes the completion only after the io_getevents
 // reaping path runs: ISR, wakeup context switch, syscall return.
 func (s *AsyncStack) onMSI() {
+	var b *doneBatch
 	for {
 		cid, ok := s.qp.Poll()
 		if !ok {
-			return
+			break
 		}
 		io := s.pending[cid]
 		if io == nil {
 			panic(fmt.Sprintf("kernel: completion for unknown CID %d", cid))
 		}
-		delete(s.pending, cid)
+		s.pending[cid] = nil
+		s.nOut--
 		done := io.done
 		s.putIO(io)
 		s.core.Charge(cpu.FnISR, s.costs.ISR.Time, s.costs.ISR.Loads, s.costs.ISR.Stores)
 		s.core.Charge(cpu.FnCtxSwitch, s.costs.CtxSwitch.Time, s.costs.CtxSwitch.Loads, s.costs.CtxSwitch.Stores)
-		reap := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.Syscall.Time/2
-		s.eng.After(reap, done)
+		if b == nil {
+			b = s.getBatch()
+		}
+		b.dones = append(b.dones, done)
 	}
+	if b == nil {
+		return
+	}
+	// Every reaped CQE observes the same delay, so the whole batch rides
+	// one scheduled event; the dones run in reap order, which preserves
+	// the firing order the per-CQE events had (their sequence numbers
+	// were consecutive).
+	reap := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.Syscall.Time/2
+	s.eng.AfterArg(reap, s.deliverFn, b)
+}
+
+func (s *AsyncStack) getBatch() *doneBatch {
+	b := s.freeBatch
+	if b == nil {
+		return &doneBatch{}
+	}
+	s.freeBatch = b.next
+	b.next = nil
+	return b
+}
+
+// deliver runs one reaped batch after the io_getevents path delay.
+func (s *AsyncStack) deliver(arg any) {
+	b := arg.(*doneBatch)
+	for i := 0; i < len(b.dones); i++ {
+		fn := b.dones[i]
+		b.dones[i] = nil
+		fn()
+	}
+	b.dones = b.dones[:0]
+	b.next = s.freeBatch
+	s.freeBatch = b
 }
 
 // Outstanding reports in-flight asynchronous I/Os.
-func (s *AsyncStack) Outstanding() int { return len(s.pending) }
+func (s *AsyncStack) Outstanding() int { return s.nOut }

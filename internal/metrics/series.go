@@ -29,10 +29,18 @@ func (s *Series) bucket(t sim.Time) int {
 	}
 	i := int(t / s.Width)
 	if i >= len(s.sums) {
-		grown := make([]float64, i+1)
+		// Grow geometrically: buckets arrive in roughly increasing time
+		// order, so exact-fit growth would reallocate on nearly every
+		// new bucket. Trailing zero buckets are invisible to readers,
+		// which stop at maxSeen.
+		newLen := 2 * len(s.sums)
+		if newLen < i+1 {
+			newLen = i + 1
+		}
+		grown := make([]float64, newLen)
 		copy(grown, s.sums)
 		s.sums = grown
-		grownC := make([]uint64, i+1)
+		grownC := make([]uint64, newLen)
 		copy(grownC, s.counts)
 		s.counts = grownC
 	}

@@ -2,9 +2,21 @@
 // other subsystem runs on.
 //
 // Time is virtual, counted in integer nanoseconds from the start of a run.
-// An Engine owns a priority queue of events; callbacks scheduled for the
+// An Engine owns the set of pending events; callbacks scheduled for the
 // same instant fire in scheduling order, which makes runs fully
 // deterministic for a given seed.
+//
+// Events live in a hierarchical timing wheel (three levels of 4096 slots
+// at 1ns resolution, covering a ~69s horizon) rather than a comparison-
+// based priority queue: the simulator's event horizons are short and dense
+// — device service times, NVMe doorbell/completion hops and cache-flusher
+// timers all land within a few microseconds of now, inside the wheel's
+// bottom level — which makes schedule and fire O(1) instead of the heap's
+// O(log n). Events beyond the wheel horizon overflow into a small 4-ary
+// min-heap and are merged back at fire time. Same-instant batches are
+// drained together and sorted by sequence number, so firing order is
+// identical to a totally-ordered queue no matter which structure held the
+// events.
 //
 // The event core is allocation-free in steady state: fired events return
 // to a free list and are recycled by later schedules, and the AtArg/
@@ -14,7 +26,11 @@
 // design, which is what lets the pools be plain slices.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation. It is also used for durations.
@@ -61,6 +77,7 @@ type Event struct {
 	fn       func()
 	afn      func(any)
 	arg      any
+	link     *Event // next event in the same wheel slot
 }
 
 // EventRef is a lightweight, copyable handle to a scheduled event. The
@@ -91,7 +108,9 @@ func (r EventRef) When() Time {
 
 // Cancel prevents the event from firing. Canceling an event that already
 // fired (or was already canceled) is a no-op: the generation check keeps
-// a stale handle from touching a recycled event.
+// a stale handle from touching a recycled event. Canceled events stay in
+// their wheel slot and are skipped (and recycled) when their instant is
+// reached.
 func (r EventRef) Cancel() {
 	if r.live() {
 		r.ev.canceled = true
@@ -110,14 +129,63 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+// Timing-wheel geometry: wheelLevels levels of wheelSlots slots each, at
+// 1ns base resolution. Level k spans 2^(12k) ns per slot, so the bottom
+// level alone covers a 4.1us window — wide enough that the common
+// microsecond-scale deltas file directly into it with no cascading — and
+// the wheel as a whole covers deltas up to 2^36 ns (~69s); anything
+// further out overflows into the heap and is merged back by batch time.
+// Slots are head-only prepend lists linked through Event.link; the drain
+// re-sorts, so slot order does not matter.
+const (
+	wheelLevels = 3
+	wheelShift  = 12
+	wheelSlots  = 1 << wheelShift
+	wheelMask   = wheelSlots - 1
+	wheelWords  = wheelSlots / 64
+	infTime     = Time(math.MaxInt64)
+)
+
 // Engine is a discrete-event scheduler. It is not safe for concurrent use;
 // a simulation runs on a single goroutine by design.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   []*Event // 4-ary min-heap ordered by eventLess
-	free    []*Event // recycled events awaiting reuse
+	now Time
+	seq uint64
+
+	// base is the wheel origin: every event in the wheel satisfies
+	// at >= base, and base never exceeds the earliest pending event or
+	// the current time once events have fired. Level k holds events whose
+	// level-k slot unit is within wheelSlots of base's, which guarantees
+	// each occupied slot covers a single "lap" of its level.
+	base     Time
+	wheel    [wheelLevels][wheelSlots]*Event // slot list heads
+	occupied [wheelLevels][wheelWords]uint64 // slot occupancy bitmaps
+	summary  [wheelLevels]uint64             // bit w set iff occupied[level][w] != 0
+	lvlN     [wheelLevels]int                // events per level, to skip empty scans
+
+	// Cached earliest upper-level slot start, so the per-batch cascade
+	// check is one comparison instead of a bitmap scan per level. place
+	// keeps it current on insert; consuming the slot in a cascade forces
+	// a rescan. infTime when the upper levels are empty.
+	upMin   Time
+	upLevel int
+	upSlot  int
+
+	overflow []*Event // 4-ary min-heap of events beyond the wheel horizon
+	free     []*Event // recycled events awaiting reuse
+
+	// run is the current same-instant batch, drained from the wheel and
+	// overflow heap and sorted by seq; runIdx is the next event to fire.
+	run     []*Event
+	runIdx  int
+	pending int
 	stopped bool
+
+	// solo holds the sole pending event when exactly one is outstanding
+	// and no batch is draining — the dominant shape for serial request
+	// chains — bypassing the wheel entirely. A second schedule demotes
+	// it to the wheel.
+	solo *Event
 
 	// Processed counts events executed since the engine was created.
 	Processed uint64
@@ -125,15 +193,15 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{upMin: infTime}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of events waiting in the queue, including
+// Pending reports the number of events waiting to fire, including
 // canceled events that have not been reaped yet.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // alloc takes an event from the free list (or the heap allocator on a
 // cold start) and stamps it with the schedule time and sequence number.
@@ -160,15 +228,319 @@ func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
+	ev.link = nil
 	e.free = append(e.free, ev)
 }
 
-// --- 4-ary min-heap, specialized to *Event (no interface boxing) ---
+// place files an event into the wheel level matching its distance from
+// base (or the overflow heap past the horizon). The level is picked by
+// slot-unit distance — (at>>shift)-(base>>shift) < wheelSlots — not by
+// the raw delta: a raw-delta window can straddle wheelSlots+1 aligned
+// slot spans when base sits mid-slot, letting two events one lap apart
+// share a slot and corrupting the "first occupied slot is earliest" scan.
+// Slots are prepend lists; the drain sort restores schedule order.
+func (e *Engine) place(ev *Event) {
+	au := uint64(ev.at)
+	bu := uint64(e.base)
+	var level uint
+	switch {
+	case au-bu < wheelSlots:
+		level = 0
+	case au>>wheelShift-bu>>wheelShift < wheelSlots:
+		level = 1
+	case au>>(2*wheelShift)-bu>>(2*wheelShift) < wheelSlots:
+		level = 2
+	default:
+		e.heapPush(ev)
+		return
+	}
+	shift := wheelShift * level
+	slot := int(au>>shift) & wheelMask
+	ev.link = e.wheel[level][slot]
+	e.wheel[level][slot] = ev
+	e.occupied[level][slot>>6] |= 1 << uint(slot&63)
+	e.summary[level] |= 1 << uint(slot>>6)
+	e.lvlN[level]++
+	if level > 0 {
+		if start := Time(au >> shift << shift); start < e.upMin {
+			e.upMin, e.upLevel, e.upSlot = start, int(level), slot
+		}
+	}
+}
+
+// clearSlot empties a slot and fixes up the occupancy bitmaps.
+func (e *Engine) clearSlot(level, slot int) {
+	e.wheel[level][slot] = nil
+	w := slot >> 6
+	e.occupied[level][w] &^= 1 << uint(slot&63)
+	if e.occupied[level][w] == 0 {
+		e.summary[level] &^= 1 << uint(w)
+	}
+}
+
+// recomputeUp rescans the upper levels for the earliest occupied slot
+// after a cascade consumed the cached one.
+func (e *Engine) recomputeUp() {
+	e.upMin = infTime
+	for level := 1; level < wheelLevels; level++ {
+		if e.lvlN[level] == 0 {
+			continue
+		}
+		shift := wheelShift * uint(level)
+		idx := e.scanFrom(level, int(uint64(e.base)>>shift)&wheelMask)
+		start := e.wheel[level][idx].at >> shift << shift
+		if start < e.upMin {
+			e.upMin, e.upLevel, e.upSlot = start, level, idx
+		}
+	}
+}
+
+// rebase moves the wheel origin back to t. This is only reachable when a
+// drained batch turned out to be all-canceled: reaping it advanced base to
+// the batch instant without executing anything, so the clock stayed behind
+// and a later schedule may target an earlier time. Every wheel event and
+// any undrained batch remnant is re-placed relative to the new origin so
+// lap uniqueness holds again; overflow-heap events stay put (they are
+// matched by exact time, not window position).
+func (e *Engine) rebase(t Time) {
+	var all *Event
+	for level := 0; level < wheelLevels; level++ {
+		for w := range e.occupied[level] {
+			bm := e.occupied[level][w]
+			e.occupied[level][w] = 0
+			for bm != 0 {
+				slot := w<<6 + bits.TrailingZeros64(bm)
+				bm &= bm - 1
+				ev := e.wheel[level][slot]
+				e.wheel[level][slot] = nil
+				for ev != nil {
+					next := ev.link
+					ev.link = all
+					all = ev
+					ev = next
+				}
+			}
+		}
+		e.summary[level] = 0
+	}
+	for e.runIdx < len(e.run) {
+		ev := e.run[e.runIdx]
+		e.run[e.runIdx] = nil
+		e.runIdx++
+		ev.link = all
+		all = ev
+	}
+	e.run = e.run[:0]
+	e.runIdx = 0
+	e.base = t
+	e.lvlN = [wheelLevels]int{}
+	e.upMin = infTime
+	for all != nil {
+		next := all.link
+		all.link = nil
+		e.place(all)
+		all = next
+	}
+}
+
+// scanFrom finds the first occupied slot at or after start in circular
+// window order (the level must be non-empty). The summary word narrows
+// the search to non-empty bitmap words, so this is a handful of word
+// tests regardless of wheel size.
+func (e *Engine) scanFrom(level, start int) int {
+	occ := &e.occupied[level]
+	w := start >> 6
+	off := uint(start & 63)
+	if b := occ[w] >> off; b != 0 {
+		return start + bits.TrailingZeros64(b)
+	}
+	sum := e.summary[level]
+	if rest := sum &^ (1<<uint(w+1) - 1); rest != 0 {
+		w2 := bits.TrailingZeros64(rest)
+		return w2<<6 + bits.TrailingZeros64(occ[w2])
+	}
+	if rest := sum & (1<<uint(w) - 1); rest != 0 {
+		w2 := bits.TrailingZeros64(rest)
+		return w2<<6 + bits.TrailingZeros64(occ[w2])
+	}
+	return w<<6 + bits.TrailingZeros64(occ[w]&(1<<off-1))
+}
+
+// cascade re-files one upper-level slot relative to the advanced base.
+// Every event in the slot is strictly within the slot's span of newBase,
+// so re-placing lands it at a lower level: cascades terminate.
+func (e *Engine) cascade(level, slot int, newBase Time) {
+	e.base = newBase
+	ev := e.wheel[level][slot]
+	e.clearSlot(level, slot)
+	n := 0
+	for ev != nil {
+		next := ev.link
+		ev.link = nil
+		n++
+		e.place(ev)
+		ev = next
+	}
+	e.lvlN[level] -= n
+}
+
+// next returns the earliest pending event, or nil when none fires at or
+// before deadline (negative deadline means no limit; in that case base
+// has not advanced past deadline, so later schedules stay valid). The
+// returned event has been removed from the engine but not recycled —
+// canceled events come back too, for the caller to reap.
+func (e *Engine) next(deadline Time) *Event {
+	if ev := e.solo; ev != nil {
+		if deadline >= 0 && ev.at > deadline {
+			return nil
+		}
+		e.solo = nil
+		e.base = ev.at
+		return ev
+	}
+	if e.runIdx < len(e.run) {
+		ev := e.run[e.runIdx]
+		if deadline >= 0 && ev.at > deadline {
+			return nil
+		}
+		e.run[e.runIdx] = nil
+		e.runIdx++
+		return ev
+	}
+	for {
+		// Earliest level-0 instant: slots within the level-0 window hold
+		// a single timestamp each, so the first occupied slot's head is it.
+		t0 := infTime
+		slot0 := -1
+		if e.lvlN[0] > 0 {
+			slot0 = e.scanFrom(0, int(uint64(e.base))&wheelMask)
+			t0 = e.wheel[0][slot0].at
+		}
+		// Fast path for the dominant shape — every pending event within
+		// the level-0 window and nothing in the overflow heap.
+		if e.upMin == infTime && len(e.overflow) == 0 {
+			if slot0 < 0 {
+				return nil
+			}
+			if deadline >= 0 && t0 > deadline {
+				return nil
+			}
+			e.base = t0
+			if ev := e.wheel[0][slot0]; ev.link == nil {
+				// Single-event batch: skip the run buffer entirely.
+				e.clearSlot(0, slot0)
+				e.lvlN[0]--
+				return ev
+			}
+			e.drainSlot(slot0)
+			e.sortRun()
+			return e.popRun()
+		}
+		h := infTime
+		if len(e.overflow) > 0 {
+			h = e.overflow[0].at
+		}
+		batch := t0
+		if h < batch {
+			batch = h
+		}
+		// The earliest upper-level slot start is a lower bound on its
+		// events; at or before the level-0/overflow minimum it may hide
+		// earlier or tying events, so cascade it down and rescan. base
+		// never exceeds batch, so comparing the unclamped start is exact.
+		if e.upMin <= batch {
+			newBase := e.upMin
+			if newBase < e.base {
+				newBase = e.base
+			}
+			if deadline >= 0 && newBase > deadline {
+				return nil
+			}
+			e.cascade(e.upLevel, e.upSlot, newBase)
+			e.recomputeUp()
+			continue
+		}
+		if batch == infTime {
+			return nil
+		}
+		if deadline >= 0 && batch > deadline {
+			return nil
+		}
+		e.base = batch
+		if h != batch {
+			if ev := e.wheel[0][slot0]; ev.link == nil {
+				e.clearSlot(0, slot0)
+				e.lvlN[0]--
+				return ev
+			}
+			e.drainSlot(slot0)
+		} else {
+			if t0 == batch {
+				e.drainSlot(slot0)
+			} else {
+				e.run = e.run[:0]
+				e.runIdx = 0
+			}
+			for len(e.overflow) > 0 && e.overflow[0].at == batch {
+				e.run = append(e.run, e.heapPop())
+			}
+		}
+		e.sortRun()
+		return e.popRun()
+	}
+}
+
+// drainSlot moves one level-0 slot's events into run. Prepend lists walk
+// newest-first, so the batch is reversed back to near-schedule order,
+// keeping the insertion sort cheap.
+func (e *Engine) drainSlot(slot int) {
+	e.run = e.run[:0]
+	n := 0
+	for ev := e.wheel[0][slot]; ev != nil; {
+		next := ev.link
+		ev.link = nil
+		e.run = append(e.run, ev)
+		n++
+		ev = next
+	}
+	e.clearSlot(0, slot)
+	e.lvlN[0] -= n
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		e.run[i], e.run[j] = e.run[j], e.run[i]
+	}
+	e.runIdx = 0
+}
+
+func (e *Engine) popRun() *Event {
+	ev := e.run[e.runIdx]
+	e.run[e.runIdx] = nil
+	e.runIdx++
+	return ev
+}
+
+// sortRun restores schedule order within the batch. The batch is already
+// nearly sorted — slot drains are reversed prepends and heap pops come
+// out seq-ordered — so the insertion sort only really works when a
+// cascade interleaved older events.
+func (e *Engine) sortRun() {
+	r := e.run
+	for i := 1; i < len(r); i++ {
+		ev := r[i]
+		j := i - 1
+		for j >= 0 && r[j].seq > ev.seq {
+			r[j+1] = r[j]
+			j--
+		}
+		r[j+1] = ev
+	}
+}
+
+// --- 4-ary min-heap for overflow events (no interface boxing) ---
 
 const heapArity = 4
 
 func (e *Engine) heapPush(ev *Event) {
-	q := append(e.queue, ev)
+	q := append(e.overflow, ev)
 	i := len(q) - 1
 	for i > 0 {
 		p := (i - 1) / heapArity
@@ -179,11 +551,11 @@ func (e *Engine) heapPush(ev *Event) {
 		i = p
 	}
 	q[i] = ev
-	e.queue = q
+	e.overflow = q
 }
 
 func (e *Engine) heapPop() *Event {
-	q := e.queue
+	q := e.overflow
 	top := q[0]
 	n := len(q) - 1
 	last := q[n]
@@ -214,7 +586,7 @@ func (e *Engine) heapPop() *Event {
 		}
 		q[i] = last
 	}
-	e.queue = q
+	e.overflow = q
 	return top
 }
 
@@ -241,7 +613,19 @@ func (e *Engine) schedule(t Time) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc(t)
-	e.heapPush(ev)
+	if s := e.solo; s != nil {
+		e.solo = nil
+		e.place(s)
+	}
+	if t < e.base {
+		e.rebase(t)
+	}
+	if e.pending == 0 && e.runIdx == len(e.run) {
+		e.solo = ev
+	} else {
+		e.place(ev)
+	}
+	e.pending++
 	return ev
 }
 
@@ -276,29 +660,28 @@ func (e *Engine) Run() Time {
 // advanced to the deadline so that measurements cover the full window.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if deadline >= 0 && next.at > deadline {
-			e.now = deadline
-			return e.now
+	for !e.stopped {
+		ev := e.next(deadline)
+		if ev == nil {
+			break
 		}
-		e.heapPop()
-		if next.canceled {
-			e.recycle(next)
+		e.pending--
+		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
-		e.now = next.at
+		e.now = ev.at
 		e.Processed++
 		// Recycle before invoking: the callback may schedule new events,
 		// and reusing this slot immediately keeps the pool hot. Stale
 		// handles are fenced off by the generation bump.
-		if next.afn != nil {
-			fn, arg := next.afn, next.arg
-			e.recycle(next)
+		if ev.afn != nil {
+			fn, arg := ev.afn, ev.arg
+			e.recycle(ev)
 			fn(arg)
 		} else {
-			fn := next.fn
-			e.recycle(next)
+			fn := ev.fn
+			e.recycle(ev)
 			fn()
 		}
 	}

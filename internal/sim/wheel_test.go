@@ -1,0 +1,311 @@
+package sim
+
+// Timing-wheel-specific coverage: level-boundary and rollover cases, the
+// lazy-cancel path inside a same-tick batch, and a cross-implementation
+// determinism test that replays a randomized schedule/cancel trace through
+// the retired 4-ary-heap scheduler and the wheel, asserting identical
+// firing order.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCancelWithinSameTickBatch: an event canceling a later event at the
+// SAME instant must win — the batch is drained before it fires, so the
+// cancel has to take effect lazily at fire time.
+func TestCancelWithinSameTickBatch(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	var victim EventRef
+	e.At(100, func() {
+		got = append(got, "canceler")
+		victim.Cancel()
+	})
+	victim = e.At(100, func() { got = append(got, "victim") })
+	e.At(100, func() { got = append(got, "tail") })
+	e.Run()
+	if len(got) != 2 || got[0] != "canceler" || got[1] != "tail" {
+		t.Fatalf("got %v, want [canceler tail]", got)
+	}
+}
+
+// TestScheduleAtNowFromCallback: events scheduled for exactly the current
+// instant from inside a callback fire in the same tick, after the batch
+// that was already draining (they carry higher sequence numbers).
+func TestScheduleAtNowFromCallback(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(50, func() {
+		got = append(got, "a")
+		e.At(e.Now(), func() { got = append(got, "nested") })
+	})
+	e.At(50, func() { got = append(got, "b") })
+	end := e.Run()
+	if end != 50 {
+		t.Fatalf("Run() = %v, want 50", end)
+	}
+	want := []string{"a", "b", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLevelBoundaryDeltas walks deltas that straddle every wheel-level
+// boundary (and the overflow horizon) and checks exact fire times.
+func TestLevelBoundaryDeltas(t *testing.T) {
+	deltas := []Time{
+		0, 1, // same-instant and minimal step
+		1<<12 - 1, 1 << 12, 1<<12 + 1, // level 0 / level 1 edge
+		1<<24 - 1, 1 << 24, 1<<24 + 1, // level 1 / level 2 edge
+		1<<36 - 1, 1 << 36, 1<<36 + 1, // wheel horizon / overflow heap
+		255, 1 << 16, 1<<32 + 1, // interior points of each level
+		5 * Second, 200 * Second,
+	}
+	e := NewEngine()
+	fired := map[Time]Time{}
+	for _, d := range deltas {
+		d := d
+		e.After(d, func() { fired[d] = e.Now() })
+	}
+	e.Run()
+	if len(fired) != len(deltas) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(deltas))
+	}
+	for _, d := range deltas {
+		if fired[d] != d {
+			t.Errorf("delta %d fired at %v, want %v", int64(d), fired[d], d)
+		}
+	}
+}
+
+// TestWheelRolloverAtLargeTimes re-runs the ordering contract far from
+// t=0, where every wheel level has wrapped many times and slot indices
+// bear no resemblance to absolute times.
+func TestWheelRolloverAtLargeTimes(t *testing.T) {
+	e := NewEngine()
+	const origin = Time(123_456_789_012_345) // ~1.4 simulated days
+	e.At(origin, func() {})
+	e.Run()
+	if e.Now() != origin {
+		t.Fatalf("Now() = %v, want %v", e.Now(), origin)
+	}
+	var got []Time
+	for _, d := range []Time{300, 7, 1 << 20, 255, 1 << 17, 0, 1<<32 + 3} {
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{origin, origin + 7, origin + 255, origin + 300,
+		origin + 1<<17, origin + 1<<20, origin + 1<<32 + 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDeadlineStopThenScheduleEarly: after a deadline stop the clock sits
+// at the deadline with events still pending beyond it; scheduling between
+// the two must fire in the right order on resume.
+func TestDeadlineStopThenScheduleEarly(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(1000, func() { got = append(got, e.Now()) })
+	e.RunUntil(400)
+	e.At(600, func() { got = append(got, e.Now()) })
+	e.Run()
+	if len(got) != 2 || got[0] != 600 || got[1] != 1000 {
+		t.Fatalf("got %v, want [600 1000]", got)
+	}
+}
+
+// --- reference implementation: the retired 4-ary-heap scheduler ---
+
+// refEvent / refEngine preserve the pre-wheel scheduler exactly as the
+// determinism oracle: a 4-ary min-heap ordered by (at, seq). The wheel
+// must fire any schedule/cancel trace in the identical order.
+type refEvent struct {
+	at       Time
+	seq      uint64
+	canceled bool
+	fn       func()
+}
+
+type refEngine struct {
+	now   Time
+	seq   uint64
+	queue []*refEvent
+}
+
+func refLess(a, b *refEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *refEngine) push(ev *refEvent) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !refLess(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+func (e *refEngine) pop() *refEvent {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			first := heapArity*i + 1
+			if first >= n {
+				break
+			}
+			m := first
+			end := first + heapArity
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if refLess(q[c], q[m]) {
+					m = c
+				}
+			}
+			if !refLess(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	e.queue = q
+	return top
+}
+
+func (e *refEngine) at(t Time, fn func()) *refEvent {
+	ev := &refEvent{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+func (e *refEngine) run() {
+	for len(e.queue) > 0 {
+		ev := e.pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// traceSched abstracts the two schedulers so one randomized script can
+// drive both; cancel handles are opaque per-implementation values.
+type traceSched interface {
+	now() Time
+	schedule(t Time, fn func()) any
+	cancel(h any)
+	run()
+}
+
+type wheelSched struct{ e *Engine }
+
+func (w wheelSched) now() Time                      { return w.e.Now() }
+func (w wheelSched) schedule(t Time, fn func()) any { return w.e.At(t, fn) }
+func (w wheelSched) cancel(h any)                   { h.(EventRef).Cancel() }
+func (w wheelSched) run()                           { w.e.Run() }
+
+type heapSched struct{ e *refEngine }
+
+func (h heapSched) now() Time                      { return h.e.now }
+func (h heapSched) schedule(t Time, fn func()) any { return h.e.at(t, fn) }
+func (h heapSched) cancel(v any)                   { v.(*refEvent).canceled = true }
+func (h heapSched) run()                           { h.e.run() }
+
+// runTrace replays a deterministic pseudo-random schedule/cancel script:
+// every callback records its ID, may schedule up to two follow-ups across
+// the full spread of wheel levels (including same-instant and overflow
+// deltas), and may cancel a random live handle — including handles in the
+// batch currently firing. All decisions derive from the seeded RNG and
+// the callback execution order, so two schedulers produce the same firing
+// sequence iff they execute the trace in the same order.
+func runTrace(s traceSched, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	deltas := []Time{0, 1, 3, 17, 255, 256, 300, 4096, 1<<16 - 1, 1 << 16,
+		70_000, 1 << 20, 1 << 24, 1<<24 + 9, 1 << 31, 1 << 32, 1<<32 + 5,
+		1 << 36, 1<<37 + 11}
+	var fired []int
+	var live []any
+	nextID := 0
+	budget := 4000
+	var spawn func(from Time)
+	spawn = func(from Time) {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		id := nextID
+		nextID++
+		t := from + deltas[rng.Intn(len(deltas))]
+		h := s.schedule(t, func() {
+			fired = append(fired, id)
+			for n := rng.Intn(3); n > 0; n-- {
+				spawn(s.now())
+			}
+			if len(live) > 0 && rng.Intn(4) == 0 {
+				s.cancel(live[rng.Intn(len(live))])
+			}
+		})
+		live = append(live, h)
+		if len(live) > 64 {
+			live = live[1:]
+		}
+	}
+	for i := 0; i < 200; i++ {
+		spawn(0)
+	}
+	s.run()
+	return fired
+}
+
+// TestWheelMatchesHeapOrder is the cross-implementation determinism gate:
+// identical traces through the retired heap and the wheel must fire in
+// identical order, including same-instant ties and lazily-reaped cancels.
+func TestWheelMatchesHeapOrder(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		heapOrder := runTrace(heapSched{&refEngine{}}, seed)
+		wheelOrder := runTrace(wheelSched{NewEngine()}, seed)
+		if len(heapOrder) != len(wheelOrder) {
+			t.Fatalf("seed %d: heap fired %d events, wheel fired %d",
+				seed, len(heapOrder), len(wheelOrder))
+		}
+		for i := range heapOrder {
+			if heapOrder[i] != wheelOrder[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: heap %d, wheel %d",
+					seed, i, heapOrder[i], wheelOrder[i])
+			}
+		}
+	}
+}

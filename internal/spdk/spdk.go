@@ -60,10 +60,15 @@ type Stack struct {
 	core  *cpu.Core
 	costs Costs
 
-	pending map[uint16]func()
-	freeReq *spdkReq // recycled submission contexts
-	drainFn func()   // bound once: batch-process visible CQEs
-	nextCID uint16
+	// pending is a direct-mapped CID table (the CID space is uint16, so
+	// the table covers it fully — no hashing, no collisions).
+	pending   []func()
+	nOut      int
+	freeReq   *spdkReq   // recycled submission contexts
+	freeBatch *doneBatch // recycled completion batches
+	drainFn   func()     // bound once: batch-process visible CQEs
+	deliverFn func(any)  // bound once: deliver one drained batch
+	nextCID   uint16
 
 	started    bool
 	firstStart sim.Time
@@ -113,11 +118,12 @@ func NewStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) 
 		qp:      qp,
 		core:    core,
 		costs:   costs,
-		pending: make(map[uint16]func()),
+		pending: make([]func(), 1<<16),
 	}
 	qp.EnableInterrupts(false)
 	qp.SetCompletionHook(s.onVisible)
 	s.drainFn = s.drain
+	s.deliverFn = s.deliver
 	return s
 }
 
@@ -154,7 +160,11 @@ func (s *Stack) begin(write, flush bool, offset int64, length int, done func()) 
 	r.length = length
 	r.cid = s.nextCID
 	s.nextCID++
+	if s.pending[r.cid] != nil {
+		panic(fmt.Sprintf("spdk: CID %d reused while outstanding", r.cid))
+	}
 	s.pending[r.cid] = done
+	s.nOut++
 	delay := s.costs.AppSetup.Time + s.costs.Submit.Time + s.costs.IterCheck.Time
 	s.eng.After(delay, r.fn)
 }
@@ -179,23 +189,65 @@ func (s *Stack) onVisible() {
 // drain batch-processes every CQE visible at the poll-loop boundary.
 func (s *Stack) drain() {
 	s.drainAt = 0
+	var b *doneBatch
 	for {
 		cid, ok := s.qp.Poll()
 		if !ok {
-			return
+			break
 		}
 		done := s.pending[cid]
 		if done == nil {
 			panic(fmt.Sprintf("spdk: completion for unknown CID %d", cid))
 		}
-		delete(s.pending, cid)
+		s.pending[cid] = nil
+		s.nOut--
 		s.charge(cpu.FnSPDKProcess, s.costs.Complete)
-		s.eng.After(s.costs.Complete.Time, done)
+		if b == nil {
+			b = s.getBatch()
+		}
+		b.dones = append(b.dones, done)
 	}
+	if b == nil {
+		return
+	}
+	// Every drained CQE observes the same completion-processing delay,
+	// so the whole batch rides one scheduled event; running the dones in
+	// drain order preserves the firing order the per-CQE events had.
+	s.eng.AfterArg(s.costs.Complete.Time, s.deliverFn, b)
+}
+
+// doneBatch carries every completion drained at one poll boundary
+// through the completion-processing delay as a single scheduled event.
+type doneBatch struct {
+	dones []func()
+	next  *doneBatch
+}
+
+func (s *Stack) getBatch() *doneBatch {
+	b := s.freeBatch
+	if b == nil {
+		return &doneBatch{}
+	}
+	s.freeBatch = b.next
+	b.next = nil
+	return b
+}
+
+// deliver runs one drained batch after the completion-processing delay.
+func (s *Stack) deliver(arg any) {
+	b := arg.(*doneBatch)
+	for i := 0; i < len(b.dones); i++ {
+		fn := b.dones[i]
+		b.dones[i] = nil
+		fn()
+	}
+	b.dones = b.dones[:0]
+	b.next = s.freeBatch
+	s.freeBatch = b
 }
 
 // Outstanding reports in-flight I/Os.
-func (s *Stack) Outstanding() int { return len(s.pending) }
+func (s *Stack) Outstanding() int { return s.nOut }
 
 // Finalize charges the continuous poll spin for the whole active span
 // [first submit, end]. SPDK's reactor never sleeps: between and during

@@ -35,7 +35,9 @@ type WriteBuffer struct {
 	subBits  uint32 // full dirty mask for one slot
 	entries  map[int64]*bufEntry
 	inflight map[int64]*bufEntry
-	freeEnts *bufEntry // recycled entries
+	freeEnts *bufEntry   // recycled entries
+	scratch  []*bufEntry // reused by Entries
+	sorter   entSorter
 }
 
 // NewWriteBuffer returns an empty buffer over slots of pageSize bytes.
@@ -158,15 +160,27 @@ func (w *WriteBuffer) Len() int { return len(w.entries) }
 
 // Entries snapshots the staged (not yet flushing) entries in LPN order
 // (deterministic — map iteration order must not leak into simulations),
-// for FLUSH command handling.
+// for FLUSH command handling. The returned slice is reused by the next
+// call; callers must consume it before touching the buffer again.
 func (w *WriteBuffer) Entries() []*bufEntry {
-	out := make([]*bufEntry, 0, len(w.entries))
+	w.scratch = w.scratch[:0]
 	for _, e := range w.entries {
-		out = append(out, e)
+		w.scratch = append(w.scratch, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].lpn < out[j].lpn })
-	return out
+	w.sorter.ents = w.scratch
+	sort.Sort(&w.sorter)
+	w.sorter.ents = nil
+	return w.scratch
 }
+
+// entSorter orders an Entries snapshot by LPN; a persistent
+// sort.Interface avoids sort.Slice's per-call allocations on the FLUSH
+// path.
+type entSorter struct{ ents []*bufEntry }
+
+func (s *entSorter) Len() int           { return len(s.ents) }
+func (s *entSorter) Less(i, j int) bool { return s.ents[i].lpn < s.ents[j].lpn }
+func (s *entSorter) Swap(i, j int)      { s.ents[i], s.ents[j] = s.ents[j], s.ents[i] }
 
 func popcount(x uint32) int {
 	n := 0
@@ -180,11 +194,20 @@ func popcount(x uint32) int {
 // ReadCache is a FIFO-evicting page cache keyed by LPN. FIFO (rather than
 // strict LRU) keeps the model simple; for the streaming and random
 // workloads of the paper the two behave identically.
+//
+// The lpn -> ring-slot index is an open-addressed linear-probe table
+// rather than a Go map: the hit check runs once per device read, and at
+// a fixed <=50% load factor the probe sequences stay short enough that
+// the lookup is a handful of array reads with no hashing-interface
+// overhead.
 type ReadCache struct {
 	cap  int
-	m    map[int64]int // lpn -> ring slot
 	ring []int64
 	next int
+	n    int
+	mask uint64
+	keys []int64 // -1 marks an empty cell
+	vals []int32 // ring slot of keys[i]
 }
 
 // NewReadCache returns a cache holding up to capPages pages. A zero or
@@ -197,28 +220,72 @@ func NewReadCache(capPages int) *ReadCache {
 	for i := range ring {
 		ring[i] = -1
 	}
-	return &ReadCache{cap: capPages, m: make(map[int64]int, capPages), ring: ring}
+	size := 8
+	for size < 4*capPages {
+		size <<= 1
+	}
+	keys := make([]int64, size)
+	for i := range keys {
+		keys[i] = -1
+	}
+	return &ReadCache{
+		cap:  capPages,
+		ring: ring,
+		mask: uint64(size - 1),
+		keys: keys,
+		vals: make([]int32, size),
+	}
+}
+
+// home is the preferred table cell for lpn.
+func (c *ReadCache) home(lpn int64) uint64 {
+	h := uint64(lpn) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h & c.mask
+}
+
+// find returns the table index holding lpn, or -1.
+func (c *ReadCache) find(lpn int64) int {
+	for i := c.home(lpn); ; i = (i + 1) & c.mask {
+		switch c.keys[i] {
+		case lpn:
+			return int(i)
+		case -1:
+			return -1
+		}
+	}
 }
 
 // Contains reports whether lpn is cached.
 func (c *ReadCache) Contains(lpn int64) bool {
-	if c.cap == 0 {
-		return false
-	}
-	_, ok := c.m[lpn]
-	return ok
+	return c.cap != 0 && c.find(lpn) >= 0
 }
 
 // Insert adds lpn, evicting the oldest entry when full.
 func (c *ReadCache) Insert(lpn int64) {
-	if c.cap == 0 || c.Contains(lpn) {
+	if c.cap == 0 {
 		return
 	}
+	// One probe pass does double duty: duplicate check and insertion
+	// cell.
+	i := c.home(lpn)
+	for c.keys[i] != -1 {
+		if c.keys[i] == lpn {
+			return
+		}
+		i = (i + 1) & c.mask
+	}
 	if old := c.ring[c.next]; old >= 0 {
-		delete(c.m, old)
+		// Eviction rearranges cells (backward-shift deletion can vacate
+		// or refill cells along lpn's probe chain), so reprobe from home.
+		c.remove(old)
+		for i = c.home(lpn); c.keys[i] != -1; i = (i + 1) & c.mask {
+		}
 	}
 	c.ring[c.next] = lpn
-	c.m[lpn] = c.next
+	c.keys[i] = lpn
+	c.vals[i] = int32(c.next)
+	c.n++
 	c.next = (c.next + 1) % c.cap
 }
 
@@ -227,11 +294,40 @@ func (c *ReadCache) Invalidate(lpn int64) {
 	if c.cap == 0 {
 		return
 	}
-	if slot, ok := c.m[lpn]; ok {
-		c.ring[slot] = -1
-		delete(c.m, lpn)
+	if i := c.find(lpn); i >= 0 {
+		c.ring[c.vals[i]] = -1
+		c.deleteAt(uint64(i))
+	}
+}
+
+func (c *ReadCache) remove(lpn int64) {
+	if i := c.find(lpn); i >= 0 {
+		c.deleteAt(uint64(i))
+	}
+}
+
+// deleteAt empties cell i with backward-shift deletion, keeping every
+// remaining entry reachable from its home cell without tombstones.
+func (c *ReadCache) deleteAt(i uint64) {
+	c.n--
+	for {
+		c.keys[i] = -1
+		j := i
+		for {
+			j = (j + 1) & c.mask
+			if c.keys[j] == -1 {
+				return
+			}
+			// Shift j's entry up only if its home cell lies cyclically at
+			// or before the hole — otherwise it would move ahead of it.
+			if (j-c.home(c.keys[j]))&c.mask >= (j-i)&c.mask {
+				c.keys[i], c.vals[i] = c.keys[j], c.vals[j]
+				i = j
+				break
+			}
+		}
 	}
 }
 
 // Len reports the number of cached pages.
-func (c *ReadCache) Len() int { return len(c.m) }
+func (c *ReadCache) Len() int { return c.n }

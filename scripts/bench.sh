@@ -14,7 +14,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
+# Stage the benchmark output in a temp file rather than piping straight
+# into benchjson: in a pipeline the go test exit status is discarded, so
+# a benchmark that panics mid-run would feed partial results into the
+# baseline (or the gate) without failing the script.
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
 go test -run '^$' \
-	-bench 'BenchmarkSimulatorThroughput$|BenchmarkNBDModel$|BenchmarkStripedVolume$|BenchmarkFSBufferedRead$|BenchmarkFSFsync$' \
-	-benchmem -count "$COUNT" . |
-	go run ./scripts/benchjson -out BENCH_simcore.json "$@"
+	-bench 'BenchmarkSimulatorThroughput$|BenchmarkEventSchedule$|BenchmarkNBDModel$|BenchmarkStripedVolume$|BenchmarkFSBufferedRead$|BenchmarkFSFsync$' \
+	-benchmem -count "$COUNT" . >"$TMP"
+go run ./scripts/benchjson -out BENCH_simcore.json "$@" <"$TMP"

@@ -112,7 +112,24 @@ func main() {
 		}
 	}
 	doc.Comment = "Simulator-speed trajectory; regenerate with scripts/bench.sh"
-	doc.Current = results
+	// Merge into the current block rather than replacing it: a benchmark
+	// that silently vanished from the run (renamed, or dropped from the
+	// bench.sh regex) must not lose its baseline — keeping the stale
+	// entry makes the next -check fail loudly instead. Removing a
+	// benchmark on purpose means deleting its entry by hand.
+	if doc.Current == nil {
+		doc.Current = map[string]result{}
+	}
+	for name := range doc.Current {
+		if _, ok := results[name]; !ok {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: WARN %s is in %s but was not measured this run; keeping its old entry (delete it by hand if the benchmark was removed)\n",
+				name, *out)
+		}
+	}
+	for name, r := range results {
+		doc.Current[name] = r
+	}
 	if *label != "" {
 		replaced := false
 		for i := range doc.History {
