@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fs"
 	"repro/internal/kernel"
+	"repro/internal/kv"
 	"repro/internal/nbd"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -77,14 +78,16 @@ func interferenceReadLatency(dev ssd.Config) sim.Time {
 	sys := core.NewSystem(cfg)
 	region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
 	res := workload.Run(sys, workload.Job{
-		Pattern:       workload.RandRW,
-		WriteFraction: 0.4,
-		BlockSize:     4096,
-		QueueDepth:    4,
-		TotalIOs:      4000,
-		WarmupIOs:     400,
-		Region:        region,
-		Seed:          42,
+		Spec: workload.Spec{
+			Pattern:       workload.RandRW,
+			WriteFraction: 0.4,
+			BlockSize:     4096,
+			TotalIOs:      4000,
+			WarmupIOs:     400,
+			Region:        region,
+			Seed:          42,
+		},
+		QueueDepth: 4,
 	})
 	return res.Read.Mean()
 }
@@ -110,8 +113,10 @@ func BenchmarkAblationSuperChannel(b *testing.B) {
 		})
 		region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
 		res := workload.Run(sys, workload.Job{
-			Pattern: workload.RandRead, BlockSize: 4096,
-			TotalIOs: 2000, WarmupIOs: 200, Region: region, Seed: 7,
+			Spec: workload.Spec{
+				Pattern: workload.RandRead, BlockSize: 4096,
+				TotalIOs: 2000, WarmupIOs: 200, Region: region, Seed: 7,
+			},
 		})
 		return res.All.Mean()
 	}
@@ -134,8 +139,11 @@ func BenchmarkAblationWriteBuffer(b *testing.B) {
 		})
 		region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
 		res := workload.Run(sys, workload.Job{
-			Pattern: workload.RandWrite, BlockSize: 4096, QueueDepth: 8,
-			TotalIOs: 4000, WarmupIOs: 400, Region: region, Seed: 11,
+			Spec: workload.Spec{
+				Pattern: workload.RandWrite, BlockSize: 4096,
+				TotalIOs: 4000, WarmupIOs: 400, Region: region, Seed: 11,
+			},
+			QueueDepth: 8,
 		})
 		return res.Write.Mean()
 	}
@@ -156,8 +164,10 @@ func BenchmarkAblationHybridSleep(b *testing.B) {
 		})
 		region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
 		res := workload.Run(sys, workload.Job{
-			Pattern: workload.RandRead, BlockSize: 4096,
-			TotalIOs: 3000, WarmupIOs: 300, Region: region, Seed: 13,
+			Spec: workload.Spec{
+				Pattern: workload.RandRead, BlockSize: 4096,
+				TotalIOs: 3000, WarmupIOs: 300, Region: region, Seed: 13,
+			},
 		})
 		return res.All.Mean()
 	}
@@ -353,4 +363,72 @@ func BenchmarkNBDModel(b *testing.B) {
 	}
 	issue()
 	m.Engine().Run()
+}
+
+// benchKVStore composes the serving stack the KV benchmarks drive: LSM
+// store over filesystem + page cache over libaio on the ULL SSD, with a
+// preloaded keyspace.
+func benchKVStore() *kv.Store {
+	g := core.Build(core.Topology{
+		Root: core.FS{
+			Config: fs.Config{CacheBytes: 16 << 20, Journal: fs.OrderedJournal},
+			Child:  core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: ssd.ZSSD()}},
+		},
+		Precondition: 0.9,
+	})
+	s := kv.New(g, kv.Config{
+		MemtableBytes: 256 << 10,
+		BlockBytes:    8 << 10,
+		CacheBytes:    2 << 20,
+	})
+	s.Preload(65536, 1024)
+	return s
+}
+
+// BenchmarkKVGet reports the wall-clock cost of simulating one LSM get:
+// memtable probes, block-cache lookup, and an SSTable block read
+// through the filesystem and device on a miss.
+func BenchmarkKVGet(b *testing.B) {
+	s := benchKVStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	rng := sim.NewRNG(5)
+	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		if done < b.N {
+			issue()
+		}
+	}
+	issue = func() {
+		s.Get(rng.Int63n(65536), 1024, donefn)
+	}
+	issue()
+	s.Engine().Run()
+}
+
+// BenchmarkKVPut reports the cost of one LSM put: WAL group commit
+// (sequential write + journaled fsync), memtable insert, and the
+// amortized share of flush and compaction I/O it triggers.
+func BenchmarkKVPut(b *testing.B) {
+	s := benchKVStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	rng := sim.NewRNG(6)
+	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		if done < b.N {
+			issue()
+		}
+	}
+	issue = func() {
+		s.Put(rng.Int63n(65536), 1024, donefn)
+	}
+	issue()
+	s.Engine().Run()
 }

@@ -176,13 +176,15 @@ func (c *config) topology() (repro.Topology, error) {
 // job assembles the workload description.
 func (c *config) job() (repro.Job, error) {
 	job := repro.Job{
-		BlockSize:  c.bs,
+		Spec: repro.Spec{
+			BlockSize: c.bs,
+			TotalIOs:  c.ios,
+			Duration:  repro.Time(c.runtime.Nanoseconds()),
+			WarmupIOs: c.ios / 10,
+			SyncEvery: c.syncRatio,
+			Seed:      c.seed,
+		},
 		QueueDepth: c.depth,
-		TotalIOs:   c.ios,
-		Duration:   repro.Time(c.runtime.Nanoseconds()),
-		WarmupIOs:  c.ios / 10,
-		SyncEvery:  c.syncRatio,
-		Seed:       c.seed,
 	}
 	switch c.rw {
 	case "read":

@@ -106,34 +106,41 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ullsim: %d/%d shards done\n", done, total)
 			}
 		}
-		// One RunAll call shares a single worker pool across every
-		// requested experiment, so shards of a slow figure overlap with
-		// the next figure's sweep.
-		results, err := experiments.RunAll(opts, ids...)
-		if err != nil {
+		if err := runExperiments(os.Stdout, opts, *csvDir, ids...); err != nil {
 			fmt.Fprintf(os.Stderr, "ullsim: %v (try 'ullsim list')\n", err)
 			os.Exit(2)
-		}
-		for _, r := range results {
-			fmt.Printf("running %s: %s\n", r.Experiment.ID, r.Experiment.Title)
-			for _, t := range r.Tables {
-				if err := t.Render(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, "ullsim:", err)
-					os.Exit(1)
-				}
-				fmt.Println()
-				if *csvDir != "" {
-					if err := writeCSV(*csvDir, t); err != nil {
-						fmt.Fprintln(os.Stderr, "ullsim:", err)
-						os.Exit(1)
-					}
-				}
-			}
 		}
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
+
+// runExperiments executes the requested experiments (all of them when
+// ids is empty) through one shared worker pool and renders each
+// experiment's tables to w in the requested order. One RunAll call
+// drives every id, so shards of a slow figure overlap with the next
+// figure's sweep while the merged output stays in submission order.
+func runExperiments(w io.Writer, opts experiments.Options, csvDir string, ids ...string) error {
+	results, err := experiments.RunAll(opts, ids...)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "running %s: %s\n", r.Experiment.ID, r.Experiment.Title)
+		for _, t := range r.Tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if csvDir != "" {
+				if err := writeCSV(csvDir, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // listEntry is one experiment in the -json registry listing.

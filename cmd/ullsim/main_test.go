@@ -59,3 +59,48 @@ func TestWriteListJSON(t *testing.T) {
 		t.Errorf("tab1 shards = %d, want 0", byID["tab1"].Shards)
 	}
 }
+
+// TestRunExperimentsMultiID drives the full multi-id run path: several
+// experiments through one worker pool, sections rendered in the order
+// the ids were given, with the same content regardless of that order.
+func TestRunExperimentsMultiID(t *testing.T) {
+	opts := experiments.Options{Quick: true, Seed: 0x1d5, SeedSet: true, Parallel: 4}
+	var fwd strings.Builder
+	if err := runExperiments(&fwd, opts, "", "ext-compaction", "ext-ycsb"); err != nil {
+		t.Fatal(err)
+	}
+	out := fwd.String()
+	i := strings.Index(out, "running ext-compaction:")
+	j := strings.Index(out, "running ext-ycsb:")
+	if i < 0 || j < 0 {
+		t.Fatalf("output missing a requested experiment:\n%s", out)
+	}
+	if i > j {
+		t.Fatal("sections not in requested order")
+	}
+
+	var rev strings.Builder
+	if err := runExperiments(&rev, opts, "", "ext-ycsb", "ext-compaction"); err != nil {
+		t.Fatal(err)
+	}
+	section := func(s, id string) string {
+		k := strings.Index(s, "running "+id+":")
+		end := strings.Index(s[k+1:], "running ")
+		if end < 0 {
+			return s[k:]
+		}
+		return s[k : k+1+end]
+	}
+	for _, id := range []string{"ext-ycsb", "ext-compaction"} {
+		if section(out, id) != section(rev.String(), id) {
+			t.Fatalf("%s section differs when the id order changes", id)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var sb strings.Builder
+	if err := runExperiments(&sb, experiments.Options{Quick: true}, "", "fig99"); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}

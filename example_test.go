@@ -16,10 +16,12 @@ func ExampleRunJob() {
 		Precondition: 1.0,
 	})
 	res := repro.RunJob(sys, repro.Job{
-		Pattern:   repro.RandRead,
-		BlockSize: 4096,
-		TotalIOs:  1000,
-		Seed:      1,
+		Spec: repro.Spec{
+			Pattern:   repro.RandRead,
+			BlockSize: 4096,
+			TotalIOs:  1000,
+			Seed:      1,
+		},
 	})
 	fmt.Println("measured I/Os:", res.IOs)
 	fmt.Println("reads recorded:", res.Read.Count())
@@ -37,7 +39,9 @@ func ExampleNewSystem() {
 		mode.Precondition = 1.0
 		sys := repro.NewSystem(mode)
 		res := repro.RunJob(sys, repro.Job{
-			Pattern: repro.RandRead, BlockSize: 4096, TotalIOs: 2000, Seed: 3,
+			Spec: repro.Spec{
+				Pattern: repro.RandRead, BlockSize: 4096, TotalIOs: 2000, Seed: 3,
+			},
 		})
 		return res.All.Mean()
 	}
@@ -59,4 +63,41 @@ func ExampleExperimentByID() {
 	// found: true
 	// tables: 1
 	// id: tab1
+}
+
+// ExampleNewKV serves a keyed YCSB-style job from the LSM store tier
+// through the same engine that drives block jobs.
+func ExampleNewKV() {
+	dev := repro.ZSSD()
+	dev.Seed ^= 7
+	host := repro.BuildTopology(repro.Topology{
+		Root: repro.FSOn(repro.FSConfig{
+			CacheBytes: 4 << 20,
+			Journal:    repro.OrderedJournal,
+		}, repro.StackOn(repro.KernelAsync, 0, dev)),
+		Precondition: 0.9,
+	})
+	store := repro.NewKV(host, repro.KVConfig{
+		MemtableBytes: 64 << 10,
+		CacheBytes:    512 << 10,
+	})
+	store.Preload(8192, 1024)
+	res := repro.RunServiceJob(store, repro.Job{
+		Spec: repro.Spec{
+			Pattern: repro.RandRW, WriteFraction: 0.2, BlockSize: 1024,
+			Keyspace: repro.Keyspace{Keys: 8192, Dist: repro.ZipfianKeys},
+			TotalIOs: 1000, Seed: 7,
+		},
+		QueueDepth: 4,
+	})
+	st := store.Stats()
+	fmt.Println("measured ops:", res.IOs)
+	fmt.Println("puts group-committed:", st.WALSyncs < st.Puts)
+	fmt.Println("memtable flushed:", st.Flushes > 0)
+	fmt.Println("wear reported:", len(res.Wear) == 1)
+	// Output:
+	// measured ops: 1000
+	// puts group-committed: true
+	// memtable flushed: true
+	// wear reported: true
 }

@@ -44,11 +44,13 @@ func main() {
 				cfg.Precondition = 1.0
 				sys := repro.NewSystem(cfg)
 				res := repro.RunJob(sys, repro.Job{
-					Pattern:   repro.RandRead,
-					BlockSize: bs,
-					TotalIOs:  20000,
-					WarmupIOs: 2000,
-					Seed:      7,
+					Spec: repro.Spec{
+						Pattern:   repro.RandRead,
+						BlockSize: bs,
+						TotalIOs:  20000,
+						WarmupIOs: 2000,
+						Seed:      7,
+					},
 				})
 				u := sys.Core.Utilization(sys.Eng.Now())
 				results[m.label] = out{res.All.Mean(), u.User + u.Kernel}

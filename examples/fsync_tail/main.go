@@ -48,10 +48,12 @@ func rawWriteMean(dev repro.DeviceConfig) repro.Time {
 		Device: dev, Stack: repro.KernelAsync, Precondition: 0.9,
 	})
 	res := repro.RunJob(sys, repro.Job{
-		Pattern: repro.RandWrite, BlockSize: 4096,
-		TotalIOs: 2000, WarmupIOs: 200,
-		Region: int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20,
-		Seed:   seed,
+		Spec: repro.Spec{
+			Pattern: repro.RandWrite, BlockSize: 4096,
+			TotalIOs: 2000, WarmupIOs: 200,
+			Region: int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20,
+			Seed:   seed,
+		},
 	})
 	return res.Write.Mean()
 }
@@ -74,10 +76,13 @@ func main() {
 		for _, m := range modes {
 			g := fsWriter(d.cfg, m)
 			res := repro.RunJob(g, repro.Job{
-				Pattern: repro.RandWrite, BlockSize: 4096, QueueDepth: 4,
-				TotalIOs: 6000, WarmupIOs: 600, SyncEvery: 16,
-				Region: int64(0.9*float64(g.ExportedBytes())) >> 20 << 20,
-				Seed:   seed,
+				Spec: repro.Spec{
+					Pattern: repro.RandWrite, BlockSize: 4096,
+					TotalIOs: 6000, WarmupIOs: 600, SyncEvery: 16,
+					Region: int64(0.9*float64(g.ExportedBytes())) >> 20 << 20,
+					Seed:   seed,
+				},
+				QueueDepth: 4,
 			})
 			st := g.FSStats()[0]
 			fmt.Printf("%s  %-7s  %8.2f  %10.2f  %9.2f  %9.2f  %8.1fx  %.1f/sync\n",

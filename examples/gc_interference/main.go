@@ -34,13 +34,15 @@ func interference() {
 			cfg.Precondition = 1.0
 			sys := repro.NewSystem(cfg)
 			row[dev.name] = repro.RunJob(sys, repro.Job{
-				Pattern:       repro.RandRW,
-				WriteFraction: frac,
-				BlockSize:     4096,
-				QueueDepth:    4,
-				TotalIOs:      20000,
-				WarmupIOs:     2000,
-				Seed:          3,
+				Spec: repro.Spec{
+					Pattern:       repro.RandRW,
+					WriteFraction: frac,
+					BlockSize:     4096,
+					TotalIOs:      20000,
+					WarmupIOs:     2000,
+					Seed:          3,
+				},
+				QueueDepth: 4,
 			})
 		}
 		fmt.Fprintf(w, "%.0f\t%.1fus\t%.1fus\t%.1fus\t%.1fus\n",
@@ -73,12 +75,14 @@ func gcCliff() {
 		cfg.Precondition = 1.0
 		sys := repro.NewSystem(cfg)
 		res := repro.RunJob(sys, repro.Job{
-			Pattern:      repro.RandWrite,
-			BlockSize:    4096,
-			QueueDepth:   8,
-			Duration:     dev.dur,
-			Seed:         5,
-			SeriesBucket: dev.dur / 10,
+			Spec: repro.Spec{
+				Pattern:      repro.RandWrite,
+				BlockSize:    4096,
+				Duration:     dev.dur,
+				Seed:         5,
+				SeriesBucket: dev.dur / 10,
+			},
+			QueueDepth: 8,
 		})
 		st := sys.Dev.Stats()
 		fmt.Printf("%s: sustained 4KB random writes for %v\n", dev.name, dev.dur)

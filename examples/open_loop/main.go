@@ -38,8 +38,10 @@ func main() {
 	// open-loop sweep is expressed against.
 	cal := ullSystem(seed)
 	svc := workload.Run(cal, workload.Job{
-		Pattern: workload.RandRead, BlockSize: 4096,
-		TotalIOs: 2000, WarmupIOs: 200, Region: region(cal), Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: 2000, WarmupIOs: 200, Region: region(cal), Seed: seed,
+		},
 	}).All.Mean()
 	fmt.Printf("calibrated 4KiB random-read service time: %.1fus (~%.0fk IOPS at QD1)\n\n",
 		svc.Micros(), 1e-3/svc.Seconds())
@@ -52,11 +54,14 @@ func main() {
 		sys := ullSystem(seed)
 		rate := rho / svc.Seconds()
 		res := workload.RunOpen(sys, workload.OpenJob{
-			Pattern: workload.RandRead, BlockSize: 4096,
+			Spec: workload.Spec{
+				Pattern: workload.RandRead, BlockSize: 4096,
+				Duration: 40 * sim.Millisecond, WarmupTime: 4 * sim.Millisecond,
+				Region: region(sys), Seed: seed,
+			},
 			Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: rate},
-			MaxInFlight: 1, QueueCap: 1 << 14,
-			Duration: 40 * sim.Millisecond, WarmupTime: 4 * sim.Millisecond,
-			Region: region(sys), Seed: seed,
+			MaxInFlight: 1,
+			QueueCap:    1 << 14,
 		})
 		fmt.Printf("%.2f   %-13.1f  %-7.1f  %-6.1f  %.1f\n",
 			rho, rate/1e3, res.All.Mean().Micros(), res.All.Percentile(99).Micros(),
@@ -67,11 +72,14 @@ func main() {
 	// rate into a small queue and read the drop counter.
 	over := ullSystem(seed)
 	res := workload.RunOpen(over, workload.OpenJob{
-		Pattern: workload.RandRead, BlockSize: 4096,
+		Spec: workload.Spec{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			Duration: 10 * sim.Millisecond,
+			Region:   region(over), Seed: seed,
+		},
 		Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: 3 / svc.Seconds()},
-		MaxInFlight: 1, QueueCap: 256,
-		Duration: 10 * sim.Millisecond,
-		Region:   region(over), Seed: seed,
+		MaxInFlight: 1,
+		QueueCap:    256,
 	})
 	fmt.Printf("\noverload at 3x: offered %d, admitted %d, dropped %d (queue peaked at %d/256)\n",
 		res.Offered, res.Admitted, res.Dropped, res.PeakQueue)
@@ -80,11 +88,13 @@ func main() {
 	// only the co-tenant's write rate does.
 	fmt.Println("\ntwo tenants on one device (reader fixed at 25% load):")
 	reader := workload.OpenJob{
-		Name: "reader", Pattern: workload.RandRead, BlockSize: 4096,
+		Spec: workload.Spec{
+			Name: "reader", Pattern: workload.RandRead, BlockSize: 4096,
+			Duration: 40 * sim.Millisecond, WarmupTime: 4 * sim.Millisecond,
+			Seed: seed,
+		},
 		Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: 0.25 / svc.Seconds()},
 		MaxInFlight: 4,
-		Duration:    40 * sim.Millisecond, WarmupTime: 4 * sim.Millisecond,
-		Seed: seed,
 	}
 	solo := ullSystem(seed)
 	reader.Region = region(solo)
@@ -94,15 +104,17 @@ func main() {
 	shared := ullSystem(seed)
 	reader.Region = region(shared)
 	writer := workload.OpenJob{
-		Name: "writer", Pattern: workload.SeqWrite, BlockSize: 32 << 10,
+		Spec: workload.Spec{
+			Name: "writer", Pattern: workload.SeqWrite, BlockSize: 32 << 10,
+			Duration: 40 * sim.Millisecond, WarmupTime: 4 * sim.Millisecond,
+			Region: region(shared), Seed: seed,
+		},
 		// A bursty bulk writer: 2ms write bursts, 2ms quiet gaps.
 		Arrival: workload.Arrival{
 			Kind: workload.Bursty, Rate: 25_000,
 			On: 2 * sim.Millisecond, Off: 2 * sim.Millisecond,
 		},
 		MaxInFlight: 8,
-		Duration:    40 * sim.Millisecond, WarmupTime: 4 * sim.Millisecond,
-		Region: region(shared), Seed: seed,
 	}
 	pair := workload.RunTenants(shared, reader, writer)
 	fmt.Printf("  beside bursty writer: p99 %.1fus (writer %.0f MB/s)\n",

@@ -20,11 +20,13 @@ func main() {
 	})
 
 	res := repro.RunJob(sys, repro.Job{
-		Pattern:   repro.RandRead,
-		BlockSize: 4096,
-		TotalIOs:  50000,
-		WarmupIOs: 5000,
-		Seed:      1,
+		Spec: repro.Spec{
+			Pattern:   repro.RandRead,
+			BlockSize: 4096,
+			TotalIOs:  50000,
+			WarmupIOs: 5000,
+			Seed:      1,
+		},
 	})
 
 	fmt.Println("ULL SSD, 4KB random reads, pvsync2 + polling")

@@ -58,9 +58,11 @@ func main() {
 		for _, width := range []int{1, 2, 4} {
 			vol := stripe(st.cfg, width)
 			res := repro.RunJob(vol, repro.Job{
-				Pattern: repro.RandRead, BlockSize: 4096,
-				QueueDepth: 2 * width, TotalIOs: 3000, WarmupIOs: 300,
-				Region: region(vol), Seed: seed,
+				Spec: repro.Spec{
+					Pattern: repro.RandRead, BlockSize: 4096, TotalIOs: 3000, WarmupIOs: 300,
+					Region: region(vol), Seed: seed,
+				},
+				QueueDepth: 2 * width,
 			})
 			if base == 0 {
 				base = res.IOPS()
@@ -85,9 +87,11 @@ func main() {
 		Precondition: 0.9,
 	})
 	res := repro.RunJob(tier, repro.Job{
-		Pattern: repro.RandRW, WriteFraction: 0.5, BlockSize: 4096,
-		QueueDepth: 4, TotalIOs: 4000, WarmupIOs: 400,
-		Region: region(tier), Seed: seed,
+		Spec: repro.Spec{
+			Pattern: repro.RandRW, WriteFraction: 0.5, BlockSize: 4096, TotalIOs: 4000, WarmupIOs: 400,
+			Region: region(tier), Seed: seed,
+		},
+		QueueDepth: 4,
 	})
 	vs := tier.VolumeStats()[0]
 	fmt.Printf("  writes absorbed by the tier: %d (write-around: %d)\n", vs.FastWrites, vs.WriteAround)

@@ -29,12 +29,14 @@ func deviceTails() {
 		cfg.Precondition = 1.0
 		sys := repro.NewSystem(cfg)
 		res := repro.RunJob(sys, repro.Job{
-			Pattern:    repro.RandRead,
-			BlockSize:  4096,
+			Spec: repro.Spec{
+				Pattern:   repro.RandRead,
+				BlockSize: 4096,
+				TotalIOs:  120000,
+				WarmupIOs: 12000,
+				Seed:      9,
+			},
 			QueueDepth: 4,
-			TotalIOs:   120000,
-			WarmupIOs:  12000,
-			Seed:       9,
 		})
 		s := res.All.Summarize()
 		fmt.Fprintf(w, "%s\t%.1fus\t%.1fus\t%.1fus\t%.1fus\t%.1fus\n",
@@ -66,11 +68,13 @@ func pollInversion() {
 		cfg.Precondition = 1.0
 		sys := repro.NewSystem(cfg)
 		res := repro.RunJob(sys, repro.Job{
-			Pattern:   repro.RandRead,
-			BlockSize: 4096,
-			TotalIOs:  120000,
-			WarmupIOs: 12000,
-			Seed:      9,
+			Spec: repro.Spec{
+				Pattern:   repro.RandRead,
+				BlockSize: 4096,
+				TotalIOs:  120000,
+				WarmupIOs: 12000,
+				Seed:      9,
+			},
 		})
 		s := res.All.Summarize()
 		stats[m.name] = s

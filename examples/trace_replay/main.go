@@ -25,14 +25,16 @@ func main() {
 	nvmeSys := core.NewSystem(nvmeCfg)
 	region := int64(0.9*float64(nvmeSys.ExportedBytes())) >> 20 << 20
 	res := workload.Run(nvmeSys, workload.Job{
-		Pattern:       workload.RandRW,
-		WriteFraction: 0.3,
-		BlockSize:     4096,
-		QueueDepth:    4,
-		TotalIOs:      20000,
-		Region:        region,
-		Seed:          21,
-		Trace:         rec,
+		Spec: workload.Spec{
+			Pattern:       workload.RandRW,
+			WriteFraction: 0.3,
+			BlockSize:     4096,
+			TotalIOs:      20000,
+			Region:        region,
+			Seed:          21,
+			Trace:         rec,
+		},
+		QueueDepth: 4,
 	})
 	fmt.Printf("recorded %d I/Os on the NVMe SSD (mean %.1fus)\n",
 		rec.Len(), res.All.Mean().Micros())

@@ -54,14 +54,16 @@ func TestNewSystemCompatGoldens(t *testing.T) {
 			sys := core.NewSystem(cfg)
 			region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
 			res := workload.Run(sys, workload.Job{
-				Pattern:       workload.RandRW,
-				WriteFraction: 0.3,
-				BlockSize:     4096,
-				QueueDepth:    c.qd,
-				TotalIOs:      600,
-				WarmupIOs:     60,
-				Region:        region,
-				Seed:          0x70b0,
+				Spec: workload.Spec{
+					Pattern:       workload.RandRW,
+					WriteFraction: 0.3,
+					BlockSize:     4096,
+					TotalIOs:      600,
+					WarmupIOs:     60,
+					Region:        region,
+					Seed:          0x70b0,
+				},
+				QueueDepth: c.qd,
 			})
 			got := [5]int64{
 				int64(res.All.Mean()), int64(res.All.Percentile(99)),

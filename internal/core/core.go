@@ -177,6 +177,10 @@ func (s *System) Graph() *Graph { return s.graph }
 // ExportedBytes reports the device's host-visible capacity.
 func (s *System) ExportedBytes() int64 { return s.Dev.ExportedBytes() }
 
+// WearStats snapshots the device's media wear (one-element slice, for
+// symmetry with Graph.WearStats on multi-device topologies).
+func (s *System) WearStats() []ssd.WearReport { return s.graph.WearStats() }
+
 // Finalize settles deferred accounting (the SPDK continuous poll spin).
 // Call once after the run's events have drained.
 func (s *System) Finalize() { s.graph.Finalize() }

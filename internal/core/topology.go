@@ -285,6 +285,17 @@ func (g *Graph) FSStats() []fs.Stats {
 	return out
 }
 
+// WearStats snapshots every device's media wear — erase-count spread
+// and the host/GC program split behind write amplification — in
+// lowering order, matching Devices().
+func (g *Graph) WearStats() []ssd.WearReport {
+	out := make([]ssd.WearReport, len(g.devices))
+	for i, d := range g.devices {
+		out[i] = d.WearReport()
+	}
+	return out
+}
+
 // Finalize settles deferred accounting on every SPDK stack in the
 // graph. Call once after the run's events have drained.
 func (g *Graph) Finalize() {

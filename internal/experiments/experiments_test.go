@@ -23,7 +23,8 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	// Extensions live alongside the paper artifacts.
 	for _, id := range []string{"ext-lightq", "ext-pollopt", "ext-loadcurve", "ext-tenants",
-		"ext-stripe", "ext-tier", "ext-fsync", "ext-buffered", "ext-cachewb"} {
+		"ext-stripe", "ext-tier", "ext-fsync", "ext-buffered", "ext-cachewb",
+		"ext-ycsb", "ext-compaction"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("extension %s not registered", id)
 		}
@@ -152,9 +153,9 @@ func TestPollBeatsInterruptOnULL(t *testing.T) {
 func TestULLFasterThanNVMe(t *testing.T) {
 	o := Options{Quick: true}
 	ullSys := asyncSystem(ull(), o.seed())
-	ullRes := run(ullSys, workload.Job{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1})
+	ullRes := run(ullSys, workload.Job{Spec: workload.Spec{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1}})
 	nvmeSys := asyncSystem(nvme750(), o.seed())
-	nvmeRes := run(nvmeSys, workload.Job{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1})
+	nvmeRes := run(nvmeSys, workload.Job{Spec: workload.Spec{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1}})
 	ratio := float64(nvmeRes.All.Mean()) / float64(ullRes.All.Mean())
 	if ratio < 3 {
 		t.Fatalf("NVMe/ULL random-read ratio %.1f, want >3 (paper: 5.2x)", ratio)
@@ -164,7 +165,7 @@ func TestULLFasterThanNVMe(t *testing.T) {
 func TestRunRegionConfinement(t *testing.T) {
 	o := Options{Quick: true}
 	sys := syncSystem(ull(), kernel.Interrupt, o.seed())
-	res := run(sys, workload.Job{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 300, Seed: 2})
+	res := run(sys, workload.Job{Spec: workload.Spec{Pattern: workload.RandRead, BlockSize: 4096, TotalIOs: 300, Seed: 2}})
 	if res.IOs != 300 {
 		t.Fatal("run did not complete")
 	}
@@ -182,7 +183,7 @@ func TestRunRegionConfinement(t *testing.T) {
 var shortSet = []string{
 	"tab1", "fig4a", "fig10", "fig12", "fig20", "fig23", "ext-lightq",
 	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
-	"ext-fsync", "ext-buffered", "ext-cachewb",
+	"ext-fsync", "ext-buffered", "ext-cachewb", "ext-ycsb", "ext-compaction",
 }
 
 // raceSet trims the lane further for `go test -race -short`: the
@@ -197,7 +198,7 @@ var shortSet = []string{
 var raceSet = []string{
 	"tab1", "fig6", "fig12", "fig23", "ext-lightq",
 	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
-	"ext-fsync", "ext-buffered", "ext-cachewb",
+	"ext-fsync", "ext-buffered", "ext-cachewb", "ext-ycsb", "ext-compaction",
 }
 
 // laneIDs picks the experiment set for the current test mode: the whole
@@ -646,5 +647,54 @@ func TestFSExperimentsDeterministic(t *testing.T) {
 	c := renderLane(t, Options{Quick: true, Seed: 0xf5, Parallel: 4}, ids)
 	if a != c {
 		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
+	}
+}
+
+// TestKVExperimentsDeterministic renders the KV pair twice serially and
+// once through 4 workers: all three must be byte-identical for a fixed
+// seed (the ISSUE 7 acceptance bar).
+func TestKVExperimentsDeterministic(t *testing.T) {
+	if raceEnabled && testing.Short() {
+		t.Skip("two KV lanes are too slow under the race detector; TestParallelMatchesSerial covers these experiments")
+	}
+	ids := []string{"ext-ycsb", "ext-compaction"}
+	a := renderLane(t, Options{Quick: true, Seed: 0x6b76, Parallel: 1}, ids)
+	b := renderLane(t, Options{Quick: true, Seed: 0x6b76, Parallel: 1}, ids)
+	if a != b {
+		t.Fatal("repeat serial runs differ for a fixed seed")
+	}
+	c := renderLane(t, Options{Quick: true, Seed: 0x6b76, Parallel: 4}, ids)
+	if a != c {
+		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
+	}
+}
+
+// TestCompactionPressureShowsInterference checks the headline of the
+// ext-compaction table: the top of the put sweep must actually trigger
+// flushes and compactions, and the background traffic must not come for
+// free (compaction bytes move through the host).
+func TestCompactionPressureShowsInterference(t *testing.T) {
+	if raceEnabled {
+		t.Skip("one-point race sweep does not reach the compaction knee")
+	}
+	e, ok := ByID("ext-compaction")
+	if !ok {
+		t.Fatal("ext-compaction not registered")
+	}
+	tables := e.Run(Options{Quick: true, Seed: 0xc0, SeedSet: true})
+	tb := tables[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[6] == "0" {
+		t.Fatal("top put rate produced no flushes")
+	}
+	if last[7] == "0" {
+		t.Fatal("top put rate produced no compactions")
+	}
+	if last[8] == "0" {
+		t.Fatal("compactions moved no bytes through the host")
+	}
+	// The solo-getter baseline row must be quiet.
+	if first := tb.Rows[0]; first[6] != "0" || first[7] != "0" {
+		t.Fatalf("solo getter flushed or compacted: %v", first)
 	}
 }

@@ -35,11 +35,13 @@ func planExtLightQ(o Options) *Plan {
 		cfg.Device.Seed = cfg.Device.Seed ^ seed
 		sys := core.NewSystem(cfg)
 		res := run(sys, workload.Job{
-			Pattern:   p,
-			BlockSize: 4096,
-			TotalIOs:  ios,
-			WarmupIOs: ios / 10,
-			Seed:      seed,
+			Spec: workload.Spec{
+				Pattern:   p,
+				BlockSize: 4096,
+				TotalIOs:  ios,
+				WarmupIOs: ios / 10,
+				Seed:      seed,
+			},
 		})
 		return res.All.Mean()
 	}
@@ -103,11 +105,13 @@ func planExtPollOpt(o Options) *Plan {
 		cfg.Device.Seed = cfg.Device.Seed ^ seed
 		sys := core.NewSystem(cfg)
 		res := run(sys, workload.Job{
-			Pattern:   p,
-			BlockSize: 4096,
-			TotalIOs:  ios,
-			WarmupIOs: ios / 10,
-			Seed:      seed,
+			Spec: workload.Spec{
+				Pattern:   p,
+				BlockSize: 4096,
+				TotalIOs:  ios,
+				WarmupIOs: ios / 10,
+				Seed:      seed,
+			},
 		})
 		u := sys.Core.Utilization(sys.Eng.Now())
 		return measured{mean: res.All.Mean(), kernelCPU: u.Kernel}

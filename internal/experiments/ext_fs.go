@@ -109,8 +109,10 @@ func measureFsyncPoint(dev fsyncDev, mode fs.JournalMode, o Options, seed uint64
 	cal, ios := fsyncIOs(o)
 	raw := fsRawSystem(dev.cfg(), core.KernelAsync, 0, seed)
 	rawRes := run(raw, workload.Job{
-		Pattern: workload.RandWrite, BlockSize: 4096,
-		TotalIOs: cal, WarmupIOs: cal / 10, Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 4096,
+			TotalIOs: cal, WarmupIOs: cal / 10, Seed: seed,
+		},
 	})
 
 	g := fsGraph(dev.cfg(), core.KernelAsync, 0, fs.Config{
@@ -118,9 +120,12 @@ func measureFsyncPoint(dev fsyncDev, mode fs.JournalMode, o Options, seed uint64
 		Journal:    mode,
 	}, seed)
 	res := workload.Run(g, workload.Job{
-		Pattern: workload.RandWrite, BlockSize: 4096, QueueDepth: 4,
-		TotalIOs: ios, WarmupIOs: ios / 10, SyncEvery: 8,
-		Region: confineGraph(g), Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 4096,
+			TotalIOs: ios, WarmupIOs: ios / 10, SyncEvery: 8,
+			Region: confineGraph(g), Seed: seed,
+		},
+		QueueDepth: 4,
 	})
 	st := g.FSStats()[0]
 	p := fsyncPoint{
@@ -224,17 +229,21 @@ func measureBufferedPoint(dev fsyncDev, st bufStack, o Options, seed uint64) buf
 	ios := bufferedIOs(o)
 	direct := fsRawSystem(dev.cfg(), st.kind, st.mode, seed)
 	dRes := run(direct, workload.Job{
-		Pattern: workload.RandRead, BlockSize: 4096,
-		TotalIOs: ios, WarmupIOs: ios / 10, Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: ios, WarmupIOs: ios / 10, Seed: seed,
+		},
 	})
 
 	// Cache-starved: 1MiB of cache against the whole preconditioned
 	// region — effectively every read misses.
 	miss := fsGraph(dev.cfg(), st.kind, st.mode, fs.Config{CacheBytes: 1 << 20}, seed)
 	mRes := workload.Run(miss, workload.Job{
-		Pattern: workload.RandRead, BlockSize: 4096,
-		TotalIOs: ios, WarmupIOs: ios / 10,
-		Region: confineGraph(miss), Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: ios, WarmupIOs: ios / 10,
+			Region: confineGraph(miss), Seed: seed,
+		},
 	})
 
 	// Warmed: the job's region fits the cache; one sequential pass
@@ -246,12 +255,16 @@ func measureBufferedPoint(dev fsyncDev, st bufStack, o Options, seed uint64) buf
 	}
 	warmIOs := int(region / 4096)
 	workload.Run(hitG, workload.Job{
-		Pattern: workload.SeqRead, BlockSize: 4096,
-		TotalIOs: warmIOs, Region: region, Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.SeqRead, BlockSize: 4096,
+			TotalIOs: warmIOs, Region: region, Seed: seed,
+		},
 	})
 	hRes := workload.Run(hitG, workload.Job{
-		Pattern: workload.RandRead, BlockSize: 4096,
-		TotalIOs: ios, WarmupIOs: ios / 10, Region: region, Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: ios, WarmupIOs: ios / 10, Region: region, Seed: seed,
+		},
 	})
 
 	p := bufferedPoint{
@@ -342,9 +355,11 @@ func measureCWBPoint(ratio, frac float64, o Options, seed uint64) cwbPoint {
 		DirtyRatio: ratio,
 	}, seed)
 	res := workload.Run(g, workload.Job{
-		Pattern: workload.RandRW, WriteFraction: frac, BlockSize: 4096,
-		QueueDepth: 4, TotalIOs: ios, WarmupIOs: ios / 10,
-		Region: confineGraph(g), Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandRW, WriteFraction: frac, BlockSize: 4096, TotalIOs: ios, WarmupIOs: ios / 10,
+			Region: confineGraph(g), Seed: seed,
+		},
+		QueueDepth: 4,
 	})
 	st := g.FSStats()[0]
 	return cwbPoint{

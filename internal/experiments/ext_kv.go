@@ -1,0 +1,342 @@
+package experiments
+
+// Extension experiments on the KV service tier (internal/kv): the full
+// three-layer stack — application WAL over filesystem journal over
+// device GC — measured end to end.
+//
+//   - ext-ycsb: YCSB-B-style op latency (95% zipfian gets, 5% puts) vs
+//     offered load on the ULL and conventional SSD, per journal mode.
+//     The store's group-commit WAL, block cache, and SSTable reads ride
+//     the same page cache and device queues the raw experiments
+//     measured; the question is how much of the microsecond media
+//     survives three software layers up.
+//   - ext-compaction: foreground get tail vs compaction pressure. A
+//     constant-rate getter runs beside a put tenant whose rate sweeps;
+//     puts roll memtables into L0 flushes and leveled merges whose
+//     chunked background I/O contends with the getter at every layer.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/kv"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ext-ycsb", "Extension: KV op latency vs offered load (YCSB-B), ULL vs conventional SSD per journal mode", planExtYCSB)
+	register("ext-compaction", "Extension: KV get tail vs compaction pressure (app WAL x FS journal x device GC)", planExtCompaction)
+}
+
+// kvValueBytes is the value size of every experiment record: 1KiB, the
+// YCSB default record scale.
+const kvValueBytes = 1 << 10
+
+// kvKeys sizes the preloaded keyspace (the race lane shrinks the device
+// geometry, so the dataset shrinks with it).
+func kvKeys() int64 {
+	if raceEnabled {
+		return 4096
+	}
+	return 16384
+}
+
+// kvStore composes the experiment store: LSM over filesystem + page
+// cache over libaio over the (race-shrunk) device, preloaded with the
+// full keyspace so gets always resolve.
+func kvStore(dev ssd.Config, mode fs.JournalMode, seed uint64) (*kv.Store, *core.Graph) {
+	g := fsGraph(dev, core.KernelAsync, 0, fs.Config{
+		CacheBytes: 4 << 20,
+		Journal:    mode,
+	}, seed)
+	s := kv.New(g, kv.Config{
+		MemtableBytes: 128 << 10,
+		SSTableBytes:  128 << 10,
+		BlockBytes:    8 << 10,
+		CacheBytes:    1 << 20,
+		WALBytes:      8 << 20,
+		L0Tables:      2,
+		LevelRatio:    4,
+	})
+	s.Preload(kvKeys(), kvValueBytes)
+	return s, g
+}
+
+// kvScale sizes one shard: calibration ops and the open-loop window.
+func kvScale(o Options) (calOps int, dur sim.Time) {
+	calOps = o.scale(300, 3000)
+	dur = sim.Time(o.scale(25, 300)) * sim.Millisecond
+	if raceEnabled {
+		calOps, dur = 100, 5*sim.Millisecond
+	}
+	return calOps, dur
+}
+
+// --- ext-ycsb ---
+
+// ycsbModes is the journal sweep under the store (the race lane keeps
+// the mode that drives the full commit protocol).
+func ycsbModes() []fs.JournalMode {
+	if raceEnabled {
+		return []fs.JournalMode{fs.OrderedJournal}
+	}
+	return []fs.JournalMode{fs.NoJournal, fs.OrderedJournal}
+}
+
+// ycsbLoads is the offered-load sweep as a fraction of the calibrated
+// closed-loop service rate.
+func ycsbLoads() []float64 {
+	if raceEnabled {
+		return []float64{0.70}
+	}
+	return []float64{0.30, 0.60, 0.85}
+}
+
+// ycsbSpec is the YCSB-B shape: 95% reads, zipfian key popularity.
+func ycsbSpec(seed uint64) workload.Spec {
+	return workload.Spec{
+		Pattern:       workload.RandRW,
+		WriteFraction: 0.05,
+		BlockSize:     kvValueBytes,
+		Keyspace:      workload.Keyspace{Keys: kvKeys(), Dist: workload.ZipfianKeys},
+		Seed:          seed,
+	}
+}
+
+// ycsbPoint is one (device, journal, load) measurement.
+type ycsbPoint struct {
+	offeredKQPS    float64
+	achievedKQPS   float64
+	getP50, getP99 sim.Time
+	getP999        sim.Time
+	putP50, putP99 sim.Time
+	putP999        sim.Time
+	deferredPct    float64
+	putsPerCommit  float64
+}
+
+// measureYCSBPoint calibrates the store's QD1 service rate with a
+// closed-loop run, then offers rho times that rate open-loop (Poisson)
+// and splits the latency distribution by op class. Calibration and
+// measurement share one store, so the point is a paired comparison on
+// one simulated device (the calibration's puts settle into the tree the
+// way a warmed store's would).
+func measureYCSBPoint(dev fsyncDev, mode fs.JournalMode, rho float64, o Options, seed uint64) ycsbPoint {
+	calOps, dur := kvScale(o)
+	s, _ := kvStore(dev.cfg(), mode, seed)
+
+	spec := ycsbSpec(seed)
+	spec.TotalIOs = calOps
+	spec.WarmupIOs = calOps / 10
+	cal := workload.RunService(s, workload.Job{Spec: spec})
+	rate := rho / cal.All.Mean().Seconds()
+
+	open := ycsbSpec(seed)
+	open.Duration = dur
+	open.WarmupTime = dur / 10
+	res := workload.RunOpenService(s, workload.OpenJob{
+		Spec:        open,
+		Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: rate},
+		MaxInFlight: 4,
+		QueueCap:    1 << 14,
+	})
+	st := s.Stats()
+	p := ycsbPoint{
+		offeredKQPS:  rate / 1e3,
+		achievedKQPS: res.IOPS() / 1e3,
+		getP50:       res.Read.Percentile(50),
+		getP99:       res.Read.Percentile(99),
+		getP999:      res.Read.Percentile(99.9),
+		putP50:       res.Write.Percentile(50),
+		putP99:       res.Write.Percentile(99),
+		putP999:      res.Write.Percentile(99.9),
+		deferredPct:  float64(res.Deferred) / float64(res.Offered),
+	}
+	if st.Batches > 0 {
+		p.putsPerCommit = float64(st.BatchedPuts) / float64(st.Batches)
+	}
+	return p
+}
+
+func planExtYCSB(o Options) *Plan {
+	devs := fsyncDevices()
+	modes := ycsbModes()
+	loads := ycsbLoads()
+	var shards []Shard
+	for _, dev := range devs {
+		for _, mode := range modes {
+			for _, rho := range loads {
+				dev, mode, rho := dev, mode, rho
+				shards = append(shards, Shard{
+					Key: fmt.Sprintf("%s/%s/r%02.0f", dev.name, mode, rho*100),
+					Run: func(seed uint64) any { return measureYCSBPoint(dev, mode, rho, o, seed) },
+				})
+			}
+		}
+	}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("ext-ycsb",
+				"KV op latency vs offered load, YCSB-B 95/5 zipfian, 1KiB values (us)",
+				"device", "journal", "load", "offered kQPS", "achieved kQPS",
+				"get p50", "get p99", "get p99.9", "put p50", "put p99", "put p99.9",
+				"queued %", "puts/commit")
+			i := 0
+			for _, dev := range devs {
+				for _, mode := range modes {
+					for _, rho := range loads {
+						p := res[i].(ycsbPoint)
+						i++
+						t.AddRow(dev.name, mode.String(), fmt.Sprintf("%.2f", rho),
+							p.offeredKQPS, p.achievedKQPS,
+							us(p.getP50), us(p.getP99), us(p.getP999),
+							us(p.putP50), us(p.putP99), us(p.putP999),
+							pct(p.deferredPct), fmt.Sprintf("%.1f", p.putsPerCommit))
+					}
+				}
+			}
+			t.AddNote("each op crosses three software layers (store, filesystem, kernel stack) before the device: gets pay memtable probes + block-cache lookup + one SSTable block read on a miss; puts pay the group-commit WAL (write + fsync through the journal), so the put tail carries the journal commit protocol the ext-fsync experiment measured in isolation")
+			t.AddNote("puts/commit is the group-commit occupancy: as offered load grows, more puts ride each WAL fsync, so put throughput scales while the put tail tracks the commit latency")
+			return []*metrics.Table{t}
+		},
+	}
+}
+
+// --- ext-compaction ---
+
+// compactionFracs is the put-rate sweep, as a fraction of the calibrated
+// closed-loop put service rate. 0 is the solo-getter baseline.
+func compactionFracs() []float64 {
+	if raceEnabled {
+		return []float64{0.50}
+	}
+	return []float64{0, 0.25, 0.50, 0.75}
+}
+
+// compactionPoint is one (put-rate) measurement of the getter/putter pair.
+type compactionPoint struct {
+	offeredPutKQPS float64
+	putKQPS        float64
+	getP50, getP99 sim.Time
+	getP999        sim.Time
+	flushes        uint64
+	compactions    uint64
+	compactMiB     float64
+	stallMiB       float64
+	writeAmp       float64
+}
+
+// measureCompactionPoint calibrates get and put service rates, then runs
+// a constant-rate zipfian getter (25% of its service rate) beside a
+// uniform put tenant offering frac of the put service rate, and reports
+// the getter's latency distribution against the store's background-I/O
+// counters. The put calibration uses its own store so its flushes cannot
+// age the measured tree.
+func measureCompactionPoint(frac float64, o Options, seed uint64) compactionPoint {
+	calOps, dur := kvScale(o)
+	s, _ := kvStore(ull(), fs.OrderedJournal, seed)
+
+	getSpec := workload.Spec{
+		Pattern: workload.RandRead, BlockSize: kvValueBytes,
+		Keyspace: workload.Keyspace{Keys: kvKeys(), Dist: workload.ZipfianKeys},
+		TotalIOs: calOps, WarmupIOs: calOps / 10, Seed: seed,
+	}
+	getSvc := workload.RunService(s, workload.Job{Spec: getSpec}).All.Mean()
+
+	// The put calibration runs at QD8: group commit amortizes the WAL
+	// fsync across concurrent puts, so the store's put throughput is far
+	// above 1/latency — the rate the sweep must be a fraction of.
+	calStore, _ := kvStore(ull(), fs.OrderedJournal, seed)
+	putRate := workload.RunService(calStore, workload.Job{
+		Spec: workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: kvValueBytes,
+			Keyspace: workload.Keyspace{Keys: kvKeys()},
+			TotalIOs: calOps, WarmupIOs: calOps / 10, Seed: seed,
+		},
+		QueueDepth: 8,
+	}).IOPS()
+
+	getter := workload.OpenJob{
+		Spec: workload.Spec{
+			Name: "getter", Pattern: workload.RandRead, BlockSize: kvValueBytes,
+			Keyspace: workload.Keyspace{Keys: kvKeys(), Dist: workload.ZipfianKeys},
+			Duration: dur, WarmupTime: dur / 10, Seed: seed,
+		},
+		Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: 0.25 / getSvc.Seconds()},
+		MaxInFlight: 4,
+	}
+	var results []*workload.OpenResult
+	if frac == 0 {
+		results = workload.RunTenantsService(s, getter)
+	} else {
+		putter := workload.OpenJob{
+			Spec: workload.Spec{
+				Name: "putter", Pattern: workload.RandWrite, BlockSize: kvValueBytes,
+				Keyspace: workload.Keyspace{Keys: kvKeys()},
+				Duration: dur, WarmupTime: dur / 10, Seed: seed,
+			},
+			Arrival:     workload.Arrival{Kind: workload.FixedRate, Rate: frac * putRate},
+			MaxInFlight: 8,
+		}
+		results = workload.RunTenantsService(s, getter, putter)
+	}
+
+	st := s.Stats()
+	r := results[0]
+	p := compactionPoint{
+		offeredPutKQPS: frac * putRate / 1e3,
+		getP50:         r.All.Percentile(50),
+		getP99:         r.All.Percentile(99),
+		getP999:        r.All.Percentile(99.9),
+		flushes:        st.Flushes,
+		compactions:    st.Compactions,
+		compactMiB:     float64(st.CompactRead+st.CompactWritten) / (1 << 20),
+		stallMiB:       float64(st.StallBytes) / (1 << 20),
+	}
+	if len(results) > 1 {
+		p.putKQPS = results[1].IOPS() / 1e3
+	}
+	if len(r.Wear) == 1 {
+		p.writeAmp = r.Wear[0].WriteAmp()
+	}
+	return p
+}
+
+func planExtCompaction(o Options) *Plan {
+	fracs := compactionFracs()
+	var shards []Shard
+	for _, frac := range fracs {
+		frac := frac
+		shards = append(shards, Shard{
+			Key: fmt.Sprintf("p%02.0f", frac*100),
+			Run: func(seed uint64) any { return measureCompactionPoint(frac, o, seed) },
+		})
+	}
+	return &Plan{
+		Shards: shards,
+		Merge: func(res []any) []*metrics.Table {
+			t := metrics.NewTable("ext-compaction",
+				"KV get tail vs compaction pressure, ULL SSD ordered journal (us)",
+				"put load", "offered put kQPS", "put kQPS",
+				"get p50", "get p99", "get p99.9",
+				"flushes", "compactions", "compact MiB", "stall MiB", "device WA")
+			i := 0
+			for _, frac := range fracs {
+				p := res[i].(compactionPoint)
+				i++
+				t.AddRow(fmt.Sprintf("%.2f", frac), p.offeredPutKQPS, p.putKQPS,
+					us(p.getP50), us(p.getP99), us(p.getP999),
+					fmt.Sprintf("%d", p.flushes), fmt.Sprintf("%d", p.compactions),
+					p.compactMiB, p.stallMiB, fmt.Sprintf("%.2f", p.writeAmp))
+			}
+			t.AddNote("the getter offers a constant 25%% load while the put tenant's rate sweeps: puts roll memtables into L0 flushes and leveled merges whose chunked sequential I/O shares the page cache, kernel queues, and flash channels with foreground gets — the LSM analog of the paper's Section V interference, with the device's own GC as the third layer (device WA column)")
+			t.AddNote("compact MiB counts compaction bytes moved through the host (reads + writes); stall MiB is memtable overage absorbed while a flush was still running — the write-stall debt real engines throttle on")
+			return []*metrics.Table{t}
+		},
+	}
+}

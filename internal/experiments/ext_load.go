@@ -82,23 +82,28 @@ func measureLoadPoint(st loadStack, rho float64, o Options, seed uint64) loadPoi
 	calIOs, dur := loadCurveScale(o)
 	sys := st.build(seed)
 	calRes := run(sys, workload.Job{
-		Pattern:   workload.RandRead,
-		BlockSize: 4096,
-		TotalIOs:  calIOs,
-		WarmupIOs: calIOs / 10,
-		Seed:      seed,
+		Spec: workload.Spec{
+			Pattern:   workload.RandRead,
+			BlockSize: 4096,
+			TotalIOs:  calIOs,
+			WarmupIOs: calIOs / 10,
+			Seed:      seed,
+		},
 	})
 	rate := rho / calRes.All.Mean().Seconds()
 
 	res := runOpen(sys, workload.OpenJob{
-		Pattern:     workload.RandRead,
-		BlockSize:   4096,
+		Spec: workload.Spec{
+			Pattern:    workload.RandRead,
+			BlockSize:  4096,
+			Duration:   dur,
+			WarmupTime: dur / 10,
+			Seed:       seed,
+		},
 		Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: rate},
-		MaxInFlight: 1, // the stack is the single server; queueing is explicit
-		QueueCap:    1 << 14,
-		Duration:    dur,
-		WarmupTime:  dur / 10,
-		Seed:        seed,
+		MaxInFlight: 1,
+		// the stack is the single server; queueing is explicit
+		QueueCap: 1 << 14,
 	})
 	return loadPoint{
 		offeredIOPS: rate,
@@ -183,32 +188,40 @@ func measureTenantPoint(frac float64, o Options, seed uint64) tenantPoint {
 	// cannot leak into the measurement device's state.
 	sys := asyncSystem(ull(), seed)
 	readSvc := run(sys, workload.Job{
-		Pattern: workload.RandRead, BlockSize: 4096,
-		TotalIOs: calIOs, WarmupIOs: calIOs / 10, Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.RandRead, BlockSize: 4096,
+			TotalIOs: calIOs, WarmupIOs: calIOs / 10, Seed: seed,
+		},
 	}).All.Mean()
 	calW := asyncSystem(ull(), seed)
 	writeSvc := run(calW, workload.Job{
-		Pattern: workload.SeqWrite, BlockSize: tenantWriteBS,
-		TotalIOs: calIOs, WarmupIOs: calIOs / 10, Seed: seed,
+		Spec: workload.Spec{
+			Pattern: workload.SeqWrite, BlockSize: tenantWriteBS,
+			TotalIOs: calIOs, WarmupIOs: calIOs / 10, Seed: seed,
+		},
 	}).All.Mean()
 
 	reader := workload.OpenJob{
-		Name: "reader", Pattern: workload.RandRead, BlockSize: 4096,
+		Spec: workload.Spec{
+			Name: "reader", Pattern: workload.RandRead, BlockSize: 4096,
+			Duration: dur, WarmupTime: dur / 10,
+			Seed: seed,
+		},
 		Arrival:     workload.Arrival{Kind: workload.Poisson, Rate: 0.25 / readSvc.Seconds()},
 		MaxInFlight: 4,
-		Duration:    dur, WarmupTime: dur / 10,
-		Seed: seed,
 	}
 	var results []*workload.OpenResult
 	if frac == 0 {
 		results = runTenants(sys, reader)
 	} else {
 		writer := workload.OpenJob{
-			Name: "writer", Pattern: workload.SeqWrite, BlockSize: tenantWriteBS,
+			Spec: workload.Spec{
+				Name: "writer", Pattern: workload.SeqWrite, BlockSize: tenantWriteBS,
+				Duration: dur, WarmupTime: dur / 10,
+				Seed: seed,
+			},
 			Arrival:     workload.Arrival{Kind: workload.FixedRate, Rate: frac / writeSvc.Seconds()},
 			MaxInFlight: 8,
-			Duration:    dur, WarmupTime: dur / 10,
-			Seed: seed,
 		}
 		results = runTenants(sys, reader, writer)
 	}

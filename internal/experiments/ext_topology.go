@@ -125,13 +125,15 @@ func measureStripePoint(st stripeStack, width int, o Options, seed uint64) strip
 	g := stripeGraph(st, width, seed)
 	ios := stripeIOs(o)
 	res := workload.Run(g, workload.Job{
-		Pattern:    workload.RandRead,
-		BlockSize:  4096,
+		Spec: workload.Spec{
+			Pattern:   workload.RandRead,
+			BlockSize: 4096,
+			TotalIOs:  ios,
+			WarmupIOs: ios / 10,
+			Region:    confineGraph(g),
+			Seed:      seed,
+		},
 		QueueDepth: 2 * width,
-		TotalIOs:   ios,
-		WarmupIOs:  ios / 10,
-		Region:     confineGraph(g),
-		Seed:       seed,
 	})
 	vs := g.VolumeStats()[0]
 	return stripePoint{
@@ -257,14 +259,16 @@ func measureTierPoint(frac float64, o Options, seed uint64) tierPoint {
 	g := tierGraph(seed, tierFastBytes(o))
 	ios := tierIOs(o)
 	res := workload.Run(g, workload.Job{
-		Pattern:       workload.RandRW,
-		WriteFraction: frac,
-		BlockSize:     4096,
-		QueueDepth:    4,
-		TotalIOs:      ios,
-		WarmupIOs:     ios / 10,
-		Region:        confineGraph(g),
-		Seed:          seed,
+		Spec: workload.Spec{
+			Pattern:       workload.RandRW,
+			WriteFraction: frac,
+			BlockSize:     4096,
+			TotalIOs:      ios,
+			WarmupIOs:     ios / 10,
+			Region:        confineGraph(g),
+			Seed:          seed,
+		},
+		QueueDepth: 4,
 	})
 	vs := g.VolumeStats()[0]
 	reads := vs.FastReads + vs.SlowReads

@@ -39,12 +39,14 @@ func fig4Shards(o Options, pick func(*workload.Result) sim.Time) []Shard {
 					Run: func(seed uint64) any {
 						sys := asyncSystem(dev.cfg(), seed)
 						return pick(run(sys, workload.Job{
-							Pattern:    p,
-							BlockSize:  4096,
+							Spec: workload.Spec{
+								Pattern:   p,
+								BlockSize: 4096,
+								TotalIOs:  total,
+								WarmupIOs: total / 10,
+								Seed:      seed,
+							},
 							QueueDepth: qd,
-							TotalIOs:   total,
-							WarmupIOs:  total / 10,
-							Seed:       seed,
 						}))
 					},
 				})

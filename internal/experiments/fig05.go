@@ -37,12 +37,14 @@ func planFig5(o Options) *Plan {
 					Run: func(seed uint64) any {
 						sys := asyncSystem(sweep.cfg(), seed)
 						res := run(sys, workload.Job{
-							Pattern:    p,
-							BlockSize:  4096,
+							Spec: workload.Spec{
+								Pattern:    p,
+								BlockSize:  4096,
+								Duration:   duration,
+								WarmupTime: duration / 2,
+								Seed:       seed,
+							},
 							QueueDepth: qd,
-							Duration:   duration,
-							WarmupTime: duration / 2,
-							Seed:       seed,
 						})
 						return res.BandwidthMBps()
 					},

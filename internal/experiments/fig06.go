@@ -31,13 +31,15 @@ func planFig6(o Options) *Plan {
 				Run: func(seed uint64) any {
 					sys := asyncSystem(dev.cfg(), seed)
 					res := run(sys, workload.Job{
-						Pattern:       workload.RandRW,
-						WriteFraction: f,
-						BlockSize:     4096,
-						QueueDepth:    4,
-						TotalIOs:      ioCount,
-						WarmupIOs:     ioCount / 10,
-						Seed:          seed,
+						Spec: workload.Spec{
+							Pattern:       workload.RandRW,
+							WriteFraction: f,
+							BlockSize:     4096,
+							TotalIOs:      ioCount,
+							WarmupIOs:     ioCount / 10,
+							Seed:          seed,
+						},
+						QueueDepth: 4,
 					})
 					return cell{
 						avg:  us(res.Read.Mean()),

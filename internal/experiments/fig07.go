@@ -37,11 +37,13 @@ func planFig7a(o Options) *Plan {
 			qd = 1
 		}
 		run(sys, workload.Job{
-			Pattern:    p,
-			BlockSize:  4096,
+			Spec: workload.Spec{
+				Pattern:   p,
+				BlockSize: 4096,
+				Duration:  duration,
+				Seed:      seed,
+			},
 			QueueDepth: qd,
-			Duration:   duration,
-			Seed:       seed,
 		})
 		return sys.Dev.Meter().AvgWatts(sys.Eng.Now())
 	}
@@ -104,12 +106,14 @@ func gcTimeline(dev ssd.Config, seed uint64, duration sim.Time) gcRun {
 	cfg.Device.Seed = dev.Seed ^ seed
 	sys := core.NewSystem(cfg)
 	res := run(sys, workload.Job{
-		Pattern:      workload.RandWrite,
-		BlockSize:    4096,
-		QueueDepth:   8,
-		Duration:     duration,
-		Seed:         seed,
-		SeriesBucket: duration / 30,
+		Spec: workload.Spec{
+			Pattern:      workload.RandWrite,
+			BlockSize:    4096,
+			Duration:     duration,
+			Seed:         seed,
+			SeriesBucket: duration / 30,
+		},
+		QueueDepth: 8,
 	})
 	return gcRun{
 		lat:   res.WriteSeries.Points(),

@@ -23,11 +23,13 @@ func init() {
 func syncLatency(dev ssd.Config, mode kernel.Mode, p workload.Pattern, bs, ios int, seed uint64) *workload.Result {
 	sys := syncSystem(dev, mode, seed)
 	return run(sys, workload.Job{
-		Pattern:   p,
-		BlockSize: bs,
-		TotalIOs:  ios,
-		WarmupIOs: ios / 10,
-		Seed:      seed,
+		Spec: workload.Spec{
+			Pattern:   p,
+			BlockSize: bs,
+			TotalIOs:  ios,
+			WarmupIOs: ios / 10,
+			Seed:      seed,
+		},
 	})
 }
 

@@ -23,11 +23,13 @@ func init() {
 func syncUtil(mode kernel.Mode, p workload.Pattern, bs, ios int, seed uint64) (cpu.Utilization, *core.System) {
 	sys := syncSystem(ull(), mode, seed)
 	run(sys, workload.Job{
-		Pattern:   p,
-		BlockSize: bs,
-		TotalIOs:  ios,
-		WarmupIOs: ios / 20,
-		Seed:      seed,
+		Spec: workload.Spec{
+			Pattern:   p,
+			BlockSize: bs,
+			TotalIOs:  ios,
+			WarmupIOs: ios / 20,
+			Seed:      seed,
+		},
 	})
 	return sys.Core.Utilization(sys.Eng.Now()), sys
 }

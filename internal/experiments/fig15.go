@@ -33,9 +33,9 @@ func planFig15(o Options) *Plan {
 				// workload identical between numerator and denominator.
 				Run: func(seed uint64) any {
 					sysP := syncSystem(ull(), kernel.Poll, seed)
-					run(sysP, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+					run(sysP, workload.Job{Spec: workload.Spec{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed}})
 					sysI := syncSystem(ull(), kernel.Interrupt, seed)
-					run(sysI, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+					run(sysI, workload.Job{Spec: workload.Spec{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed}})
 					return ratios{
 						loads:  float64(sysP.Core.Loads()) / float64(sysI.Core.Loads()),
 						stores: float64(sysP.Core.Stores()) / float64(sysI.Core.Stores()),

@@ -22,11 +22,13 @@ func init() {
 func spdkLatency(dev ssd.Config, p workload.Pattern, bs, ios int, seed uint64) *workload.Result {
 	sys := spdkSystem(dev, seed)
 	return run(sys, workload.Job{
-		Pattern:   p,
-		BlockSize: bs,
-		TotalIOs:  ios,
-		WarmupIOs: ios / 10,
-		Seed:      seed,
+		Spec: workload.Spec{
+			Pattern:   p,
+			BlockSize: bs,
+			TotalIOs:  ios,
+			WarmupIOs: ios / 10,
+			Seed:      seed,
+		},
 	})
 }
 

@@ -24,9 +24,9 @@ func init() {
 // share one seed deliberately: figs 20-21 are paired comparisons.
 func spdkPair(p workload.Pattern, bs, ios int, seed uint64) (sp, in *core.System) {
 	sp = spdkSystem(ull(), seed)
-	run(sp, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+	run(sp, workload.Job{Spec: workload.Spec{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed}})
 	in = syncSystem(ull(), kernel.Interrupt, seed)
-	run(in, workload.Job{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed})
+	run(in, workload.Job{Spec: workload.Spec{Pattern: p, BlockSize: bs, TotalIOs: ios, Seed: seed}})
 	return sp, in
 }
 
@@ -146,7 +146,7 @@ func planFig22(o Options) *Plan {
 				Key: p.String() + "/poll",
 				Run: func(seed uint64) any {
 					sys := syncSystem(ull(), kernel.Poll, seed)
-					run(sys, workload.Job{Pattern: p, BlockSize: 4096, TotalIOs: ios, Seed: seed})
+					run(sys, workload.Job{Spec: workload.Spec{Pattern: p, BlockSize: 4096, TotalIOs: ios, Seed: seed}})
 					return fig22Measure(sys, cpu.FnBlkMQPoll, cpu.FnNVMePoll)
 				},
 			},
@@ -154,7 +154,7 @@ func planFig22(o Options) *Plan {
 				Key: p.String() + "/spdk",
 				Run: func(seed uint64) any {
 					sys := spdkSystem(ull(), seed)
-					run(sys, workload.Job{Pattern: p, BlockSize: 4096, TotalIOs: ios, Seed: seed})
+					run(sys, workload.Job{Spec: workload.Spec{Pattern: p, BlockSize: 4096, TotalIOs: ios, Seed: seed}})
 					return fig22Measure(sys, cpu.FnSPDKProcess, cpu.FnPCIeProcess, cpu.FnQpairCheck)
 				},
 			})

@@ -1,0 +1,86 @@
+// The block cache: an exact-capacity LRU over (table, block) pairs,
+// sitting above the host's page cache the way RocksDB's block cache
+// sits above the kernel's. Only presence is modeled — a hit saves the
+// block read; a miss costs one.
+package kv
+
+type blockKey struct {
+	table uint64
+	block int64
+}
+
+type cacheEntry struct {
+	key        blockKey
+	prev, next *cacheEntry // intrusive LRU list, most recent at head
+}
+
+type blockCache struct {
+	entries    map[blockKey]*cacheEntry
+	head, tail *cacheEntry
+	capacity   int // entries (CacheBytes / BlockBytes)
+}
+
+func newBlockCache(capBytes int64, blockBytes int) *blockCache {
+	n := int(capBytes / int64(blockBytes))
+	if n < 1 {
+		n = 1
+	}
+	return &blockCache{entries: make(map[blockKey]*cacheEntry, n), capacity: n}
+}
+
+// get reports whether the block is cached, refreshing its recency.
+func (c *blockCache) get(table uint64, block int64) bool {
+	e, ok := c.entries[blockKey{table, block}]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return true
+}
+
+// put inserts the block, evicting the least-recent entry at capacity.
+// Eviction walks the intrusive list, never map order: byte-identical
+// runs need a deterministic victim.
+func (c *blockCache) put(table uint64, block int64) {
+	k := blockKey{table, block}
+	if e, ok := c.entries[k]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+	}
+	e := &cacheEntry{key: k}
+	c.entries[k] = e
+	c.pushFront(e)
+}
+
+func (c *blockCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *blockCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

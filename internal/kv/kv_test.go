@@ -1,0 +1,204 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// testHost builds the store's usual substrate: a filesystem + page
+// cache over libaio over a geometry-shrunk Z-SSD.
+func testHost(seed uint64, journal fs.JournalMode) *core.Graph {
+	dev := ssd.ZSSD()
+	dev.WaysPerChannel = 2
+	dev.BlocksPerUnit = 16
+	dev.Seed ^= seed
+	return core.Build(core.Topology{
+		Root: core.FS{
+			Config: fs.Config{CacheBytes: 4 << 20, Journal: journal},
+			Child:  core.Stack{Kind: core.KernelAsync, Queue: core.Queue{Device: dev}},
+		},
+		Precondition: 0.9,
+	})
+}
+
+func testStore(seed uint64) (*Store, *core.Graph) {
+	g := testHost(seed, fs.OrderedJournal)
+	s := New(g, Config{
+		MemtableBytes: 64 << 10,
+		SSTableBytes:  64 << 10,
+		BlockBytes:    8 << 10,
+		CacheBytes:    128 << 10,
+		WALBytes:      1 << 20,
+		L0Tables:      2,
+		LevelRatio:    4,
+	})
+	return s, g
+}
+
+func TestPutThenGetGroupCommit(t *testing.T) {
+	s, g := testStore(7)
+	s.Preload(4096, 512)
+	const puts = 64
+	done := 0
+	for i := 0; i < puts; i++ {
+		s.Put(int64(i), 512, func() { done++ })
+	}
+	g.Engine().Run()
+	if done != puts {
+		t.Fatalf("completed %d of %d puts", done, puts)
+	}
+	st := s.Stats()
+	if st.WALSyncs == 0 {
+		t.Fatal("puts completed without any WAL sync")
+	}
+	// All puts were issued at t=0: one leader pays, the rest ride a
+	// second batch — far fewer syncs than puts is the group commit.
+	if st.WALSyncs >= puts/2 {
+		t.Fatalf("WALSyncs = %d for %d simultaneous puts; group commit is not batching", st.WALSyncs, puts)
+	}
+	got := false
+	s.Get(5, 512, func() { got = true })
+	g.Engine().Run()
+	if !got {
+		t.Fatal("get did not complete")
+	}
+	if s.Stats().MemHits == 0 {
+		t.Fatal("freshly put key should be served by the memtable")
+	}
+}
+
+func TestFlushCompactionAndCacheLifecycle(t *testing.T) {
+	s, g := testStore(11)
+	s.Preload(4096, 512)
+	// Enough puts to roll the memtable several times: 64KiB / 512B = 128
+	// records per table; 1500 distinct keys ≈ 11 flushes, driving L0
+	// past its 2-table trigger repeatedly.
+	next := int64(0)
+	var pump func()
+	pump = func() {
+		if next >= 1500 {
+			return
+		}
+		s.Put(next%4096, 512, pump)
+		next++
+	}
+	pump()
+	g.Engine().Run()
+	st := s.Stats()
+	if st.Flushes < 5 {
+		t.Fatalf("Flushes = %d, want several memtable rotations", st.Flushes)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("L0 never compacted despite exceeding its trigger")
+	}
+	if st.CompactRead == 0 || st.CompactWritten == 0 {
+		t.Fatal("compaction moved no bytes through the host")
+	}
+	if len(st.LevelBytes) < 2 || st.LevelBytes[1] == 0 {
+		t.Fatalf("LevelBytes = %v, want a populated L1", st.LevelBytes)
+	}
+	// Cold gets now hit SSTables: some block reads, then cache hits on
+	// re-reads of the same block.
+	for i := 0; i < 64; i++ {
+		s.Get(int64(i), 512, func() {})
+	}
+	g.Engine().Run()
+	for i := 0; i < 64; i++ {
+		s.Get(int64(i), 512, func() {})
+	}
+	g.Engine().Run()
+	st = s.Stats()
+	if st.BlockReads == 0 {
+		t.Fatal("cold gets issued no SSTable block reads")
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("warm re-reads missed the block cache")
+	}
+}
+
+func TestStoreRejectsSerialHost(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New on a pvsync2 host should panic")
+		}
+	}()
+	dev := ssd.ZSSD()
+	dev.WaysPerChannel = 2
+	dev.BlocksPerUnit = 16
+	cfg := core.DefaultConfig(dev)
+	cfg.Stack = core.KernelSync
+	New(core.NewSystem(cfg), Config{})
+}
+
+// kvFingerprint runs one keyed YCSB-style job through the workload
+// engines against a fresh store and renders everything measurable.
+func kvFingerprint(seed uint64) string {
+	s, _ := testStore(seed)
+	s.Preload(4096, 512)
+	res := workload.RunService(s, workload.Job{
+		Spec: workload.Spec{
+			Pattern: workload.RandRW, WriteFraction: 0.2, BlockSize: 512,
+			Keyspace: workload.Keyspace{Keys: 4096, Dist: workload.ZipfianKeys},
+			TotalIOs: 800, WarmupIOs: 80, Seed: seed,
+		},
+		QueueDepth: 8,
+	})
+	st := s.Stats()
+	return fmt.Sprintf("%s|%s|%d|%d|%+v", res.Read.Summarize(), res.Write.Summarize(), res.IOs, res.Wall, st)
+}
+
+func TestServiceRunDeterministic(t *testing.T) {
+	a, b := kvFingerprint(3), kvFingerprint(3)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := kvFingerprint(4); c == a {
+		t.Fatal("different seeds produced identical measurements")
+	}
+}
+
+func TestServiceWearSurfaces(t *testing.T) {
+	s, _ := testStore(5)
+	s.Preload(4096, 512)
+	res := workload.RunService(s, workload.Job{
+		Spec: workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 512,
+			Keyspace: workload.Keyspace{Keys: 4096},
+			TotalIOs: 600, Seed: 5,
+		},
+		QueueDepth: 4,
+	})
+	if len(res.Wear) != 1 {
+		t.Fatalf("Wear reports %d devices, want 1", len(res.Wear))
+	}
+	w := res.Wear[0]
+	if w.HostSlots == 0 {
+		t.Fatal("no host program slots recorded despite WAL + flush traffic")
+	}
+	if wa := w.WriteAmp(); wa < 1 {
+		t.Fatalf("WriteAmp = %.3f, want >= 1", wa)
+	}
+}
+
+func TestSyncBarriersPendingPuts(t *testing.T) {
+	s, g := testStore(9)
+	s.Preload(4096, 512)
+	put := false
+	synced := false
+	s.Put(1, 512, func() { put = true })
+	s.Sync(func() {
+		if !put {
+			panic("kv test: Sync completed before the pending put")
+		}
+		synced = true
+	})
+	g.Engine().Run()
+	if !synced {
+		t.Fatal("Sync never completed")
+	}
+}

@@ -227,6 +227,16 @@ func (d *Device) Meter() *Meter { return d.meter }
 // FTL exposes translation state for tests and stats.
 func (d *Device) FTL() *FTL { return d.ftl }
 
+// WearReport summarizes this device's media wear: erase-count spread
+// plus the host/GC program-slot split behind write amplification.
+func (d *Device) WearReport() WearReport {
+	return WearReport{
+		Erases:    d.ftl.Wear(),
+		HostSlots: d.stats.SlotsFlushed,
+		GCSlots:   d.stats.GCMigrations,
+	}
+}
+
 // ExportedBytes reports host-visible capacity.
 func (d *Device) ExportedBytes() int64 {
 	return d.ftl.ExportedPages() * int64(d.unit)

@@ -289,6 +289,28 @@ func (f *FTL) Wear() WearStats {
 	return w
 }
 
+// WearReport is one device's media-wear summary: the erase-count
+// distribution across flash units plus the program-slot accounting that
+// yields write amplification. HostSlots counts mapping slots programmed
+// on behalf of host writes; GCSlots counts slots relocated by the
+// garbage collector. Preconditioning maps slots without programming the
+// media, so it inflates neither side.
+type WearReport struct {
+	Erases    WearStats
+	HostSlots uint64
+	GCSlots   uint64
+}
+
+// WriteAmp reports media writes per host write: (host + GC slots) /
+// host slots. 1.0 until the cleaner has had to move anything; 0 when
+// the device has absorbed no host writes at all.
+func (w WearReport) WriteAmp() float64 {
+	if w.HostSlots == 0 {
+		return 0
+	}
+	return float64(w.HostSlots+w.GCSlots) / float64(w.HostSlots)
+}
+
 // StillCurrent reports whether ppn is still the mapping target of lpn —
 // a migration must not commit if the host overwrote the slot meanwhile.
 func (f *FTL) StillCurrent(lpn, ppn int64) bool {

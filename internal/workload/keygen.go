@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// KeyDist selects how a keyed job draws keys from its keyspace.
+type KeyDist int
+
+const (
+	// UniformKeys draws every key with equal probability.
+	UniformKeys KeyDist = iota
+	// ZipfianKeys draws from a YCSB-style zipfian: a small hot set takes
+	// most of the traffic, with the hot keys scattered across the
+	// keyspace by a hash (YCSB's "scrambled zipfian") so they don't all
+	// land in one SSTable range.
+	ZipfianKeys
+	// LatestKeys skews reads toward recently written keys: each write
+	// advances an insertion cursor and reads draw a zipfian distance
+	// back from it, so the hot set chases the write front.
+	LatestKeys
+)
+
+// String names the distribution for experiment labels.
+func (d KeyDist) String() string {
+	switch d {
+	case UniformKeys:
+		return "uniform"
+	case ZipfianKeys:
+		return "zipfian"
+	case LatestKeys:
+		return "latest"
+	}
+	return fmt.Sprintf("KeyDist(%d)", int(d))
+}
+
+// Keyspace configures a keyed position stream. Setting Keys > 0 on a
+// job's Spec switches its engines from byte offsets to keys in
+// [0, Keys): reads become gets, writes become puts, and BlockSize is
+// the value size.
+type Keyspace struct {
+	// Keys is the number of distinct keys. Zero means the job is a
+	// block job addressed by byte offset.
+	Keys int64
+	// Dist picks the key distribution (default UniformKeys).
+	Dist KeyDist
+	// Theta is the zipfian skew for ZipfianKeys/LatestKeys in [0, 1).
+	// Zero means YCSB's default 0.99.
+	Theta float64
+}
+
+// keyGen draws keys for one tenant. The zipfian sampler is the
+// Gray-book transform YCSB uses: zeta(n, theta) is precomputed once
+// (O(n)) and each draw costs one uniform variate, so a fixed seed
+// yields a fixed key sequence regardless of distribution.
+type keyGen struct {
+	dist  KeyDist
+	n     int64
+	rng   *sim.RNG
+	front int64 // LatestKeys: next insertion slot (monotonic, used mod n)
+
+	// zipfian constants
+	theta, alpha, zetan, eta, half float64
+}
+
+func newKeyGen(ks Keyspace, rng *sim.RNG) *keyGen {
+	if ks.Keys <= 0 {
+		panic("workload: Keyspace.Keys must be positive for a keyed job")
+	}
+	theta := ks.Theta
+	if theta == 0 {
+		theta = 0.99
+	}
+	if theta < 0 || theta >= 1 {
+		panic("workload: Keyspace.Theta must be in [0, 1)")
+	}
+	g := &keyGen{dist: ks.Dist, n: ks.Keys, rng: rng, front: ks.Keys, theta: theta}
+	if g.dist == ZipfianKeys || g.dist == LatestKeys {
+		zetan := 0.0
+		for i := int64(1); i <= g.n; i++ {
+			zetan += 1 / math.Pow(float64(i), theta)
+		}
+		zeta2 := 1 + 1/math.Pow(2, theta)
+		g.alpha = 1 / (1 - theta)
+		g.zetan = zetan
+		g.eta = (1 - math.Pow(2/float64(g.n), 1-theta)) / (1 - zeta2/zetan)
+		g.half = 1 + math.Pow(0.5, theta)
+	}
+	return g
+}
+
+// zipf draws a zipfian rank in [0, n): rank 0 is the hottest.
+func (g *keyGen) zipf() int64 {
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < g.half {
+		return 1
+	}
+	k := int64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if k >= g.n {
+		k = g.n - 1
+	}
+	return k
+}
+
+// scrambleKey spreads zipfian ranks across the keyspace (splitmix64
+// finalizer), matching YCSB's scrambled-zipfian behavior.
+func scrambleKey(z, n int64) int64 {
+	x := uint64(z)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x % uint64(n))
+}
+
+// draw returns the next key for an operation of the given class.
+func (g *keyGen) draw(write bool) int64 {
+	if g.dist == LatestKeys {
+		if write {
+			k := g.front % g.n
+			g.front++
+			return k
+		}
+		k := (g.front - 1 - g.zipf()) % g.n
+		if k < 0 {
+			k += g.n
+		}
+		return k
+	}
+	switch g.dist {
+	case ZipfianKeys:
+		return scrambleKey(g.zipf(), g.n)
+	default:
+		return g.rng.Int63n(g.n)
+	}
+}
+
+// keyStream is the keyed opSource: it maps the job's access pattern
+// onto key draws. Sequential patterns scan the keyspace in order;
+// random patterns and mixes draw from the configured distribution.
+type keyStream struct {
+	pattern       Pattern
+	writeFraction float64
+	gen           *keyGen
+	rng           *sim.RNG
+	cursor        int64
+}
+
+func newKeyStream(pattern Pattern, writeFraction float64, ks Keyspace, rng *sim.RNG) *keyStream {
+	return &keyStream{
+		pattern:       pattern,
+		writeFraction: writeFraction,
+		gen:           newKeyGen(ks, rng),
+		rng:           rng,
+	}
+}
+
+func (s *keyStream) next() (write bool, pos int64) {
+	switch s.pattern {
+	case SeqRead, SeqWrite:
+		write = s.pattern == SeqWrite
+		pos = s.cursor % s.gen.n
+		s.cursor++
+		if write && s.gen.dist == LatestKeys {
+			s.gen.front++
+		}
+		return write, pos
+	case RandRead:
+		return false, s.gen.draw(false)
+	case RandWrite:
+		return true, s.gen.draw(true)
+	default: // RandRW: class first so LatestKeys can advance its front.
+		write = s.rng.Bool(s.writeFraction)
+		return write, s.gen.draw(write)
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drawKeys pulls n keys of the given class from a fresh generator.
+func drawKeys(ks Keyspace, seed uint64, n int, write bool) []int64 {
+	g := newKeyGen(ks, sim.NewRNG(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.draw(write)
+	}
+	return out
+}
+
+// headMass sorts per-key frequencies descending and returns the share
+// of draws taken by the hottest `head` keys.
+func headMass(keys []int64, space int64, head int) float64 {
+	counts := make([]int, space)
+	for _, k := range keys {
+		if k < 0 || k >= space {
+			panic("key out of range")
+		}
+		counts[k]++
+	}
+	// selection without full sort: head is small, space moderate
+	total := 0
+	for h := 0; h < head; h++ {
+		best := -1
+		for i, c := range counts {
+			if best < 0 || c > counts[best] {
+				best = i
+			}
+		}
+		total += counts[best]
+		counts[best] = -1
+	}
+	return float64(total) / float64(len(keys))
+}
+
+func TestZipfianSkewVsUniform(t *testing.T) {
+	const n, draws = 1000, 20000
+	zipf := drawKeys(Keyspace{Keys: n, Dist: ZipfianKeys}, 1, draws, false)
+	unif := drawKeys(Keyspace{Keys: n, Dist: UniformKeys}, 1, draws, false)
+	zm := headMass(zipf, n, 10)
+	um := headMass(unif, n, 10)
+	// theta=0.99 on 1000 keys puts roughly 35-40% of traffic on the 10
+	// hottest keys; uniform gives the hottest-10 about 1% plus noise.
+	if zm < 0.25 {
+		t.Fatalf("zipfian hottest-10 mass = %.3f, want >= 0.25", zm)
+	}
+	if um > 0.05 {
+		t.Fatalf("uniform hottest-10 mass = %.3f, want <= 0.05", um)
+	}
+	if zm < 3*um {
+		t.Fatalf("zipfian (%.3f) barely skewed vs uniform (%.3f)", zm, um)
+	}
+}
+
+func TestLatestChasesTheWriteFront(t *testing.T) {
+	const n = 1000
+	g := newKeyGen(Keyspace{Keys: n, Dist: LatestKeys}, sim.NewRNG(2))
+	// Advance the insertion front by 250 writes, then sample reads: the
+	// hot set should sit just behind the front, not at the keyspace head.
+	for i := 0; i < 250; i++ {
+		g.draw(true)
+	}
+	front := g.front % n // == 250
+	near := 0
+	const reads = 5000
+	for i := 0; i < reads; i++ {
+		k := g.draw(false)
+		d := (front - 1 - k) % n
+		if d < 0 {
+			d += n
+		}
+		if d < n/10 {
+			near++
+		}
+	}
+	if frac := float64(near) / reads; frac < 0.6 {
+		t.Fatalf("only %.2f of latest-reads landed within n/10 of the front", frac)
+	}
+}
+
+func TestKeyStreamDeterministicPerSeed(t *testing.T) {
+	ks := Keyspace{Keys: 512, Dist: ZipfianKeys}
+	mk := func(seed uint64) []int64 {
+		s := newKeyStream(RandRW, 0.3, ks, sim.NewRNG(seed))
+		out := make([]int64, 400)
+		for i := range out {
+			w, k := s.next()
+			if w {
+				k |= 1 << 40 // fold the op class into the fingerprint
+			}
+			out[i] = k
+		}
+		return out
+	}
+	a, b := mk(99), mk(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Independence across shard seeds: different seeds must not replay
+	// the same sequence (the orchestrator hands every shard its own).
+	c := mk(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different shard seeds produced identical key sequences")
+	}
+	if same > len(a)/2 {
+		t.Fatalf("shard seeds 99 and 100 agree on %d/%d draws; streams are correlated", same, len(a))
+	}
+}
+
+func TestKeyspaceValidation(t *testing.T) {
+	for name, ks := range map[string]Keyspace{
+		"zero keys":  {Keys: 0},
+		"theta >= 1": {Keys: 10, Dist: ZipfianKeys, Theta: 1.0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: newKeyGen should panic", name)
+				}
+			}()
+			newKeyGen(ks, sim.NewRNG(1))
+		}()
+	}
+}
+
+func TestKeyDistStrings(t *testing.T) {
+	cases := map[KeyDist]string{UniformKeys: "uniform", ZipfianKeys: "zipfian", LatestKeys: "latest", KeyDist(9): "KeyDist(9)"}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Fatalf("KeyDist(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestSeqPatternScansKeyspace(t *testing.T) {
+	s := newKeyStream(SeqWrite, 0, Keyspace{Keys: 8}, sim.NewRNG(1))
+	for i := 0; i < 20; i++ {
+		w, k := s.next()
+		if !w {
+			t.Fatal("SeqWrite produced a read")
+		}
+		if k != int64(i%8) {
+			t.Fatalf("draw %d = key %d, want %d (wrapping scan)", i, k, i%8)
+		}
+	}
+}

@@ -10,11 +10,13 @@ import (
 
 func TestOpenLoopFixedRateCounts(t *testing.T) {
 	res := RunOpen(asyncSys(), OpenJob{
-		Pattern:   RandRead,
-		BlockSize: 4096,
-		Arrival:   Arrival{Kind: FixedRate, Rate: 50_000},
-		Duration:  10 * sim.Millisecond,
-		Seed:      7,
+		Spec: Spec{
+			Pattern:   RandRead,
+			BlockSize: 4096,
+			Duration:  10 * sim.Millisecond,
+			Seed:      7,
+		},
+		Arrival: Arrival{Kind: FixedRate, Rate: 50_000},
 	})
 	// 50k IOPS over 10ms = 500 arrivals (the first fires at t=0, the
 	// 500th at 9.98ms; the one at exactly 10ms is past the deadline).
@@ -52,11 +54,13 @@ func digest(r *OpenResult) openDigest {
 
 func TestOpenLoopPoissonDeterministic(t *testing.T) {
 	job := OpenJob{
-		Pattern:   RandRW,
-		BlockSize: 4096, WriteFraction: 0.3,
-		Arrival:  Arrival{Kind: Poisson, Rate: 80_000},
-		Duration: 8 * sim.Millisecond,
-		Seed:     11,
+		Spec: Spec{
+			Pattern:   RandRW,
+			BlockSize: 4096, WriteFraction: 0.3,
+			Duration: 8 * sim.Millisecond,
+			Seed:     11,
+		},
+		Arrival: Arrival{Kind: Poisson, Rate: 80_000},
 	}
 	a := digest(RunOpen(asyncSys(), job))
 	b := digest(RunOpen(asyncSys(), job))
@@ -72,14 +76,16 @@ func TestOpenLoopPoissonDeterministic(t *testing.T) {
 
 func TestOpenLoopBurstyDeterministic(t *testing.T) {
 	job := OpenJob{
-		Pattern:   RandRead,
-		BlockSize: 4096,
+		Spec: Spec{
+			Pattern:   RandRead,
+			BlockSize: 4096,
+			Duration:  10 * sim.Millisecond,
+			Seed:      5,
+		},
 		Arrival: Arrival{
 			Kind: Bursty, Rate: 200_000,
 			On: 500 * sim.Microsecond, Off: 1500 * sim.Microsecond,
 		},
-		Duration: 10 * sim.Millisecond,
-		Seed:     5,
 	}
 	a := digest(RunOpen(asyncSys(), job))
 	b := digest(RunOpen(asyncSys(), job))
@@ -116,12 +122,14 @@ func TestOpenLoopBurstyArrivalsRespectWindows(t *testing.T) {
 // deterministically, and never hold more than QueueCap arrivals.
 func TestOpenLoopOverloadBoundedAndDeterministic(t *testing.T) {
 	job := OpenJob{
-		Pattern:   RandRead,
-		BlockSize: 4096,
-		Arrival:   Arrival{Kind: Poisson, Rate: 5_000_000}, // ~10x beyond service
-		Duration:  4 * sim.Millisecond,
-		QueueCap:  64,
-		Seed:      9,
+		Spec: Spec{
+			Pattern:   RandRead,
+			BlockSize: 4096, // ~10x beyond service
+			Duration:  4 * sim.Millisecond,
+			Seed:      9,
+		},
+		Arrival:  Arrival{Kind: Poisson, Rate: 5_000_000},
+		QueueCap: 64,
 	}
 	sys := syncSys(kernel.Poll) // admission cap clamps to 1
 	a := digest(RunOpen(sys, job))
@@ -147,12 +155,14 @@ func TestOpenLoopOverloadBoundedAndDeterministic(t *testing.T) {
 // admission queue off entirely; overload shows up purely as drops.
 func TestOpenLoopNoQueueDropsInstantly(t *testing.T) {
 	res := RunOpen(syncSys(kernel.Interrupt), OpenJob{
-		Pattern:   RandRead,
-		BlockSize: 4096,
-		Arrival:   Arrival{Kind: FixedRate, Rate: 1_000_000},
-		Duration:  2 * sim.Millisecond,
-		QueueCap:  -1,
-		Seed:      4,
+		Spec: Spec{
+			Pattern:   RandRead,
+			BlockSize: 4096,
+			Duration:  2 * sim.Millisecond,
+			Seed:      4,
+		},
+		Arrival:  Arrival{Kind: FixedRate, Rate: 1_000_000},
+		QueueCap: -1,
 	})
 	if res.Deferred != 0 || res.PeakQueue != 0 {
 		t.Fatalf("queueless job deferred %d (peak %d)", res.Deferred, res.PeakQueue)
@@ -166,12 +176,14 @@ func TestOpenLoopSyncCapClamped(t *testing.T) {
 	// MaxInFlight 8 on a sync stack must clamp to 1 rather than panic
 	// inside the strictly serial pvsync2 engine.
 	res := RunOpen(syncSys(kernel.Interrupt), OpenJob{
-		Pattern:     SeqRead,
-		BlockSize:   4096,
+		Spec: Spec{
+			Pattern:   SeqRead,
+			BlockSize: 4096,
+			TotalIOs:  50,
+			Seed:      2,
+		},
 		Arrival:     Arrival{Kind: FixedRate, Rate: 20_000},
-		TotalIOs:    50,
 		MaxInFlight: 8,
-		Seed:        2,
 	})
 	if res.IOs == 0 {
 		t.Fatal("no I/Os completed")
@@ -180,11 +192,13 @@ func TestOpenLoopSyncCapClamped(t *testing.T) {
 
 func TestOpenLoopTotalIOsStop(t *testing.T) {
 	res := RunOpen(asyncSys(), OpenJob{
-		Pattern:   RandRead,
-		BlockSize: 4096,
-		Arrival:   Arrival{Kind: Poisson, Rate: 100_000},
-		TotalIOs:  123,
-		Seed:      8,
+		Spec: Spec{
+			Pattern:   RandRead,
+			BlockSize: 4096,
+			TotalIOs:  123,
+			Seed:      8,
+		},
+		Arrival: Arrival{Kind: Poisson, Rate: 100_000},
 	})
 	if res.Offered != 123 {
 		t.Fatalf("Offered = %d, want 123", res.Offered)
@@ -193,14 +207,18 @@ func TestOpenLoopTotalIOsStop(t *testing.T) {
 
 func TestRunTenantsIndependentResults(t *testing.T) {
 	reader := OpenJob{
-		Name: "reader", Pattern: RandRead, BlockSize: 4096,
-		Arrival:  Arrival{Kind: Poisson, Rate: 30_000},
-		Duration: 10 * sim.Millisecond, Seed: 3,
+		Spec: Spec{
+			Name: "reader", Pattern: RandRead, BlockSize: 4096,
+			Duration: 10 * sim.Millisecond, Seed: 3,
+		},
+		Arrival: Arrival{Kind: Poisson, Rate: 30_000},
 	}
 	writer := OpenJob{
-		Name: "writer", Pattern: SeqWrite, BlockSize: 32 << 10,
-		Arrival:  Arrival{Kind: FixedRate, Rate: 3_000},
-		Duration: 10 * sim.Millisecond, Seed: 3,
+		Spec: Spec{
+			Name: "writer", Pattern: SeqWrite, BlockSize: 32 << 10,
+			Duration: 10 * sim.Millisecond, Seed: 3,
+		},
+		Arrival: Arrival{Kind: FixedRate, Rate: 3_000},
 	}
 	res := RunTenants(asyncSys(), reader, writer)
 	if len(res) != 2 {
@@ -231,16 +249,20 @@ func TestRunTenantsIndependentResults(t *testing.T) {
 func TestRunTenantsInterference(t *testing.T) {
 	reader := func() OpenJob {
 		return OpenJob{
-			Pattern: RandRead, BlockSize: 4096,
-			Arrival:  Arrival{Kind: Poisson, Rate: 20_000},
-			Duration: 12 * sim.Millisecond, Seed: 6,
+			Spec: Spec{
+				Pattern: RandRead, BlockSize: 4096,
+				Duration: 12 * sim.Millisecond, Seed: 6,
+			},
+			Arrival: Arrival{Kind: Poisson, Rate: 20_000},
 		}
 	}
 	alone := RunOpen(asyncSys(), reader())
 	hog := OpenJob{
-		Pattern: SeqWrite, BlockSize: 32 << 10,
-		Arrival:  Arrival{Kind: FixedRate, Rate: 8_000},
-		Duration: 12 * sim.Millisecond, Seed: 6,
+		Spec: Spec{
+			Pattern: SeqWrite, BlockSize: 32 << 10,
+			Duration: 12 * sim.Millisecond, Seed: 6,
+		},
+		Arrival: Arrival{Kind: FixedRate, Rate: 8_000},
 	}
 	shared := RunTenants(asyncSys(), reader(), hog)
 	if shared[0].All.Percentile(99) <= alone.All.Percentile(99) {
@@ -255,11 +277,13 @@ func TestRunTenantsInterference(t *testing.T) {
 func TestOpenLoopTraceRecords(t *testing.T) {
 	rec := trace.NewRecorder()
 	res := RunOpen(asyncSys(), OpenJob{
-		Pattern: RandRead, BlockSize: 4096,
-		Arrival:  Arrival{Kind: FixedRate, Rate: 40_000},
-		TotalIOs: 100, WarmupIOs: 20,
-		Seed:  13,
-		Trace: rec,
+		Spec: Spec{
+			Pattern: RandRead, BlockSize: 4096,
+			TotalIOs: 100, WarmupIOs: 20,
+			Seed:  13,
+			Trace: rec,
+		},
+		Arrival: Arrival{Kind: FixedRate, Rate: 40_000},
 	})
 	if uint64(rec.Len()) != res.IOs {
 		t.Fatalf("trace holds %d events, measured %d", rec.Len(), res.IOs)
@@ -280,22 +304,30 @@ func TestOpenLoopValidation(t *testing.T) {
 		fn()
 	}
 	mustPanic("no stop condition", func() {
-		RunOpen(asyncSys(), OpenJob{Pattern: RandRead, BlockSize: 4096,
-			Arrival: Arrival{Kind: Poisson, Rate: 1000}})
+		RunOpen(asyncSys(), OpenJob{
+			Spec:    Spec{Pattern: RandRead, BlockSize: 4096},
+			Arrival: Arrival{Kind: Poisson, Rate: 1000},
+		})
 	})
 	mustPanic("zero rate", func() {
-		RunOpen(asyncSys(), OpenJob{Pattern: RandRead, BlockSize: 4096,
-			Arrival: Arrival{Kind: Poisson}, TotalIOs: 10})
+		RunOpen(asyncSys(), OpenJob{
+			Spec:    Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 10},
+			Arrival: Arrival{Kind: Poisson},
+		})
 	})
 	mustPanic("bursty without On", func() {
-		RunOpen(asyncSys(), OpenJob{Pattern: RandRead, BlockSize: 4096,
-			Arrival: Arrival{Kind: Bursty, Rate: 1000}, TotalIOs: 10})
+		RunOpen(asyncSys(), OpenJob{
+			Spec:    Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 10},
+			Arrival: Arrival{Kind: Bursty, Rate: 1000},
+		})
 	})
 	mustPanic("no tenants", func() { RunTenants(asyncSys()) })
 	// Two tenants on the strictly serial sync stack must fail up front
 	// with a legible message, not deep inside SyncStack.Submit.
-	syncTenant := OpenJob{Pattern: RandRead, BlockSize: 4096,
-		Arrival: Arrival{Kind: Poisson, Rate: 1000}, TotalIOs: 10}
+	syncTenant := OpenJob{
+		Spec:    Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 10},
+		Arrival: Arrival{Kind: Poisson, Rate: 1000},
+	}
 	mustPanic("multi-tenant on sync stack", func() {
 		RunTenants(syncSys(kernel.Poll), syncTenant, syncTenant)
 	})
@@ -319,10 +351,12 @@ func TestArrivalKindString(t *testing.T) {
 func TestWallWarmupByCountPinned(t *testing.T) {
 	rec := trace.NewRecorder()
 	res := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: SeqRead, BlockSize: 4096,
-		TotalIOs: 100, WarmupIOs: 50,
-		Seed:  17,
-		Trace: rec,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096,
+			TotalIOs: 100, WarmupIOs: 50,
+			Seed:  17,
+			Trace: rec,
+		},
 	})
 	if res.IOs != 100 || rec.Len() != 100 {
 		t.Fatalf("measured %d I/Os, traced %d", res.IOs, rec.Len())
@@ -352,11 +386,13 @@ func TestWallWarmupByTimePinned(t *testing.T) {
 	rec := trace.NewRecorder()
 	sys := syncSys(kernel.Interrupt)
 	res := Run(sys, Job{
-		Pattern: SeqRead, BlockSize: 4096,
-		Duration:   3 * sim.Millisecond,
-		WarmupTime: warm,
-		Seed:       18,
-		Trace:      rec,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096,
+			Duration:   3 * sim.Millisecond,
+			WarmupTime: warm,
+			Seed:       18,
+			Trace:      rec,
+		},
 	})
 	if res.IOs == 0 {
 		t.Fatal("nothing measured")
@@ -376,9 +412,11 @@ func TestWallWarmupByTimePinned(t *testing.T) {
 // a zero window, not a negative one (the old formula went negative).
 func TestWallClampedNonNegative(t *testing.T) {
 	res := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: SeqRead, BlockSize: 4096,
-		Duration:   500 * sim.Microsecond,
-		WarmupTime: 50 * sim.Millisecond,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096,
+			Duration:   500 * sim.Microsecond,
+			WarmupTime: 50 * sim.Millisecond,
+		},
 	})
 	if res.IOs != 0 {
 		t.Fatalf("measured %d I/Os inside the warmup window", res.IOs)
@@ -398,10 +436,14 @@ func TestWallClampedNonNegative(t *testing.T) {
 // wrongly included the warmup phase.
 func TestWallWarmupByCountIOPSRegression(t *testing.T) {
 	warm := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, WarmupIOs: 50, Seed: 19,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, WarmupIOs: 50, Seed: 19,
+		},
 	})
 	cold := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, Seed: 19,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, Seed: 19,
+		},
 	})
 	ratio := warm.IOPS() / cold.IOPS()
 	if ratio < 0.9 || ratio > 1.1 {

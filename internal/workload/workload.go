@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/ssd"
 	"repro/internal/trace"
 )
 
@@ -39,18 +40,26 @@ func (p Pattern) String() string {
 func (p Pattern) Reads() bool  { return p == SeqRead || p == RandRead || p == RandRW }
 func (p Pattern) Writes() bool { return p == SeqWrite || p == RandWrite || p == RandRW }
 
-// Job describes one benchmark run.
-type Job struct {
+// Spec holds the fields shared by every load engine: the op mix,
+// sizing, stop condition, warmup discard, durability cadence, seeding,
+// and recording hooks. Closed-loop Jobs and open-loop OpenJobs embed it
+// and add only their pacing knobs (queue depth vs arrival process).
+type Spec struct {
 	Name          string
 	Pattern       Pattern
-	WriteFraction float64  // RandRW only: probability an I/O is a write
-	BlockSize     int      // bytes per I/O
-	QueueDepth    int      // outstanding I/Os (sync stacks require 1)
-	TotalIOs      int      // stop after this many measured I/Os (0: use Duration)
-	Duration      sim.Time // stop issuing after this much virtual time
-	WarmupIOs     int      // completions discarded before measuring
-	WarmupTime    sim.Time // completions before this offset are discarded
-	Region        int64    // bytes of the device to touch (0: whole device)
+	WriteFraction float64 // RandRW only: probability an op is a write
+	BlockSize     int     // bytes per op (the value size on a keyed job)
+	// Keyspace, when Keys > 0, makes this a keyed job: positions are
+	// keys drawn from the configured distribution instead of byte
+	// offsets, reads are gets and writes are puts of BlockSize bytes.
+	Keyspace Keyspace
+	// TotalIOs stops the job after this many measured ops closed-loop,
+	// or this many arrivals open-loop (0: use Duration).
+	TotalIOs   int
+	Duration   sim.Time // stop issuing after this much virtual time
+	WarmupIOs  int      // completions discarded before measuring
+	WarmupTime sim.Time // completions before this offset are discarded
+	Region     int64    // bytes of the service to touch (0: everything)
 	// SyncEvery issues one fsync after every N writes (fio's fsync=N;
 	// 0: never). The fsync occupies a queue slot like an I/O and runs
 	// full filesystem sync semantics on an FS-rooted host, a bare
@@ -59,6 +68,13 @@ type Job struct {
 	Seed         uint64
 	SeriesBucket sim.Time        // when set, record a latency time series
 	Trace        *trace.Recorder // when set, record every measured I/O
+}
+
+// Job describes one closed-loop benchmark run: a Spec paced by a fixed
+// number of outstanding operations.
+type Job struct {
+	Spec
+	QueueDepth int // outstanding ops (serial services require 1)
 }
 
 // Result carries everything an experiment needs.
@@ -81,6 +97,10 @@ type Result struct {
 	Wall        sim.Time
 	Series      *metrics.Series // per-bucket mean latency (SeriesBucket set)
 	WriteSeries *metrics.Series
+	// Wear reports per-device media wear — erase counts and write
+	// amplification — in topology lowering order, when the service (or
+	// the host under it) exposes WearStats. Nil otherwise.
+	Wear []ssd.WearReport
 }
 
 // IOPS reports measured I/O operations per second.
@@ -103,11 +123,15 @@ func (r *Result) BandwidthMBps() float64 {
 // to drain, finalizes deferred accounting, and returns the measurements.
 // sys is any Target-rooted system: the one-device core.System shorthand
 // or a built core.Graph topology (stripes, tiers, concats).
-func Run(sys core.Host, job Job) *Result {
-	r := newRunner(sys, job)
+func Run(sys core.Host, job Job) *Result { return RunService(AsService(sys), job) }
+
+// RunService is Run for any Service — a block host behind AsService, or
+// an application tier such as the kv.Store.
+func RunService(svc Service, job Job) *Result {
+	r := newRunner(svc, job)
 	r.start()
-	sys.Engine().Run()
-	sys.Finalize()
+	svc.Engine().Run()
+	svc.Finalize()
 	return r.result()
 }
 
@@ -124,12 +148,13 @@ type opStream struct {
 }
 
 // newOpStream validates the pattern geometry and returns a stream.
-func newOpStream(sys core.Host, pattern Pattern, writeFraction float64, blockSize int, region int64, rng *sim.RNG) *opStream {
+// space is the service's byte extent (Service.Ops for a block service).
+func newOpStream(space int64, pattern Pattern, writeFraction float64, blockSize int, region int64, rng *sim.RNG) *opStream {
 	if blockSize <= 0 {
 		panic("workload: block size must be positive")
 	}
-	if region == 0 || region > sys.ExportedBytes() {
-		region = sys.ExportedBytes()
+	if region == 0 || region > space {
+		region = space
 	}
 	blocks := region / int64(blockSize)
 	if blocks <= 0 {
@@ -239,9 +264,9 @@ func (m *meter) finish() {
 }
 
 type runner struct {
-	sys core.Host
+	svc Service
 	job Job
-	ops *opStream
+	ops opSource
 
 	issued       int
 	completed    int
@@ -254,21 +279,20 @@ type runner struct {
 	res Result
 }
 
-func newRunner(sys core.Host, job Job) *runner {
+func newRunner(svc Service, job Job) *runner {
 	if job.QueueDepth <= 0 {
 		job.QueueDepth = 1
 	}
-	if sys.Serial() && job.QueueDepth != 1 {
+	if svc.Serial() && job.QueueDepth != 1 {
 		panic("workload: synchronous stacks serve one I/O at a time")
 	}
 	if job.TotalIOs == 0 && job.Duration == 0 {
 		panic("workload: job needs a stop condition (TotalIOs or Duration)")
 	}
 	r := &runner{
-		sys: sys,
+		svc: svc,
 		job: job,
-		ops: newOpStream(sys, job.Pattern, job.WriteFraction, job.BlockSize,
-			job.Region, sim.NewRNG(job.Seed^0x9e3779b9)),
+		ops: newOpSource(svc, &job.Spec, sim.NewRNG(job.Seed^0x9e3779b9)),
 	}
 	r.res.Job = job
 	if job.SeriesBucket > 0 {
@@ -279,7 +303,7 @@ func newRunner(sys core.Host, job Job) *runner {
 }
 
 func (r *runner) start() {
-	r.startT = r.sys.Engine().Now()
+	r.startT = r.svc.Engine().Now()
 	r.m = meter{
 		warmupIOs:  r.job.WarmupIOs,
 		warmupTime: r.job.WarmupTime,
@@ -303,7 +327,7 @@ func (r *runner) wantMore() bool {
 	if r.job.TotalIOs > 0 && r.issued >= r.job.TotalIOs+r.job.WarmupIOs {
 		return false
 	}
-	if r.job.Duration > 0 && r.sys.Engine().Now()-r.startT >= r.job.Duration {
+	if r.job.Duration > 0 && r.svc.Engine().Now()-r.startT >= r.job.Duration {
 		return false
 	}
 	return true
@@ -314,9 +338,9 @@ func (r *runner) issueNext() bool {
 	// fio's fsync=N interleaves the sync into the job's own stream.
 	if r.pendingSyncs > 0 {
 		r.pendingSyncs--
-		start := r.sys.Engine().Now()
+		start := r.svc.Engine().Now()
 		r.res.Fsyncs++
-		r.sys.Sync(func() { r.onSyncDone(start) })
+		r.svc.Sync(func() { r.onSyncDone(start) })
 		return true
 	}
 	if !r.wantMore() {
@@ -333,15 +357,15 @@ func (r *runner) issueNext() bool {
 	}
 	seq := r.issued
 	r.issued++
-	start := r.sys.Engine().Now()
-	r.sys.Submit(write, offset, r.job.BlockSize, func() {
+	start := r.svc.Engine().Now()
+	r.svc.Issue(write, offset, r.job.BlockSize, func() {
 		r.onDone(seq, write, offset, start)
 	})
 	return true
 }
 
 func (r *runner) onSyncDone(start sim.Time) {
-	now := r.sys.Engine().Now()
+	now := r.svc.Engine().Now()
 	if r.m.measureSet || r.job.WarmupIOs == 0 && r.job.WarmupTime == 0 {
 		r.res.Fsync.Record(now - start)
 	}
@@ -350,11 +374,14 @@ func (r *runner) onSyncDone(start sim.Time) {
 
 func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time) {
 	r.completed++
-	r.m.observe(seq, write, offset, start, r.sys.Engine().Now())
+	r.m.observe(seq, write, offset, start, r.svc.Engine().Now())
 	r.issueNext()
 }
 
 func (r *runner) result() *Result {
 	r.m.finish()
+	if w, ok := r.svc.(WearReporter); ok {
+		r.res.Wear = w.WearStats()
+	}
 	return &r.res
 }

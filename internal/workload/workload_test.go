@@ -35,7 +35,9 @@ func asyncSys() *core.System {
 
 func TestRunSeqReadCountsExact(t *testing.T) {
 	res := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, WarmupIOs: 10,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096, TotalIOs: 100, WarmupIOs: 10,
+		},
 	})
 	if res.IOs != 100 {
 		t.Fatalf("measured IOs = %d, want 100", res.IOs)
@@ -53,8 +55,10 @@ func TestRunSeqReadCountsExact(t *testing.T) {
 
 func TestRunRandRWMix(t *testing.T) {
 	res := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: RandRW, WriteFraction: 0.3, BlockSize: 4096,
-		TotalIOs: 1000, Seed: 42,
+		Spec: Spec{
+			Pattern: RandRW, WriteFraction: 0.3, BlockSize: 4096,
+			TotalIOs: 1000, Seed: 42,
+		},
 	})
 	frac := float64(res.Write.Count()) / float64(res.IOs)
 	if frac < 0.25 || frac > 0.35 {
@@ -67,10 +71,10 @@ func TestRunRandRWMix(t *testing.T) {
 
 func TestRunSequentialWrapsRegion(t *testing.T) {
 	sys := syncSys(kernel.Interrupt)
-	res := Run(sys, Job{
+	res := Run(sys, Job{Spec: Spec{
 		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 50,
 		Region: 16 * 4096, // 16 blocks, so the cursor must wrap
-	})
+	}})
 	if res.IOs != 50 {
 		t.Fatalf("IOs = %d", res.IOs)
 	}
@@ -79,7 +83,9 @@ func TestRunSequentialWrapsRegion(t *testing.T) {
 func TestRunDurationStop(t *testing.T) {
 	sys := syncSys(kernel.Interrupt)
 	res := Run(sys, Job{
-		Pattern: RandRead, BlockSize: 4096, Duration: 2 * sim.Millisecond,
+		Spec: Spec{
+			Pattern: RandRead, BlockSize: 4096, Duration: 2 * sim.Millisecond,
+		},
 	})
 	if res.IOs == 0 {
 		t.Fatal("no I/Os in duration-bounded run")
@@ -91,8 +97,8 @@ func TestRunDurationStop(t *testing.T) {
 }
 
 func TestRunAsyncQueueDepth(t *testing.T) {
-	resQ1 := Run(asyncSys(), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 400, QueueDepth: 1, Seed: 1})
-	resQ8 := Run(asyncSys(), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 400, QueueDepth: 8, Seed: 1})
+	resQ1 := Run(asyncSys(), Job{Spec: Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1}, QueueDepth: 1})
+	resQ8 := Run(asyncSys(), Job{Spec: Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 400, Seed: 1}, QueueDepth: 8})
 	if resQ8.Wall >= resQ1.Wall {
 		t.Fatalf("QD8 wall %v not faster than QD1 %v", resQ8.Wall, resQ1.Wall)
 	}
@@ -107,7 +113,7 @@ func TestRunSyncRejectsQueueDepth(t *testing.T) {
 			t.Error("sync stack with QD>1 did not panic")
 		}
 	}()
-	Run(syncSys(kernel.Poll), Job{Pattern: SeqRead, BlockSize: 4096, TotalIOs: 10, QueueDepth: 4})
+	Run(syncSys(kernel.Poll), Job{Spec: Spec{Pattern: SeqRead, BlockSize: 4096, TotalIOs: 10}, QueueDepth: 4})
 }
 
 func TestRunNeedsStopCondition(t *testing.T) {
@@ -116,13 +122,16 @@ func TestRunNeedsStopCondition(t *testing.T) {
 			t.Error("job without stop condition did not panic")
 		}
 	}()
-	Run(syncSys(kernel.Interrupt), Job{Pattern: SeqRead, BlockSize: 4096})
+	Run(syncSys(kernel.Interrupt), Job{Spec: Spec{Pattern: SeqRead, BlockSize: 4096}})
 }
 
 func TestRunSeriesRecording(t *testing.T) {
 	res := Run(asyncSys(), Job{
-		Pattern: RandWrite, BlockSize: 4096, TotalIOs: 300, QueueDepth: 4,
-		SeriesBucket: 1 * sim.Millisecond,
+		Spec: Spec{
+			Pattern: RandWrite, BlockSize: 4096, TotalIOs: 300,
+			SeriesBucket: 1 * sim.Millisecond,
+		},
+		QueueDepth: 4,
 	})
 	if res.WriteSeries == nil || res.WriteSeries.Len() == 0 {
 		t.Fatal("write series not recorded")
@@ -138,7 +147,9 @@ func TestRunSeriesRecording(t *testing.T) {
 
 func TestRunWarmupDiscard(t *testing.T) {
 	res := Run(syncSys(kernel.Interrupt), Job{
-		Pattern: SeqRead, BlockSize: 4096, TotalIOs: 20, WarmupIOs: 30,
+		Spec: Spec{
+			Pattern: SeqRead, BlockSize: 4096, TotalIOs: 20, WarmupIOs: 30,
+		},
 	})
 	if res.IOs != 20 {
 		t.Fatalf("measured %d, want 20 (warmup discarded)", res.IOs)
@@ -146,12 +157,12 @@ func TestRunWarmupDiscard(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossSeeds(t *testing.T) {
-	a := Run(syncSys(kernel.Interrupt), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 5})
-	b := Run(syncSys(kernel.Interrupt), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 5})
+	a := Run(syncSys(kernel.Interrupt), Job{Spec: Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 5}})
+	b := Run(syncSys(kernel.Interrupt), Job{Spec: Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 5}})
 	if a.All.Mean() != b.All.Mean() || a.Wall != b.Wall {
 		t.Fatal("identical seeds produced different runs")
 	}
-	c := Run(syncSys(kernel.Interrupt), Job{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 6})
+	c := Run(syncSys(kernel.Interrupt), Job{Spec: Spec{Pattern: RandRead, BlockSize: 4096, TotalIOs: 200, Seed: 6}})
 	if a.Wall == c.Wall && a.All.Mean() == c.All.Mean() {
 		t.Fatal("different seeds produced byte-identical runs (suspicious)")
 	}
@@ -195,8 +206,11 @@ func stripedHost() core.Host {
 
 func TestRunOnTopologyHost(t *testing.T) {
 	res := Run(stripedHost(), Job{
-		Pattern: RandRead, BlockSize: 4096, QueueDepth: 4,
-		TotalIOs: 400, WarmupIOs: 40, Seed: 9,
+		Spec: Spec{
+			Pattern: RandRead, BlockSize: 4096,
+			TotalIOs: 400, WarmupIOs: 40, Seed: 9,
+		},
+		QueueDepth: 4,
 	})
 	if res.IOs != 400 {
 		t.Fatalf("measured IOs = %d, want 400", res.IOs)
@@ -208,9 +222,11 @@ func TestRunOnTopologyHost(t *testing.T) {
 
 func TestRunOpenOnTopologyHost(t *testing.T) {
 	res := RunOpen(stripedHost(), OpenJob{
-		Pattern: RandRead, BlockSize: 4096,
-		Arrival:  Arrival{Kind: Poisson, Rate: 30000},
-		TotalIOs: 300, Seed: 5,
+		Spec: Spec{
+			Pattern: RandRead, BlockSize: 4096,
+			TotalIOs: 300, Seed: 5,
+		},
+		Arrival: Arrival{Kind: Poisson, Rate: 30000},
 	})
 	if res.Offered != 300 || res.IOs == 0 {
 		t.Fatalf("offered %d, measured %d", res.Offered, res.IOs)
@@ -232,10 +248,14 @@ func TestRunTenantsOnSerialTopology(t *testing.T) {
 		Precondition: 1.0,
 	})
 	results := RunTenants(g,
-		OpenJob{Name: "a", Pattern: RandRead, BlockSize: 4096,
-			Arrival: Arrival{Kind: FixedRate, Rate: 20000}, TotalIOs: 100, Seed: 1},
-		OpenJob{Name: "b", Pattern: RandRead, BlockSize: 4096,
-			Arrival: Arrival{Kind: FixedRate, Rate: 20000}, TotalIOs: 100, Seed: 2},
+		OpenJob{
+			Spec:    Spec{Name: "a", Pattern: RandRead, BlockSize: 4096, TotalIOs: 100, Seed: 1},
+			Arrival: Arrival{Kind: FixedRate, Rate: 20000},
+		},
+		OpenJob{
+			Spec:    Spec{Name: "b", Pattern: RandRead, BlockSize: 4096, TotalIOs: 100, Seed: 2},
+			Arrival: Arrival{Kind: FixedRate, Rate: 20000},
+		},
 	)
 	for i, r := range results {
 		if r.Offered != 100 {
@@ -250,8 +270,11 @@ func TestRunTenantsOnSerialTopology(t *testing.T) {
 func TestRunSyncEvery(t *testing.T) {
 	sys := asyncSys()
 	res := Run(sys, Job{
-		Pattern: RandWrite, BlockSize: 4096, QueueDepth: 4,
-		TotalIOs: 100, SyncEvery: 10, Seed: 3,
+		Spec: Spec{
+			Pattern: RandWrite, BlockSize: 4096,
+			TotalIOs: 100, SyncEvery: 10, Seed: 3,
+		},
+		QueueDepth: 4,
 	})
 	if res.IOs != 100 {
 		t.Fatalf("measured IOs = %d, want 100 (fsyncs must not count)", res.IOs)
@@ -274,8 +297,10 @@ func TestRunSyncEvery(t *testing.T) {
 // slot like any other syscall — no overlap panic.
 func TestRunSyncEverySerialStack(t *testing.T) {
 	res := Run(syncSys(kernel.Poll), Job{
-		Pattern: SeqWrite, BlockSize: 4096,
-		TotalIOs: 40, SyncEvery: 8, Seed: 4,
+		Spec: Spec{
+			Pattern: SeqWrite, BlockSize: 4096,
+			TotalIOs: 40, SyncEvery: 8, Seed: 4,
+		},
 	})
 	if res.Fsyncs != 5 {
 		t.Fatalf("fsyncs = %d, want 5", res.Fsyncs)
@@ -288,9 +313,12 @@ func TestRunSyncEverySerialStack(t *testing.T) {
 func TestRunOpenSyncEvery(t *testing.T) {
 	run := func() *OpenResult {
 		return RunOpen(asyncSys(), OpenJob{
-			Pattern: RandWrite, BlockSize: 4096,
-			Arrival:  Arrival{Kind: Poisson, Rate: 50000},
-			TotalIOs: 200, SyncEvery: 20, MaxInFlight: 4, Seed: 6,
+			Spec: Spec{
+				Pattern: RandWrite, BlockSize: 4096,
+				TotalIOs: 200, SyncEvery: 20, Seed: 6,
+			},
+			Arrival:     Arrival{Kind: Poisson, Rate: 50000},
+			MaxInFlight: 4,
 		})
 	}
 	res := run()
@@ -306,5 +334,30 @@ func TestRunOpenSyncEvery(t *testing.T) {
 	a, b := run(), run()
 	if a.Fsync.Summarize() != b.Fsync.Summarize() || a.All.Summarize() != b.All.Summarize() {
 		t.Fatal("SyncEvery runs diverged for a fixed seed")
+	}
+}
+
+func TestResultSurfacesDeviceWear(t *testing.T) {
+	res := Run(asyncSys(), Job{
+		Spec: Spec{
+			Pattern: RandWrite, BlockSize: 4096, TotalIOs: 400, Seed: 17,
+		},
+		QueueDepth: 8,
+	})
+	if len(res.Wear) != 1 {
+		t.Fatalf("Wear reports %d devices, want 1", len(res.Wear))
+	}
+	w := res.Wear[0]
+	if w.HostSlots == 0 {
+		t.Fatal("HostSlots = 0 after 400 direct writes")
+	}
+	if w.Erases.Max < w.Erases.Min {
+		t.Fatalf("erase stats inverted: %+v", w.Erases)
+	}
+	if wa := w.WriteAmp(); wa < 1 {
+		t.Fatalf("WriteAmp = %.3f, want >= 1 once host writes landed", wa)
+	}
+	if (ssd.WearReport{}).WriteAmp() != 0 {
+		t.Fatal("WriteAmp of an idle device should be 0")
 	}
 }

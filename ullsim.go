@@ -20,11 +20,11 @@
 //		Mode:   repro.Poll,
 //		Precondition: 1.0,
 //	})
-//	res := repro.RunJob(sys, repro.Job{
+//	res := repro.RunJob(sys, repro.Job{Spec: repro.Spec{
 //		Pattern:   repro.RandRead,
 //		BlockSize: 4096,
 //		TotalIOs:  100000,
-//	})
+//	}})
 //	fmt.Println(res.All.Summarize())
 //
 // Compose a topology — systems are layer graphs lowered onto one
@@ -42,8 +42,8 @@
 //		Precondition: 0.9,
 //	})
 //	res = repro.RunJob(vol, repro.Job{
-//		Pattern: repro.RandRead, BlockSize: 4096,
-//		QueueDepth: 8, TotalIOs: 100000,
+//		Spec:       repro.Spec{Pattern: repro.RandRead, BlockSize: 4096, TotalIOs: 100000},
+//		QueueDepth: 8,
 //	})
 //
 // Or a Z-SSD write-absorbing tier in front of a conventional NVMe SSD,
@@ -68,11 +68,25 @@
 //		}, repro.StackOn(repro.KernelAsync, 0, repro.ZSSD())),
 //		Precondition: 0.9,
 //	})
-//	res = repro.RunJob(fsys, repro.Job{
+//	res = repro.RunJob(fsys, repro.Job{Spec: repro.Spec{
 //		Pattern: repro.RandWrite, BlockSize: 4096,
 //		TotalIOs: 100000, SyncEvery: 32,
-//	})
+//	}})
 //	fmt.Println(res.Fsync.Summarize()) // fsync latency distribution
+//
+// Serve a key-value workload — an LSM-tree store (WAL group commit,
+// memtable flushes, leveled compaction, block cache) composes on any
+// concurrent host and implements the same Service contract the block
+// engines drive, so a YCSB-style keyed job runs through the identical
+// load machinery:
+//
+//	store := repro.NewKV(fsys, repro.KVConfig{CacheBytes: 32 << 20})
+//	store.Preload(1_000_000, 1024) // keys, value bytes
+//	res = repro.RunServiceJob(store, repro.Job{Spec: repro.Spec{
+//		Pattern: repro.RandRW, WriteFraction: 0.05, BlockSize: 1024,
+//		Keyspace: repro.Keyspace{Keys: 1_000_000, Dist: repro.ZipfianKeys},
+//		TotalIOs: 100000,
+//	}, QueueDepth: 8})
 //
 // Reproduce a figure:
 //
@@ -89,6 +103,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fs"
 	"repro/internal/kernel"
+	"repro/internal/kv"
 	"repro/internal/metrics"
 	"repro/internal/nbd"
 	"repro/internal/sim"
@@ -105,10 +120,32 @@ type (
 	System = core.System
 	// DeviceConfig describes one SSD model.
 	DeviceConfig = ssd.Config
+	// Spec holds the op-mix/size/warmup fields every load engine shares;
+	// Job embeds it and adds the closed-loop queue depth.
+	Spec = workload.Spec
 	// Job is a FIO-like benchmark job description.
 	Job = workload.Job
+	// Keyspace makes a job keyed: ops become gets/puts over Keys keys
+	// drawn uniform/zipfian/latest instead of byte offsets.
+	Keyspace = workload.Keyspace
+	// KeyDist selects a keyed job's key distribution.
+	KeyDist = workload.KeyDist
+	// Service is the op-level contract the load engines drive: a block
+	// Host behind AsService, or an application tier like the KV store.
+	Service = workload.Service
 	// Result carries a job's measurements.
 	Result = workload.Result
+	// WearReport is one device's media-wear summary (erase-count spread,
+	// host/GC program split, write amplification); see Result.Wear.
+	WearReport = ssd.WearReport
+	// KVStore is the LSM-tree key-value tier; it implements Service.
+	KVStore = kv.Store
+	// KVConfig parameterizes the store (memtable/SSTable sizing, block
+	// cache, WAL region, level fanout, CPU costs).
+	KVConfig = kv.Config
+	// KVStats counts the store's activity (group commits, flushes,
+	// compaction traffic, cache hits, tree shape).
+	KVStats = kv.Stats
 	// Summary is a latency-distribution snapshot.
 	Summary = metrics.Summary
 	// Table is the uniform experiment result container.
@@ -193,6 +230,13 @@ const (
 	SeqWrite  = workload.SeqWrite
 	RandWrite = workload.RandWrite
 	RandRW    = workload.RandRW
+)
+
+// Key distributions for keyed jobs (YCSB request distributions).
+const (
+	UniformKeys = workload.UniformKeys
+	ZipfianKeys = workload.ZipfianKeys
+	LatestKeys  = workload.LatestKeys
 )
 
 // Host stacks.
@@ -281,6 +325,19 @@ func DefaultFSCosts() FSCosts { return fs.DefaultCosts() }
 // RunJob drives job against any Target-rooted system — a one-device
 // System or a built TopologySystem — and returns measurements.
 func RunJob(sys Host, job Job) *Result { return workload.Run(sys, job) }
+
+// AsService adapts a block Host to the op-level Service contract, so
+// the same engines that drive it can drive an application tier.
+func AsService(h Host) Service { return workload.AsService(h) }
+
+// RunServiceJob drives job against any Service — AsService(sys) for a
+// block system, or an application tier such as NewKV's store.
+func RunServiceJob(svc Service, job Job) *Result { return workload.RunService(svc, job) }
+
+// NewKV composes an LSM-tree key-value store over any concurrent host
+// (its background flush/compaction I/O must overlap foreground gets).
+// Preload the keyspace, then drive it with keyed jobs via RunServiceJob.
+func NewKV(h Host, cfg KVConfig) *KVStore { return kv.New(h, cfg) }
 
 // DefaultKernelCosts returns the calibrated storage-stack cost table.
 func DefaultKernelCosts() KernelCosts { return kernel.DefaultCosts() }

@@ -15,10 +15,12 @@ func TestFacadeQuickstart(t *testing.T) {
 		Precondition: 1.0,
 	})
 	res := repro.RunJob(sys, repro.Job{
-		Pattern:   repro.RandRead,
-		BlockSize: 4096,
-		TotalIOs:  500,
-		Seed:      1,
+		Spec: repro.Spec{
+			Pattern:   repro.RandRead,
+			BlockSize: 4096,
+			TotalIOs:  500,
+			Seed:      1,
+		},
 	})
 	if res.IOs != 500 {
 		t.Fatalf("IOs = %d", res.IOs)
@@ -81,11 +83,13 @@ func TestFacadeAllStacksComplete(t *testing.T) {
 		stack.Precondition = 0.5
 		sys := repro.NewSystem(stack)
 		res := repro.RunJob(sys, repro.Job{
-			Pattern:   repro.SeqRead,
-			BlockSize: 4096,
-			TotalIOs:  100,
-			Region:    1 << 20,
-			Seed:      2,
+			Spec: repro.Spec{
+				Pattern:   repro.SeqRead,
+				BlockSize: 4096,
+				TotalIOs:  100,
+				Region:    1 << 20,
+				Seed:      2,
+			},
 		})
 		if res.IOs != 100 {
 			t.Fatalf("stack %v/%v: %d IOs", stack.Stack, stack.Mode, res.IOs)
@@ -124,8 +128,10 @@ func TestFacadeTopology(t *testing.T) {
 		Precondition: 1.0,
 	})
 	res := repro.RunJob(vol, repro.Job{
-		Pattern: repro.RandRead, BlockSize: 4096,
-		QueueDepth: 4, TotalIOs: 300, Seed: 3,
+		Spec: repro.Spec{
+			Pattern: repro.RandRead, BlockSize: 4096, TotalIOs: 300, Seed: 3,
+		},
+		QueueDepth: 4,
 	})
 	if res.IOs != 300 {
 		t.Fatalf("IOs = %d", res.IOs)
@@ -146,8 +152,10 @@ func TestFacadeTopology(t *testing.T) {
 		Precondition: 1.0,
 	})
 	res = repro.RunJob(tier, repro.Job{
-		Pattern: repro.RandRW, WriteFraction: 0.5, BlockSize: 4096,
-		QueueDepth: 4, TotalIOs: 400, Seed: 4,
+		Spec: repro.Spec{
+			Pattern: repro.RandRW, WriteFraction: 0.5, BlockSize: 4096, TotalIOs: 400, Seed: 4,
+		},
+		QueueDepth: 4,
 	})
 	if res.IOs != 400 {
 		t.Fatalf("tiered IOs = %d", res.IOs)
@@ -179,8 +187,10 @@ func TestFacadeFS(t *testing.T) {
 		Precondition: 1.0,
 	})
 	res := repro.RunJob(fsys, repro.Job{
-		Pattern: repro.RandWrite, BlockSize: 4096,
-		QueueDepth: 2, TotalIOs: 200, SyncEvery: 20, Seed: 5,
+		Spec: repro.Spec{
+			Pattern: repro.RandWrite, BlockSize: 4096, TotalIOs: 200, SyncEvery: 20, Seed: 5,
+		},
+		QueueDepth: 2,
 	})
 	if res.IOs != 200 {
 		t.Fatalf("IOs = %d", res.IOs)
