@@ -129,13 +129,18 @@ type Store struct {
 	eng  *sim.Engine
 	cfg  Config
 
+	// vsize is the store's value size in bytes, pinned by the first
+	// Preload or Put. Table geometry (keys per table, block offsets) is
+	// derived from it, so one store serves one value size; a mismatched
+	// put panics rather than silently skewing the geometry.
+	vsize int
+
 	// memtables: the active map absorbing puts, and at most one sealed
 	// immutable table mid-flush.
 	mem      map[int64]int // key -> value size
 	memBytes int64
 	imm      []int64 // sealed, sorted; nil when no flush is running
 	immSet   map[int64]int
-	immVsize int
 
 	// WAL group commit (leader-pays): puts arriving while a sync is in
 	// flight queue as the next batch; the completing sync launches it.
@@ -304,6 +309,14 @@ func (s *Store) WearStats() []ssd.WearReport {
 // (log-on-log: the store's WAL lands in the FS journal's care), and on
 // commit every rider inserts into the memtable and completes.
 func (s *Store) Put(key int64, size int, done func()) {
+	if size <= 0 {
+		panic("kv: put needs a positive value size")
+	}
+	if s.vsize == 0 {
+		s.vsize = size
+	} else if size != s.vsize {
+		panic("kv: one value size per store (table geometry is pinned by the first preload or put)")
+	}
 	s.stats.Puts++
 	s.walBatch = append(s.walBatch, waiter{key: key, size: size, done: done})
 	if !s.walBusy {
@@ -314,14 +327,30 @@ func (s *Store) Put(key int64, size int, done func()) {
 }
 
 // walFlush writes the accumulated batch at the WAL cursor and fsyncs.
+// One commit takes at most a WAL region's worth of records; a larger
+// burst carries its remainder at the head of the next group commit, so
+// the write never runs past the circular region into the SSTable slab.
 func (s *Store) walFlush() {
 	batch := s.walBatch
-	s.walBatch = nil
-	s.walFlight = batch
 	var bytes int64
+	n := 0
 	for _, w := range batch {
-		bytes += int64(w.size) + 64 // 64B record header
+		rec := int64(w.size) + walRecordHeader
+		if n > 0 && bytes+rec > s.cfg.WALBytes {
+			break
+		}
+		bytes += rec
+		n++
 	}
+	if bytes > s.cfg.WALBytes {
+		panic("kv: one WAL record exceeds the WAL region")
+	}
+	if n < len(batch) {
+		s.walBatch = append([]waiter(nil), batch[n:]...)
+	} else {
+		s.walBatch = nil
+	}
+	s.walFlight = batch[:n]
 	if s.walPos+bytes > s.cfg.WALBytes {
 		s.walPos = 0 // circular region wrap
 	}
@@ -388,15 +417,12 @@ func (s *Store) maybeRotate() {
 		return
 	}
 	keys := make([]int64, 0, len(s.mem))
-	vsize := 0
-	for k, v := range s.mem {
+	for k := range s.mem {
 		keys = append(keys, k)
-		vsize = v
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	s.imm = keys
 	s.immSet = s.mem
-	s.immVsize = vsize
 	s.mem = make(map[int64]int)
 	s.memBytes = 0
 	s.startFlush()

@@ -202,3 +202,192 @@ func TestSyncBarriersPendingPuts(t *testing.T) {
 		t.Fatal("Sync never completed")
 	}
 }
+
+// treeContains reports whether key is visible somewhere in the store:
+// active memtable, sealed memtable, or any live table.
+func treeContains(s *Store, key int64) bool {
+	if _, ok := s.mem[key]; ok {
+		return true
+	}
+	if s.imm != nil {
+		if _, ok := s.immSet[key]; ok {
+			return true
+		}
+	}
+	for _, lvl := range s.levels {
+		for _, tb := range lvl {
+			if _, ok := tb.contains(key); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkTreeInvariants walks the live tables: every committed key must
+// still be visible, no table may outgrow its slab slot, and no two live
+// tables may share one.
+func checkTreeInvariants(t *testing.T, s *Store, keys int64) {
+	t.Helper()
+	for k := int64(0); k < keys; k++ {
+		if !treeContains(s, k) {
+			t.Fatalf("key %d was committed and then dropped from the tree", k)
+		}
+	}
+	slots := map[int64]bool{}
+	for _, lvl := range s.levels {
+		for _, tb := range lvl {
+			if tb.bytes > s.cfg.SSTableBytes {
+				t.Fatalf("table %d holds %d bytes, more than its %d-byte slot", tb.id, tb.bytes, s.cfg.SSTableBytes)
+			}
+			if slots[tb.slot] {
+				t.Fatalf("two live tables share slot %d", tb.slot)
+			}
+			slots[tb.slot] = true
+		}
+	}
+}
+
+// TestFlushDuringCompactionLosesNothing drives enough pipelined put
+// traffic that memtable flushes install fresh L0 tables while an L0->L1
+// merge's chunked background I/O is still in flight: the merge's
+// install must remove only the tables it snapshotted, never a table a
+// concurrent flush added.
+func TestFlushDuringCompactionLosesNothing(t *testing.T) {
+	s, g := testStore(13)
+	const puts = 2000 // distinct keys: ~15 seals over a 2-table L0 trigger
+	next := int64(0)
+	var pump func()
+	pump = func() {
+		if next >= puts {
+			return
+		}
+		s.Put(next, 512, pump)
+		next++
+	}
+	for i := 0; i < 8; i++ {
+		pump()
+	}
+	g.Engine().Run()
+	st := s.Stats()
+	if st.Flushes < 3 || st.Compactions == 0 {
+		t.Fatalf("Flushes=%d Compactions=%d: traffic never overlapped flush and compaction", st.Flushes, st.Compactions)
+	}
+	checkTreeInvariants(t, s, puts)
+}
+
+// TestSealedMemtableSplitsAcrossSlots runs a store whose memtable seals
+// more bytes than one slab slot holds (the write-stall overage shape,
+// forced here with MemtableBytes > SSTableBytes): the flush must split
+// into slot-sized tables instead of writing past its slot into a
+// neighbor's.
+func TestSealedMemtableSplitsAcrossSlots(t *testing.T) {
+	g := testHost(21, fs.OrderedJournal)
+	s := New(g, Config{
+		MemtableBytes: 64 << 10,
+		SSTableBytes:  16 << 10, // 32 records per slot: every seal splits in 4
+		BlockBytes:    8 << 10,
+		WALBytes:      1 << 20,
+		L0Tables:      2,
+		LevelRatio:    4,
+	})
+	const puts = 300 // two full 128-record seals plus a partial memtable
+	next := int64(0)
+	var pump func()
+	pump = func() {
+		if next >= puts {
+			return
+		}
+		s.Put(next, 512, pump)
+		next++
+	}
+	for i := 0; i < 4; i++ {
+		pump()
+	}
+	g.Engine().Run()
+	if st := s.Stats(); st.Flushes == 0 {
+		t.Fatal("no flush despite sealing twice")
+	}
+	checkTreeInvariants(t, s, puts)
+}
+
+// TestWALBurstSplitsCommits offers one group-commit batch larger than
+// the whole WAL region: the commit must split across flushes (remainder
+// leading the next group) instead of writing past the circular region
+// into SSTable slab addresses.
+func TestWALBurstSplitsCommits(t *testing.T) {
+	g := testHost(33, fs.OrderedJournal)
+	s := New(g, Config{WALBytes: 16 << 10})
+	const puts = 64 // 64 x (512B value + 64B header) = 36KiB > the 16KiB region
+	done := 0
+	for i := 0; i < puts; i++ {
+		s.Put(int64(i), 512, func() { done++ })
+	}
+	g.Engine().Run()
+	if done != puts {
+		t.Fatalf("completed %d of %d puts", done, puts)
+	}
+	if st := s.Stats(); st.WALSyncs < 3 {
+		t.Fatalf("WALSyncs = %d; a 36KiB burst over a 16KiB WAL must take >= 3 commits", st.WALSyncs)
+	}
+}
+
+// TestStoreRejectsMixedValueSizes pins the one-value-size-per-store
+// contract: table geometry derives from the pinned size, so a put with
+// a different size must panic instead of skewing block offsets.
+func TestStoreRejectsMixedValueSizes(t *testing.T) {
+	s, _ := testStore(3)
+	s.Preload(4096, 512)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("put with a second value size should panic")
+		}
+	}()
+	s.Put(1, 1024, func() {})
+}
+
+// TestCompactionInstallKeepsConcurrentFlush pins the flush/compaction
+// interleaving deterministically: start an L0->L1 merge, then install a
+// fresh L0 table (exactly what a concurrent memtable flush does) while
+// the merge's chunked I/O is still in flight. The merge's install must
+// remove only the tables it snapshotted — the fresh table holds
+// committed keys and must survive.
+func TestCompactionInstallKeepsConcurrentFlush(t *testing.T) {
+	s, g := testStore(17)
+	mk := func(lo, n int64) *sstable {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = lo + int64(i)
+		}
+		tb := &sstable{
+			id: s.nextID, slot: s.allocSlot(), keys: keys,
+			bytes: n * 512, vsize: 512,
+		}
+		s.nextID++
+		return tb
+	}
+	// Three L0 tables: one over testStore's 2-table trigger.
+	for i := int64(0); i < 3; i++ {
+		s.levels[0] = append([]*sstable{mk(i*100, 100)}, s.levels[0]...)
+	}
+	s.maybeCompact()
+	if !s.compactBusy {
+		t.Fatal("compaction did not start")
+	}
+	// One tick in — long before the merge's reads and writes drain — a
+	// flush lands a fresh table at the front of L0.
+	fresh := mk(1000, 100)
+	g.Engine().After(1, func() {
+		s.levels[0] = append([]*sstable{fresh}, s.levels[0]...)
+	})
+	g.Engine().Run()
+	if s.compactBusy {
+		t.Fatal("compaction never finished")
+	}
+	for _, tb := range s.levels[0] {
+		if tb == fresh {
+			return
+		}
+	}
+	t.Fatal("the table flushed during the merge was dropped by the install")
+}

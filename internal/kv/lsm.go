@@ -43,22 +43,40 @@ func (s *Store) freeSlot(off int64) {
 
 // --- memtable flush ---
 
-// startFlush writes the sealed memtable into a fresh L0 table: chunked
-// sequential writes, then one durability barrier, then the install.
+// startFlush writes the sealed memtable into fresh L0 tables: chunked
+// sequential writes, one durability barrier shared across the tables,
+// then the install. A memtable that absorbed write-stall overage seals
+// more bytes than one slab slot holds, so the seal splits into as many
+// SSTableBytes-sized tables as it needs — every table fits its slot.
 func (s *Store) startFlush() {
 	s.flushBusy = true
-	t := &sstable{
-		id:    s.nextID,
-		slot:  s.allocSlot(),
-		keys:  s.imm,
-		vsize: s.immVsize,
+	perTable := int(s.cfg.SSTableBytes / int64(s.vsize))
+	if perTable < 1 {
+		perTable = 1
 	}
-	s.nextID++
-	t.bytes = int64(len(t.keys)) * int64(t.vsize)
-	s.writeTable(t, 0, func() {
+	var tables []*sstable
+	for keys := s.imm; len(keys) > 0; {
+		n := len(keys)
+		if n > perTable {
+			n = perTable
+		}
+		t := &sstable{
+			id:    s.nextID,
+			slot:  s.allocSlot(),
+			keys:  keys[:n:n],
+			bytes: int64(n) * int64(s.vsize),
+			vsize: s.vsize,
+		}
+		s.nextID++
+		tables = append(tables, t)
+		keys = keys[n:]
+	}
+	s.flushWrite(tables, 0, func() {
 		s.stats.Flushes++
-		s.stats.FlushedBytes += t.bytes
-		s.levels[0] = append([]*sstable{t}, s.levels[0]...) // newest first
+		for _, t := range tables {
+			s.stats.FlushedBytes += t.bytes
+		}
+		s.levels[0] = append(append([]*sstable{}, tables...), s.levels[0]...) // newest first
 		s.imm = nil
 		s.immSet = nil
 		s.flushBusy = false
@@ -69,21 +87,15 @@ func (s *Store) startFlush() {
 	})
 }
 
-// writeTable streams a table's bytes into its slot from chunk offset
-// off, then barriers, then calls installed. One chunk is in flight at a
-// time: background writes queue behind (and ahead of) foreground I/O.
-func (s *Store) writeTable(t *sstable, off int64, installed func()) {
-	if off >= t.bytes {
+// flushWrite streams each sealed table in turn — one chunk in flight at
+// a time, so background writes queue behind (and ahead of) foreground
+// I/O — sharing one durability barrier across the whole flush.
+func (s *Store) flushWrite(tables []*sstable, i int, installed func()) {
+	if i >= len(tables) {
 		s.host.Sync(installed)
 		return
 	}
-	n := t.bytes - off
-	if n > ioChunk {
-		n = ioChunk
-	}
-	s.host.Submit(true, t.slot+off, int(n), func() {
-		s.writeTable(t, off+n, installed)
-	})
+	s.writeTableNoSync(tables[i], 0, func() { s.flushWrite(tables, i+1, installed) })
 }
 
 // readTables streams every input table back in (compaction's read half:
@@ -208,11 +220,22 @@ func (s *Store) mergeInstall(l int, up, down, inputs []*sstable) {
 		uniq = uniq[n:]
 	}
 	s.writeOuts(outs, 0, func() {
-		if l == 0 {
-			s.levels[0] = s.levels[0][:0]
-		} else {
-			s.levels[l] = s.levels[l][1:]
+		// Remove exactly the snapshotted up tables, by identity: a
+		// memtable flush can install new L0 tables while this merge's
+		// reads and writes are in flight, and those must survive the
+		// install (they are newer than the merged run, and L0 resolves
+		// newest-first, so correctness holds either way).
+		deadUp := map[*sstable]bool{}
+		for _, t := range up {
+			deadUp[t] = true
 		}
+		keepUp := s.levels[l][:0]
+		for _, t := range s.levels[l] {
+			if !deadUp[t] {
+				keepUp = append(keepUp, t)
+			}
+		}
+		s.levels[l] = keepUp
 		keep := s.levels[l+1][:0]
 		dead := map[*sstable]bool{}
 		for _, t := range down {
@@ -279,6 +302,7 @@ func (s *Store) Preload(keys int64, valueBytes int) {
 		panic("kv: Preload must run once, before any traffic")
 	}
 	s.keys = keys
+	s.vsize = valueBytes // pins the store's value size (see Put)
 	perTable := int64(int(s.cfg.SSTableBytes / int64(valueBytes)))
 	if perTable < 1 {
 		perTable = 1

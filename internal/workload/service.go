@@ -85,6 +85,9 @@ type opSource interface {
 // when a Keyspace is configured, the block-pattern stream otherwise.
 func newOpSource(svc Service, s *Spec, rng *sim.RNG) opSource {
 	if s.Keyspace.Keys > 0 {
+		if s.Region != 0 {
+			panic("workload: Region bounds byte-addressed jobs; bound a keyed job with Keyspace.Keys")
+		}
 		return newKeyStream(s.Pattern, s.WriteFraction, s.Keyspace, rng)
 	}
 	return newOpStream(svc.Ops(), s.Pattern, s.WriteFraction, s.BlockSize, s.Region, rng)

@@ -59,7 +59,10 @@ type Spec struct {
 	Duration   sim.Time // stop issuing after this much virtual time
 	WarmupIOs  int      // completions discarded before measuring
 	WarmupTime sim.Time // completions before this offset are discarded
-	Region     int64    // bytes of the service to touch (0: everything)
+	// Region bounds the byte extent a block job touches (0: everything).
+	// Block jobs only: a keyed job sizes its extent with Keyspace.Keys,
+	// so setting Region there panics rather than being silently ignored.
+	Region int64
 	// SyncEvery issues one fsync after every N writes (fio's fsync=N;
 	// 0: never). The fsync occupies a queue slot like an I/O and runs
 	// full filesystem sync semantics on an FS-rooted host, a bare

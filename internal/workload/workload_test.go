@@ -361,3 +361,19 @@ func TestResultSurfacesDeviceWear(t *testing.T) {
 		t.Fatal("WriteAmp of an idle device should be 0")
 	}
 }
+
+// TestKeyedJobRejectsRegion: Region bounds a block job's byte extent; a
+// keyed job sizes its extent with Keyspace.Keys, so setting both must
+// panic instead of Region being silently ignored.
+func TestKeyedJobRejectsRegion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("a keyed job with Region set should panic")
+		}
+	}()
+	newOpSource(nil, &Spec{
+		Keyspace:  Keyspace{Keys: 64},
+		BlockSize: 512,
+		Region:    4096,
+	}, sim.NewRNG(1))
+}
