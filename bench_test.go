@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/fs"
 	"repro/internal/kernel"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/nbd"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/uring"
 	"repro/internal/workload"
 )
 
@@ -204,6 +206,85 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	issue()
 	sys.Eng.Run()
+}
+
+// BenchmarkUringSubmit reports the ring stack's simulator cost:
+// simulated 4KB random reads per second of wall time through the
+// io_uring stack at QD16 — SQE prep, batched ring enters, CQE reaps,
+// and MSI delivery all on the hot path. Steady state is pooled, so
+// allocs/op gates the ring path alongside the event core's.
+func BenchmarkUringSubmit(b *testing.B) {
+	cfg := core.DefaultConfig(ssd.ZSSD())
+	cfg.Stack = core.IOUring
+	cfg.Uring = uring.Config{Mode: uring.Interrupt}
+	cfg.Precondition = 0.9
+	sys := core.NewSystem(cfg)
+	region := int64(0.9*float64(sys.ExportedBytes())) >> 20 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	inflight := 0
+	rng := sim.NewRNG(3)
+	var issue func()
+	var donefn func()
+	donefn = func() {
+		done++
+		inflight--
+		if done+inflight < b.N {
+			issue()
+		}
+	}
+	issue = func() {
+		off := rng.Int63n(region/4096) * 4096
+		inflight++
+		sys.Submit(false, off, 4096, donefn)
+	}
+	for i := 0; i < 16 && i < b.N; i++ {
+		issue()
+	}
+	sys.Eng.Run()
+}
+
+// BenchmarkCoreSchedule measures the per-core arbiter alone: one
+// claim+hold cycle per op on a contended core ("claim", the run-queue
+// path), one interrupt wakeup per op onto a busy core ("wake", the
+// migration path), and the same claim+hold on a one-core set ("solo" —
+// the non-arbitrating legacy lowering, which must stay free). All three
+// must be zero-alloc; scheduler changes show up here directly instead
+// of only through the end-to-end stacks.
+func BenchmarkCoreSchedule(b *testing.B) {
+	b.Run("claim", func(b *testing.B) {
+		cs := cpu.NewCoreSet(2)
+		p := cs.Proc(0)
+		b.ReportAllocs()
+		now := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			start := p.Claim(now)
+			p.Hold(start, start+5*sim.Microsecond)
+			now = start + sim.Microsecond // next claim finds the core held
+		}
+	})
+	b.Run("wake", func(b *testing.B) {
+		cs := cpu.NewCoreSet(2)
+		p := cs.Proc(0)
+		b.ReportAllocs()
+		now := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			p.Hold(now, now+2*sim.Microsecond)
+			now += sim.Microsecond + p.Wake(now+sim.Microsecond)
+		}
+	})
+	b.Run("solo", func(b *testing.B) {
+		cs := cpu.NewCoreSet(1)
+		p := cs.Proc(0)
+		b.ReportAllocs()
+		now := sim.Time(0)
+		for i := 0; i < b.N; i++ {
+			start := p.Claim(now)
+			p.Hold(start, start+5*sim.Microsecond)
+			now = start + sim.Microsecond
+		}
+	})
 }
 
 // BenchmarkStripedVolume reports the routing cost of the volume layer:

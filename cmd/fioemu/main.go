@@ -7,6 +7,7 @@
 //	fioemu -dev ull -rw randread -bs 4096 -iodepth 1 -engine pvsync2 -completion poll -ios 100000
 //	fioemu -dev nvme -rw randwrite -bs 4096 -iodepth 32 -engine libaio -runtime 500ms
 //	fioemu -dev ull -rw randrw -rwmixwrite 20 -bs 4096 -iodepth 4 -engine libaio -ios 50000
+//	fioemu -dev ull -rw randread -bs 4096 -iodepth 32 -engine io_uring -completion sqpoll -ios 100000
 //
 // Filesystem: -fs routes I/O through the page-cache layer (buffered
 // reads, write-back buffered writes), -journal picks the fsync commit
@@ -70,8 +71,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fl.IntVar(&c.mixWrite, "rwmixwrite", 50, "write percentage for randrw (0-100)")
 	fl.IntVar(&c.bs, "bs", 4096, "block size in bytes")
 	fl.IntVar(&c.depth, "iodepth", 1, "queue depth (libaio/spdk)")
-	fl.StringVar(&c.engine, "engine", "pvsync2", "engine: pvsync2 | libaio | spdk")
-	fl.StringVar(&c.completion, "completion", "interrupt", "pvsync2 completion: interrupt | poll | hybrid")
+	fl.StringVar(&c.engine, "engine", "pvsync2", "engine: pvsync2 | libaio | io_uring | spdk")
+	fl.StringVar(&c.completion, "completion", "interrupt", "completion: interrupt | poll | hybrid (pvsync2/io_uring) | sqpoll (io_uring)")
 	fl.IntVar(&c.ios, "ios", 0, "total I/Os (0 = use -runtime)")
 	fl.DurationVar(&c.runtime, "runtime", 0, "simulated runtime (e.g. 500ms)")
 	fl.Float64Var(&c.precond, "precondition", 0.9, "fraction of LPN space preconditioned")
@@ -126,10 +127,26 @@ func stackFor(engine, completion string) (repro.SystemConfig, error) {
 		}
 	case "libaio":
 		cfg.Stack = repro.KernelAsync
+	case "io_uring":
+		cfg.Stack = repro.IOUring
+		switch completion {
+		case "interrupt":
+			cfg.Uring.Mode = repro.UringInterrupt
+		case "poll":
+			cfg.Uring.Mode = repro.UringPoll
+		case "hybrid":
+			cfg.Uring.Mode = repro.UringHybrid
+		case "sqpoll":
+			cfg.Uring.Mode = repro.UringSQPoll
+			// The SQ thread pins its own core beside the submitter's.
+			cfg.Cores = 2
+		default:
+			return cfg, fmt.Errorf("unknown completion %q (io_uring: interrupt, poll, hybrid, or sqpoll)", completion)
+		}
 	case "spdk":
 		cfg.Stack = repro.SPDK
 	default:
-		return cfg, fmt.Errorf("unknown engine %q", engine)
+		return cfg, fmt.Errorf("unknown engine %q (want pvsync2, libaio, io_uring, or spdk)", engine)
 	}
 	return cfg, nil
 }
@@ -160,7 +177,12 @@ func (c *config) topology() (repro.Topology, error) {
 	if err != nil {
 		return repro.Topology{}, err
 	}
-	var root repro.Layer = repro.StackOn(scfg.Stack, scfg.Mode, dev)
+	stack := repro.StackOn(scfg.Stack, scfg.Mode, dev)
+	if scfg.Stack == repro.IOUring {
+		u := scfg.Uring
+		stack.Uring = &u
+	}
+	var root repro.Layer = stack
 	if c.fsOn || mode != repro.NoJournal {
 		fcfg := repro.FSConfig{Journal: mode}
 		if c.fsOn {
@@ -170,7 +192,7 @@ func (c *config) topology() (repro.Topology, error) {
 		}
 		root = repro.FSOn(fcfg, root)
 	}
-	return repro.Topology{Root: root, Precondition: c.precond}, nil
+	return repro.Topology{Root: root, Cores: scfg.Cores, Precondition: c.precond}, nil
 }
 
 // job assembles the workload description.
@@ -280,7 +302,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s := res.All.Summarize()
 	fmt.Fprintf(stdout, "%s: %s bs=%d depth=%d engine=%s\n", c.dev, c.rw, c.bs, c.depth, c.engine)
-	if c.engine == "pvsync2" {
+	if c.engine == "pvsync2" || c.engine == "io_uring" {
 		fmt.Fprintf(stdout, "  completion=%s\n", c.completion)
 	}
 	fmt.Fprintf(stdout, "  ios=%d bw=%.1f MB/s iops=%.0f\n", res.IOs, res.BandwidthMBps(), res.IOPS())
@@ -306,7 +328,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			c.journal, hitPct, st.Hits, total, st.WritebackPages, st.Barriers, st.JournalWrites)
 	}
 	u := g.CPU().Utilization(g.Engine().Now())
-	fmt.Fprintf(stdout, "  cpu: user=%.1f%% kernel=%.1f%% idle=%.1f%%\n", u.User, u.Kernel, u.Idle)
+	fmt.Fprintf(stdout, "  cpu: user=%.1f%% kernel=%.1f%% idle=%.1f%%", u.User, u.Kernel, u.Idle)
+	// On the one-core model, demand above the core shows as raw
+	// over-subscription (the aggregate of a real multi-core set reports
+	// its demand in the cores line instead).
+	if g.CoreSet().N() == 1 && u.Oversub > 1 {
+		fmt.Fprintf(stdout, " oversub=%.2fx", u.Oversub)
+	}
+	fmt.Fprintln(stdout)
+	if cs := g.CoreSet(); cs.N() > 1 {
+		fmt.Fprintf(stdout, "  cores: %d (%.2f busy)", cs.N(), cs.BusyCores(g.Engine().Now()))
+		for i, cu := range cs.Utilization(g.Engine().Now()) {
+			pin := ""
+			if cs.Pinned(i) {
+				pin = " pinned"
+			}
+			fmt.Fprintf(stdout, " [%d%s: %.1f%% busy]", i, pin, 100-cu.Idle)
+		}
+		fmt.Fprintln(stdout)
+	}
 	fmt.Fprintf(stdout, "  device power: %.2f W avg\n", g.Devices()[0].Meter().AvgWatts(g.Engine().Now()))
 	fmt.Fprintf(stdout, "  simulated %v in %v wall\n", g.Engine().Now(), elapsed.Round(time.Millisecond))
 	return 0

@@ -82,6 +82,10 @@ func TestEngineFlagWiring(t *testing.T) {
 		{"pvsync2", "hybrid", repro.SystemConfig{Stack: repro.KernelSync, Mode: repro.Hybrid}},
 		{"libaio", "interrupt", repro.SystemConfig{Stack: repro.KernelAsync}},
 		{"spdk", "interrupt", repro.SystemConfig{Stack: repro.SPDK}},
+		{"io_uring", "interrupt", repro.SystemConfig{Stack: repro.IOUring, Uring: repro.UringConfig{Mode: repro.UringInterrupt}}},
+		{"io_uring", "poll", repro.SystemConfig{Stack: repro.IOUring, Uring: repro.UringConfig{Mode: repro.UringPoll}}},
+		{"io_uring", "hybrid", repro.SystemConfig{Stack: repro.IOUring, Uring: repro.UringConfig{Mode: repro.UringHybrid}}},
+		{"io_uring", "sqpoll", repro.SystemConfig{Stack: repro.IOUring, Uring: repro.UringConfig{Mode: repro.UringSQPoll}, Cores: 2}},
 	}
 	for _, c := range cases {
 		got, err := stackFor(c.engine, c.completion)
@@ -89,7 +93,8 @@ func TestEngineFlagWiring(t *testing.T) {
 			t.Errorf("stackFor(%q, %q): %v", c.engine, c.completion, err)
 			continue
 		}
-		if got.Stack != c.stack.Stack || got.Mode != c.stack.Mode {
+		if got.Stack != c.stack.Stack || got.Mode != c.stack.Mode ||
+			got.Uring != c.stack.Uring || got.Cores != c.stack.Cores {
 			t.Errorf("stackFor(%q, %q) = %+v, want %+v", c.engine, c.completion, got, c.stack)
 		}
 	}
@@ -98,6 +103,43 @@ func TestEngineFlagWiring(t *testing.T) {
 	}
 	if _, err := stackFor("pvsync2", "sleepy"); err == nil {
 		t.Error("unknown completion accepted")
+	}
+	// pvsync2 does not grow a sqpoll mode by accident.
+	if _, err := stackFor("pvsync2", "sqpoll"); err == nil {
+		t.Error("pvsync2 accepted sqpoll")
+	}
+}
+
+// TestUnknownEngineUsage: the -engine usage error enumerates every valid
+// engine name so the fix is in the message.
+func TestUnknownEngineUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "uring", "-ios", "10"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown engine exited %d, want 2", code)
+	}
+	msg := errOut.String()
+	for _, want := range []string{"uring", "pvsync2", "libaio", "io_uring", "spdk"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("usage error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestIOUringEndToEnd drives the io_uring engine through the whole CLI,
+// including the SQPOLL second core in the report.
+func TestIOUringEndToEnd(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-dev", "ull", "-rw", "randread", "-bs", "4096",
+		"-iodepth", "8", "-engine", "io_uring", "-completion", "sqpoll",
+		"-ios", "300", "-seed", "7"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"engine=io_uring", "completion=sqpoll", "cores: 2", "pinned"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/ssd"
+	"repro/internal/uring"
 )
 
 // StackKind selects the host I/O path.
@@ -29,6 +30,9 @@ const (
 	KernelAsync
 	// SPDK is the kernel-bypass userspace path (poll-only).
 	SPDK
+	// IOUring is the io_uring path (batched ring submission; completion
+	// mode chosen by Stack.Uring / Config.Uring).
+	IOUring
 )
 
 func (k StackKind) String() string {
@@ -39,6 +43,8 @@ func (k StackKind) String() string {
 		return "libaio"
 	case SPDK:
 		return "spdk"
+	case IOUring:
+		return "io_uring"
 	default:
 		return fmt.Sprintf("StackKind(%d)", int(k))
 	}
@@ -76,6 +82,13 @@ type Config struct {
 	Mode   kernel.Mode  // completion method for KernelSync
 	Kernel kernel.Costs // zero value -> DefaultCosts unless KernelSet
 	SPDK   spdk.Costs   // zero value -> DefaultCosts unless SPDKSet
+	// Uring configures the IOUring stack; its zero value means interrupt
+	// completion with the calibrated default costs (zero is the default,
+	// not a sentinel — no presence flag needed).
+	Uring uring.Config
+	// Cores is the host core count (0 or 1 = the legacy single
+	// accounting core, no arbitration).
+	Cores int
 
 	// KernelSet and SPDKSet mark the cost tables as authoritative even
 	// when they are the zero value, mirroring Options.Seed/SeedSet: the
@@ -140,8 +153,10 @@ func NewSystem(cfg Config) *System {
 			Mode:   cfg.Mode,
 			Kernel: &cfg.Kernel,
 			SPDK:   &cfg.SPDK,
+			Uring:  &cfg.Uring,
 			Queue:  Queue{Device: cfg.Device, NVMe: cfg.NVMe},
 		},
+		Cores:        cfg.Cores,
 		Precondition: cfg.Precondition,
 	})
 	return &System{

@@ -36,6 +36,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/ssd"
+	"repro/internal/uring"
 )
 
 // Host is the contract the workload engines drive: any Target-rooted
@@ -116,12 +117,17 @@ func (q Queue) lower(g *Graph) *nvme.QueuePair {
 type Stack struct {
 	Kind StackKind
 	Mode kernel.Mode // completion method for KernelSync
-	// Kernel and SPDK override the stack cost tables; nil means the
-	// calibrated defaults. A pointer carries presence, so a
+	// Kernel, SPDK, and Uring override the stack cost/mode tables; nil
+	// means the calibrated defaults. A pointer carries presence, so a
 	// deliberately-zero table is honored, never silently replaced.
 	Kernel *kernel.Costs
 	SPDK   *spdk.Costs
-	Queue  Queue
+	Uring  *uring.Config
+	// Core pins the stack to a specific core (1-based); 0 assigns
+	// round-robin over the topology's unpinned cores. Ignored by a
+	// one-core (legacy) topology.
+	Core  int
+	Queue Queue
 }
 
 func (s Stack) lower(g *Graph) built {
@@ -130,19 +136,33 @@ func (s Stack) lower(g *Graph) built {
 	if s.Kernel != nil {
 		kc = *s.Kernel
 	}
+	proc := g.assignProc(s.Core)
 	var t Target
 	switch s.Kind {
 	case KernelSync:
-		t = kernel.NewSyncStack(g.eng, qp, g.cpu, kc, s.Mode)
+		t = kernel.NewSyncStackOn(g.eng, qp, proc, kc, s.Mode)
 	case KernelAsync:
-		t = kernel.NewAsyncStack(g.eng, qp, g.cpu, kc)
+		t = kernel.NewAsyncStackOn(g.eng, qp, proc, kc)
 	case SPDK:
 		sc := spdk.DefaultCosts()
 		if s.SPDK != nil {
 			sc = *s.SPDK
 		}
-		st := spdk.NewStack(g.eng, qp, g.cpu, sc)
+		st := spdk.NewStackOn(g.eng, qp, proc, sc)
 		g.spdks = append(g.spdks, st)
+		t = st
+	case IOUring:
+		var ucfg uring.Config
+		if s.Uring != nil {
+			ucfg = *s.Uring
+		}
+		var sqProc *cpu.Proc
+		if ucfg.Mode == uring.SQPoll && g.cores.Arbitrating() {
+			// The SQPOLL kernel thread draws (and pins) its own core.
+			sqProc = g.assignProc(0)
+		}
+		st := uring.NewOn(g.eng, qp, proc, sqProc, ucfg)
+		g.urings = append(g.urings, st)
 		t = st
 	default:
 		panic(fmt.Sprintf("core: unknown stack kind %d", s.Kind))
@@ -182,24 +202,34 @@ func (f FS) lower(g *Graph) built {
 // Topology describes a layer graph rooted at a single Target.
 type Topology struct {
 	Root Layer
+	// Cores is the host core count. 0 or 1 builds the legacy single
+	// accounting core (no arbitration, bit-exact with all historical
+	// output); more cores make the CPU a contended resource: stacks are
+	// assigned round-robin (or by Stack.Core), busy-polling reactors pin
+	// their core, and submission/completion work queues behind whatever
+	// its core is doing.
+	Cores int
 	// Precondition is the fraction of every device's LPN space instantly
 	// mapped before the run (sequential layout), as in Config.
 	Precondition float64
 }
 
 // Graph is a built topology: one Target root over any number of stacks
-// and devices, sharing one event engine and one accounting CPU core.
-// It satisfies Host, so the workload engines drive it exactly like the
-// one-device System.
+// and devices, sharing one event engine and one core set (one core by
+// default — the legacy aggregate accounting view). It satisfies Host,
+// so the workload engines drive it exactly like the one-device System.
 type Graph struct {
-	eng *sim.Engine
-	cpu *cpu.Core
-	pre float64
+	eng      *sim.Engine
+	cores    *cpu.CoreSet
+	cpu      *cpu.Core // core 0: the legacy accounting view (FS charges here)
+	nextCore int       // round-robin stack-to-core assignment cursor
+	pre      float64
 
 	root    built
 	devices []*ssd.Device
 	queues  []*nvme.QueuePair
 	spdks   []*spdk.Stack
+	urings  []*uring.Stack
 	volumes []*volume
 	fss     []*fs.FS
 	seeds   map[uint64]bool // configured device seeds, for decorrelation
@@ -210,10 +240,32 @@ func Build(t Topology) *Graph {
 	if t.Root == nil {
 		panic("core: topology needs a root layer")
 	}
-	g := &Graph{eng: sim.NewEngine(), cpu: cpu.NewCore(), pre: t.Precondition,
-		seeds: make(map[uint64]bool)}
+	cores := cpu.NewCoreSet(t.Cores)
+	g := &Graph{eng: sim.NewEngine(), cores: cores, cpu: cores.Core(0),
+		pre: t.Precondition, seeds: make(map[uint64]bool)}
 	g.root = t.Root.lower(g)
 	return g
+}
+
+// assignProc picks the core a stack executes on: the explicit 1-based
+// choice when given, otherwise round-robin over unpinned cores (pinned
+// cores belong to their reactors); a fully pinned set falls back to
+// plain round-robin.
+func (g *Graph) assignProc(explicit int) *cpu.Proc {
+	n := g.cores.N()
+	if explicit > 0 {
+		return g.cores.Proc((explicit - 1) % n)
+	}
+	for i := 0; i < n; i++ {
+		id := g.nextCore % n
+		g.nextCore++
+		if !g.cores.Pinned(id) {
+			return g.cores.Proc(id)
+		}
+	}
+	id := g.nextCore % n
+	g.nextCore++
+	return g.cores.Proc(id)
 }
 
 // Submit issues one I/O into the root layer.
@@ -239,9 +291,16 @@ func (g *Graph) Sync(done func()) {
 // Engine returns the shared event engine.
 func (g *Graph) Engine() *sim.Engine { return g.eng }
 
-// CPU returns the shared accounting core. All stacks in the graph
-// charge it, modeling one submitting host core per leaf aggregated.
-func (g *Graph) CPU() *cpu.Core { return g.cpu }
+// CPU returns the aggregate accounting view over the whole core set. On
+// a one-core (legacy) topology this is the core itself, bit-exact with
+// the historical single-core model; on larger sets it is a fresh summed
+// snapshot — use CoreSet for the per-core split.
+func (g *Graph) CPU() *cpu.Core { return g.cores.Aggregate() }
+
+// CoreSet returns the topology's cores: per-core accounting,
+// utilization, arbitration counters, and the BusyCores denominator of
+// IOPS-per-core.
+func (g *Graph) CoreSet() *cpu.CoreSet { return g.cores }
 
 // ExportedBytes reports the root layer's host-visible capacity.
 func (g *Graph) ExportedBytes() int64 { return g.root.exported }
@@ -296,10 +355,14 @@ func (g *Graph) WearStats() []ssd.WearReport {
 	return out
 }
 
-// Finalize settles deferred accounting on every SPDK stack in the
-// graph. Call once after the run's events have drained.
+// Finalize settles deferred accounting — the SPDK continuous poll spin
+// and the io_uring SQPOLL thread spin — on every stack in the graph.
+// Call once after the run's events have drained.
 func (g *Graph) Finalize() {
 	for _, st := range g.spdks {
+		st.Finalize(g.eng.Now())
+	}
+	for _, st := range g.urings {
 		st.Finalize(g.eng.Now())
 	}
 }

@@ -1,13 +1,21 @@
-// Package cpu models the host CPU as an accounting target: per-function
-// busy time and memory-instruction (load/store) counters, split into user
-// and kernel mode. It reproduces what the paper measured with Intel VTune
-// and the FIO reports: CPU utilization (Figures 12, 13, 20), cycle
-// breakdowns (Figure 14), and memory-instruction counts and breakdowns
-// (Figures 15, 21, 22).
+// Package cpu models the host CPU two ways at once.
 //
-// The core does not arbitrate execution — the stacks charge it as work
-// happens — but it owns the scheduler-tick model that penalizes busy
-// polling (Figure 11's tail inversion).
+// Core is the accounting view: per-function busy time and
+// memory-instruction (load/store) counters, split into user and kernel
+// mode — what the paper measured with Intel VTune and the FIO reports:
+// CPU utilization (Figures 12, 13, 20), cycle breakdowns (Figure 14),
+// and memory-instruction counts and breakdowns (Figures 15, 21, 22). It
+// also owns the scheduler-tick model that penalizes busy polling
+// (Figure 11's tail inversion).
+//
+// CoreSet is the arbitration view (sched.go): N cores, each a real
+// contended resource. Stacks execute work through a Proc handle —
+// claim the core, hold it for the work's duration, pay run-queue
+// dispatch when the core was busy, pay wakeup migration when an
+// interrupt resumes a sleeper, pin a core outright for a busy-polling
+// reactor. A one-core set arbitrates nothing (every Proc operation is
+// the plain accounting charge), so the historical single-core model is
+// the exact N=1 lowering of this one.
 package cpu
 
 import "repro/internal/sim"
@@ -33,6 +41,9 @@ const (
 	FnSPDKProcess           // spdk_nvme_qpair_process_completions()
 	FnPCIeProcess           // nvme_pcie_qpair_process_completions()
 	FnQpairCheck            // nvme_qpair_check_enabled()
+	FnUringSubmit           // io_uring_enter SQE fetch/build/doorbell
+	FnUringReap             // io_uring CQE posting + ring completion
+	FnSQPoll                // io_sq_thread() SQPOLL kernel-thread loop
 	FnOther                 // everything else (tick work, misc kernel)
 	NumFns
 )
@@ -42,6 +53,7 @@ var fnNames = [NumFns]string{
 	"blk_mq_poll", "nvme_poll", "isr", "context_switch", "hrtimer",
 	"spdk_submit", "spdk_nvme_qpair_process_completions",
 	"nvme_pcie_qpair_process_completions", "nvme_qpair_check_enabled",
+	"io_uring_submit", "io_uring_reap", "io_sq_thread",
 	"other",
 }
 
@@ -152,11 +164,18 @@ func (c *Core) Stores() uint64 {
 }
 
 // Utilization is a user/kernel/idle percentage split over a wall-clock
-// window.
+// window, plus the raw over-subscription factor the split was derived
+// from.
 type Utilization struct {
 	User   float64
 	Kernel float64
 	Idle   float64
+	// Oversub is the raw busy/wall ratio before any clamping: 1.0 means
+	// exactly one core's worth of work landed in the window, 2.0 means
+	// the accounting demanded two cores. The User/Kernel split clamps to
+	// 100% for display compatibility, but the overflow is exactly the
+	// multi-core demand signal — it used to be discarded silently.
+	Oversub float64
 }
 
 // Utilization reports the split for a run of the given duration.
@@ -166,14 +185,17 @@ func (c *Core) Utilization(wall sim.Time) Utilization {
 	}
 	u := 100 * float64(c.UserTime()) / float64(wall)
 	k := 100 * float64(c.KernelTime()) / float64(wall)
+	raw := (u + k) / 100
 	if u+k > 100 {
-		// Accounting can slightly exceed wall time when charges overlap
-		// (async completions); clamp proportionally.
+		// Accounting exceeds wall time when charges overlap (async
+		// completions) or when one accounting core absorbs several
+		// cores' worth of work (an SQPOLL thread beside the submitter);
+		// clamp the split proportionally and report the factor raw.
 		scale := 100 / (u + k)
 		u *= scale
 		k *= scale
 	}
-	return Utilization{User: u, Kernel: k, Idle: 100 - u - k}
+	return Utilization{User: u, Kernel: k, Idle: 100 - u - k, Oversub: raw}
 }
 
 // TicksIn reports how many scheduler ticks fire in the half-open wall

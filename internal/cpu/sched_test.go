@@ -1,0 +1,206 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestUtilizationOversub verifies the over-subscription factor is
+// surfaced raw while the displayed split stays clamped: the regression
+// the old code hid by clamping silently.
+func TestUtilizationOversub(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnAppUser, 500*sim.Microsecond, 0, 0)
+	c.Charge(FnVFS, 1500*sim.Microsecond, 0, 0)
+	u := c.Utilization(1 * sim.Millisecond)
+	if u.Oversub != 2.0 {
+		t.Fatalf("Oversub = %v, want 2.0", u.Oversub)
+	}
+	// The clamped split is unchanged from the historical behavior:
+	// proportional scaling to 100%.
+	if u.User != 25 || u.Kernel != 75 || u.Idle != 0 {
+		t.Fatalf("clamped split = %+v, want 25/75/0", u)
+	}
+}
+
+// TestUtilizationOversubUnderload pins Oversub below saturation too: the
+// field is the raw ratio, not an overflow-only signal.
+func TestUtilizationOversubUnderload(t *testing.T) {
+	c := NewCore()
+	c.Charge(FnAppUser, 100*sim.Microsecond, 0, 0)
+	c.Charge(FnVFS, 300*sim.Microsecond, 0, 0)
+	u := c.Utilization(1 * sim.Millisecond)
+	if u.Oversub != 0.4 {
+		t.Fatalf("Oversub = %v, want 0.4", u.Oversub)
+	}
+	if u.User != 10 || u.Kernel != 30 || u.Idle != 60 {
+		t.Fatalf("split = %+v", u)
+	}
+}
+
+// TestFnModeExhaustive is the enum-hygiene table: every Fn, including
+// ones added later, must have an explicit expected Kernel()/Driver()
+// classification here. A new Fn that is not added to the table fails.
+func TestFnModeExhaustive(t *testing.T) {
+	table := map[Fn]struct {
+		kernel bool
+		driver bool
+	}{
+		FnAppUser:     {false, false},
+		FnSyscall:     {true, false},
+		FnVFS:         {true, false},
+		FnExt4:        {true, false},
+		FnBlkMQSubmit: {true, false},
+		FnNVMeDriver:  {true, true},
+		FnBlkMQPoll:   {true, false},
+		FnNVMePoll:    {true, true},
+		FnISR:         {true, false},
+		FnCtxSwitch:   {true, false},
+		FnTimer:       {true, false},
+		FnSPDKSubmit:  {false, false},
+		FnSPDKProcess: {false, false},
+		FnPCIeProcess: {false, false},
+		FnQpairCheck:  {false, false},
+		FnUringSubmit: {true, false},
+		FnUringReap:   {true, false},
+		FnSQPoll:      {true, false},
+		FnOther:       {true, false},
+	}
+	if len(table) != int(NumFns) {
+		t.Fatalf("table covers %d fns, enum has %d — extend the table", len(table), NumFns)
+	}
+	for f := Fn(0); f < NumFns; f++ {
+		want, ok := table[f]
+		if !ok {
+			t.Fatalf("fn %d (%s) missing from the table", f, f)
+		}
+		if got := f.Kernel(); got != want.kernel {
+			t.Errorf("%s.Kernel() = %v, want %v", f, got, want.kernel)
+		}
+		if got := f.Driver(); got != want.driver {
+			t.Errorf("%s.Driver() = %v, want %v", f, got, want.driver)
+		}
+	}
+}
+
+// TestFnNamesCoverEnum guards fnNames against drifting from NumFns: the
+// array length is compiler-enforced, so the failure mode is an empty or
+// duplicated slot when a new Fn forgets its name.
+func TestFnNamesCoverEnum(t *testing.T) {
+	if len(fnNames) != int(NumFns) {
+		t.Fatalf("fnNames has %d entries, enum has %d", len(fnNames), NumFns)
+	}
+	seen := map[string]Fn{}
+	for f := Fn(0); f < NumFns; f++ {
+		name := fnNames[f]
+		if name == "" {
+			t.Fatalf("fn %d has no name", f)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("fn %d and %d share the name %q", prev, f, name)
+		}
+		seen[name] = f
+	}
+}
+
+func TestCoreSetSoloIsLegacy(t *testing.T) {
+	cs := NewCoreSet(1)
+	if cs.Arbitrating() {
+		t.Fatal("one-core set must not arbitrate")
+	}
+	p := cs.Proc(0)
+	if got := p.Claim(100); got != 100 {
+		t.Fatalf("solo Claim moved the start: %v", got)
+	}
+	p.Hold(100, 500)
+	if got := p.Claim(150); got != 150 {
+		t.Fatalf("solo Hold occupied the core: claim at %v", got)
+	}
+	if got := p.Wake(100); got != 0 {
+		t.Fatalf("solo Wake cost %v, want 0", got)
+	}
+	if bt := cs.Core(0).BusyTime(); bt != 0 {
+		t.Fatalf("solo arbitration charged %v CPU", bt)
+	}
+	if cs.Aggregate() != cs.Core(0) {
+		t.Fatal("solo Aggregate must be core 0 itself")
+	}
+}
+
+func TestCoreSetClaimQueues(t *testing.T) {
+	cs := NewCoreSet(2)
+	cs.SetSchedCosts(SchedCosts{Dispatch: 100, Migration: 300})
+	p := cs.Proc(0)
+	start := p.Claim(1000)
+	if start != 1000 {
+		t.Fatalf("idle claim at %v", start)
+	}
+	p.Hold(start, 2000)
+	// A second claim mid-hold queues to the hold's end plus dispatch.
+	if got := p.Claim(1500); got != 2100 {
+		t.Fatalf("busy claim at %v, want 2100", got)
+	}
+	st := cs.Sched(0)
+	if st.Queued != 1 || st.QueueWait != 600 {
+		t.Fatalf("sched counters = %+v", st)
+	}
+	// The other core is independent.
+	if got := cs.Proc(1).Claim(1500); got != 1500 {
+		t.Fatalf("core 1 claim at %v", got)
+	}
+}
+
+func TestCoreSetWakePaysMigration(t *testing.T) {
+	cs := NewCoreSet(2)
+	cs.SetSchedCosts(SchedCosts{Dispatch: 100, Migration: 300})
+	p := cs.Proc(0)
+	if got := p.Wake(1000); got != 300 {
+		t.Fatalf("idle wake delay %v, want migration 300", got)
+	}
+	p.Hold(2000, 3000)
+	if got := p.Wake(2500); got != 800 {
+		t.Fatalf("busy wake delay %v, want 500 wait + 300 migration", got)
+	}
+	st := cs.Sched(0)
+	if st.Wakes != 2 || st.WakeWait != 500 {
+		t.Fatalf("sched counters = %+v", st)
+	}
+}
+
+func TestCoreSetAggregateSums(t *testing.T) {
+	cs := NewCoreSet(2)
+	cs.Core(0).Charge(FnAppUser, 100, 10, 5)
+	cs.Core(1).Charge(FnAppUser, 200, 20, 10)
+	cs.Core(1).Charge(FnVFS, 50, 1, 1)
+	agg := cs.Aggregate()
+	if a := agg.Acct(FnAppUser); a.Time != 300 || a.Loads != 30 || a.Stores != 15 || a.Calls != 2 {
+		t.Fatalf("aggregate app_user = %+v", a)
+	}
+	if agg.KernelTime() != 50 {
+		t.Fatalf("aggregate kernel time = %v", agg.KernelTime())
+	}
+	if got := cs.BusyCores(350); got != 1.0 {
+		t.Fatalf("BusyCores = %v, want 1.0", got)
+	}
+}
+
+func TestCoreSetPin(t *testing.T) {
+	cs := NewCoreSet(4)
+	cs.Proc(2).Pin()
+	if !cs.Pinned(2) || cs.Pinned(0) {
+		t.Fatal("pin state wrong")
+	}
+}
+
+func TestSoloProcOnExistingCore(t *testing.T) {
+	c := NewCore()
+	p := SoloProc(c)
+	p.Charge(FnVFS, 100, 10, 5)
+	if c.Acct(FnVFS).Time != 100 {
+		t.Fatal("SoloProc does not charge the wrapped core")
+	}
+	if p.Claim(50) != 50 || p.Wake(50) != 0 {
+		t.Fatal("SoloProc arbitrates")
+	}
+}

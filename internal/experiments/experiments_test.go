@@ -184,6 +184,7 @@ var shortSet = []string{
 	"tab1", "fig4a", "fig10", "fig12", "fig20", "fig23", "ext-lightq",
 	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
 	"ext-fsync", "ext-buffered", "ext-cachewb", "ext-ycsb", "ext-compaction",
+	"ext-percore", "ext-uring",
 }
 
 // raceSet trims the lane further for `go test -race -short`: the
@@ -199,6 +200,7 @@ var raceSet = []string{
 	"tab1", "fig6", "fig12", "fig23", "ext-lightq",
 	"ext-loadcurve", "ext-tenants", "ext-stripe", "ext-tier",
 	"ext-fsync", "ext-buffered", "ext-cachewb", "ext-ycsb", "ext-compaction",
+	"ext-percore", "ext-uring",
 }
 
 // laneIDs picks the experiment set for the current test mode: the whole
@@ -696,5 +698,191 @@ func TestCompactionPressureShowsInterference(t *testing.T) {
 	// The solo-getter baseline row must be quiet.
 	if first := tb.Rows[0]; first[6] != "0" || first[7] != "0" {
 		t.Fatalf("solo getter flushed or compacted: %v", first)
+	}
+}
+
+// TestPercoreFrontierShape is the acceptance check for the ext-percore
+// headline table: at saturation the kernel-bypass pollers (SPDK, then
+// io_uring SQPOLL) must own the top of the IOPS-per-core frontier, and
+// at the paced low-load point every interrupt-driven stack must bill
+// fewer cores than every polling stack.
+func TestPercoreFrontierShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race lane trims the sweep below the frontier's shape")
+	}
+	e, ok := ByID("ext-percore")
+	if !ok {
+		t.Fatal("ext-percore not registered")
+	}
+	tables := e.Run(Options{Quick: true})
+	tb := tables[0]
+	const colStack, colLoad, colBusy, colPerCore = 0, 1, 4, 5
+	perCore := map[string]float64{} // stack -> kIOPS/core at sat
+	lowBusy := map[string]float64{} // stack -> busy cores at the low point
+	for _, row := range tb.Rows {
+		switch row[colLoad] {
+		case "sat":
+			perCore[row[colStack]] = parseUS(t, row[colPerCore])
+		case "0.30":
+			lowBusy[row[colStack]] = parseUS(t, row[colBusy])
+		}
+	}
+	top, second := "", ""
+	for name, v := range perCore {
+		if top == "" || v > perCore[top] {
+			top, second = name, top
+		} else if second == "" || v > perCore[second] {
+			second = name
+		}
+	}
+	if top != "spdk" || second != "io_uring-sqpoll" {
+		t.Fatalf("saturation frontier top two = %q, %q (want spdk, io_uring-sqpoll): %v", top, second, perCore)
+	}
+	for _, intr := range []string{"kernel-int", "libaio", "io_uring"} {
+		for _, poll := range []string{"kernel-poll", "io_uring-sqpoll", "spdk"} {
+			if lowBusy[intr] >= lowBusy[poll] {
+				t.Fatalf("at low load %s bills %.3f cores, not below %s's %.3f",
+					intr, lowBusy[intr], poll, lowBusy[poll])
+			}
+		}
+	}
+}
+
+// TestPercoreContentionBites checks the core-contention table: the
+// legacy accounting-only row must out-deliver the arbitrated 2-core row
+// (CPU pushes back only when arbitrated), adding cores must win back
+// throughput, and the 2-core run-queue must actually have queued.
+func TestPercoreContentionBites(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race lane trims the core sweep to one point")
+	}
+	e, _ := ByID("ext-percore")
+	tb := e.Run(Options{Quick: true})[1]
+	const colIOPS, colQueued = 1, 5
+	byLabel := map[string][]string{}
+	for _, row := range tb.Rows {
+		byLabel[row[0]] = row
+	}
+	legacy := parseUS(t, byLabel["legacy"][colIOPS])
+	two := parseUS(t, byLabel["2"][colIOPS])
+	four := parseUS(t, byLabel["4"][colIOPS])
+	if !(legacy > four && four > two) {
+		t.Fatalf("contention ordering wrong: legacy %.1f, 4 cores %.1f, 2 cores %.1f", legacy, four, two)
+	}
+	if byLabel["2"][colQueued] == "0" {
+		t.Fatal("2-core run never queued a claim")
+	}
+	if byLabel["legacy"][colQueued] != "0" {
+		t.Fatal("legacy (non-arbitrating) run queued claims")
+	}
+}
+
+// TestPercoreBudgetCaps checks the tenant-budget table: a 0.25-core
+// budget at 2.5us per op must pin throughput to ~100k IOPS while the
+// unbudgeted baseline absorbs the full offered load.
+func TestPercoreBudgetCaps(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race lane runs one budget point")
+	}
+	e, _ := ByID("ext-percore")
+	tb := e.Run(Options{Quick: true})[2]
+	byLabel := map[string][]string{}
+	for _, row := range tb.Rows {
+		byLabel[row[0]] = row
+	}
+	free := parseUS(t, byLabel["none"][1])
+	quarter := parseUS(t, byLabel["0.25"][1])
+	if free < 230 {
+		t.Fatalf("unbudgeted baseline delivered %.1f kIOPS of the 250k offered", free)
+	}
+	if quarter < 90 || quarter > 110 {
+		t.Fatalf("0.25-core budget delivered %.1f kIOPS, want ~100", quarter)
+	}
+	if byLabel["none"][2] != "0.0" {
+		t.Fatal("unbudgeted baseline reported CPU throttling")
+	}
+}
+
+// TestUringAdaptiveBeatsFixed is the acceptance check for the ext-uring
+// scheme table: the adaptive hybrid must beat the kernel's fixed
+// half-mean scheme on the CPU bill without giving up the tail, and must
+// land poll-class p99 at well under half of poll's CPU.
+func TestUringAdaptiveBeatsFixed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race lane trims the scheme sweep")
+	}
+	e, ok := ByID("ext-uring")
+	if !ok {
+		t.Fatal("ext-uring not registered")
+	}
+	tb := e.Run(Options{Quick: true})[0]
+	const colP99, colCPU = 3, 5
+	rows := map[string][]string{}
+	for _, row := range tb.Rows {
+		rows[row[0]] = row
+	}
+	adaptCPU := parseUS(t, rows["io_uring-hybrid"][colCPU])
+	fixedCPU := parseUS(t, rows["kernel-hybrid"][colCPU])
+	adaptP99 := parseUS(t, rows["io_uring-hybrid"][colP99])
+	fixedP99 := parseUS(t, rows["kernel-hybrid"][colP99])
+	if adaptCPU >= fixedCPU {
+		t.Fatalf("adaptive hybrid CPU %.2f us/IO not below fixed scheme's %.2f", adaptCPU, fixedCPU)
+	}
+	if adaptP99 > fixedP99 {
+		t.Fatalf("adaptive hybrid paid for its CPU win with the tail: p99 %.2f vs %.2f us", adaptP99, fixedP99)
+	}
+	pollCPU := parseUS(t, rows["io_uring-poll"][colCPU])
+	pollP99 := parseUS(t, rows["io_uring-poll"][colP99])
+	if adaptCPU > pollCPU/2 {
+		t.Fatalf("adaptive hybrid CPU %.2f us/IO not under half of poll's %.2f", adaptCPU, pollCPU)
+	}
+	if adaptP99 > pollP99*1.15 {
+		t.Fatalf("adaptive hybrid p99 %.2f us not poll-class (poll: %.2f)", adaptP99, pollP99)
+	}
+}
+
+// TestUringSQPollCrossover checks the second ext-uring table: interrupt
+// completion owns the busy-cores column at the paced low point, SQPOLL
+// owns IOPS-per-core at the saturating top point.
+func TestUringSQPollCrossover(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race lane runs one crossover point")
+	}
+	e, _ := ByID("ext-uring")
+	tb := e.Run(Options{Quick: true})[1]
+	const colBusy, colPerCore = 4, 5
+	cell := func(stack, load string, col int) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == stack && row[1] == load {
+				return parseUS(t, row[col])
+			}
+		}
+		t.Fatalf("no row for %s at load %s", stack, load)
+		return 0
+	}
+	if ib, sb := cell("io_uring-int", "0.30", colBusy), cell("io_uring-sqpoll", "0.30", colBusy); ib >= sb {
+		t.Fatalf("at low load interrupt bills %.3f cores, not below SQPOLL's %.3f", ib, sb)
+	}
+	if ip, sp := cell("io_uring-int", "32", colPerCore), cell("io_uring-sqpoll", "32", colPerCore); sp <= ip {
+		t.Fatalf("at saturation SQPOLL delivers %.1f kIOPS/core, not above interrupt's %.1f", sp, ip)
+	}
+}
+
+// TestPercoreUringExperimentsDeterministic renders the per-core pair
+// twice serially and once through 4 workers: all three must be
+// byte-identical for a fixed seed (the ISSUE 8 acceptance bar).
+func TestPercoreUringExperimentsDeterministic(t *testing.T) {
+	if raceEnabled && testing.Short() {
+		t.Skip("three full lanes are too slow under the race detector; TestParallelMatchesSerial covers these experiments")
+	}
+	ids := []string{"ext-percore", "ext-uring"}
+	a := renderLane(t, Options{Quick: true, Seed: 0xc04e, Parallel: 1}, ids)
+	b := renderLane(t, Options{Quick: true, Seed: 0xc04e, Parallel: 1}, ids)
+	if a != b {
+		t.Fatal("repeat serial runs differ for a fixed seed")
+	}
+	c := renderLane(t, Options{Quick: true, Seed: 0xc04e, Parallel: 4}, ids)
+	if a != c {
+		t.Fatalf("parallel-4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/uring"
 	"repro/internal/workload"
 )
 
@@ -230,6 +231,21 @@ func syncSystem(dev ssd.Config, mode kernel.Mode, seed uint64) *core.System {
 	cfg := core.DefaultConfig(dev)
 	cfg.Stack = core.KernelSync
 	cfg.Mode = mode
+	cfg.Precondition = precondFraction
+	cfg.Device.Seed = dev.Seed ^ seed
+	return core.NewSystem(cfg)
+}
+
+// uringSystem builds a preconditioned io_uring system in the given
+// completion mode. cores sizes the host CoreSet: 0 keeps the legacy
+// single accounting core; SQPoll callers pass >= 2 so the submission
+// thread's spin lands on its own pinned core instead of stacking onto
+// the app's as oversubscription.
+func uringSystem(dev ssd.Config, mode uring.Mode, cores int, seed uint64) *core.System {
+	cfg := core.DefaultConfig(dev)
+	cfg.Stack = core.IOUring
+	cfg.Uring = uring.Config{Mode: mode}
+	cfg.Cores = cores
 	cfg.Precondition = precondFraction
 	cfg.Device.Seed = dev.Seed ^ seed
 	return core.NewSystem(cfg)

@@ -37,7 +37,7 @@ func (m Mode) String() string {
 type SyncStack struct {
 	eng   *sim.Engine
 	qp    *nvme.QueuePair
-	core  *cpu.Core
+	proc  *cpu.Proc
 	costs Costs
 	mode  Mode
 	rng   *sim.RNG
@@ -86,13 +86,22 @@ func (m *latencyMean) mean() sim.Time {
 	return m.sum / sim.Time(m.count)
 }
 
-// NewSyncStack wires a synchronous stack onto a queue pair. The stack
-// owns the queue pair's completion delivery configuration.
+// NewSyncStack wires a synchronous stack onto a queue pair using the
+// legacy single-core accounting model. The stack owns the queue pair's
+// completion delivery configuration.
 func NewSyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs, mode Mode) *SyncStack {
+	return NewSyncStackOn(eng, qp, cpu.SoloProc(core), costs, mode)
+}
+
+// NewSyncStackOn wires a synchronous stack onto a queue pair, executing
+// on the given core handle: submission and completion work claims and
+// holds the core, the poll loop spins on it, and interrupt wakeups pay
+// the scheduler's migration cost when the core set arbitrates.
+func NewSyncStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs Costs, mode Mode) *SyncStack {
 	s := &SyncStack{
 		eng:    eng,
 		qp:     qp,
-		core:   core,
+		proc:   proc,
 		costs:  costs,
 		mode:   mode,
 		rng:    sim.NewRNG(0x517ac4),
@@ -132,11 +141,11 @@ func NewSyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Cos
 func (s *SyncStack) Mode() Mode { return s.mode }
 
 func (s *SyncStack) charge(fn cpu.Fn, c StageCost) {
-	s.core.Charge(fn, c.Time, c.Loads, c.Stores)
+	s.proc.Charge(fn, c.Time, c.Loads, c.Stores)
 }
 
 func (s *SyncStack) chargeN(fn cpu.Fn, c StageCost, n int64) {
-	s.core.Charge(fn, c.Time*sim.Time(n), c.Loads*uint64(n), c.Stores*uint64(n))
+	s.proc.Charge(fn, c.Time*sim.Time(n), c.Loads*uint64(n), c.Stores*uint64(n))
 }
 
 // Submit issues one synchronous I/O. done fires when control returns to
@@ -160,6 +169,11 @@ func (s *SyncStack) begin(write, flush bool, offset int64, length int, done func
 	}
 	s.busy = true
 
+	// Acquire the core: on a contended set the submission queues behind
+	// whatever the core is doing (zero delay on the legacy solo core).
+	now := s.eng.Now()
+	start := s.proc.Claim(now)
+
 	// Submission pipeline: user setup, syscall entry, VFS, blk-mq, driver.
 	s.charge(cpu.FnAppUser, s.costs.AppSetup)
 	s.charge(cpu.FnSyscall, half(s.costs.Syscall))
@@ -169,6 +183,7 @@ func (s *SyncStack) begin(write, flush bool, offset int64, length int, done func
 
 	submitDelay := s.costs.AppSetup.Time + s.costs.Syscall.Time/2 +
 		s.costs.VFS.Time + s.costs.BlkMQ.Time + s.costs.Driver.Time
+	s.proc.Hold(start, start+submitDelay)
 
 	io := &s.io
 	*io = syncIO{
@@ -178,12 +193,12 @@ func (s *SyncStack) begin(write, flush bool, offset int64, length int, done func
 		length: length,
 		cid:    s.nextCID,
 		done:   done,
-		start:  s.eng.Now(),
+		start:  now,
 	}
 	s.current = io
 	s.nextCID++
 
-	s.eng.After(submitDelay, s.ringFn)
+	s.eng.After(start-now+submitDelay, s.ringFn)
 }
 
 // armHybridSleep computes the adaptive sleep. With no history (or a tiny
@@ -223,9 +238,10 @@ func (s *SyncStack) onVisible() {
 	}
 
 	iter := s.costs.PollIter()
-	// The loop starts at pollStart (+ wake path) and observes the entry
-	// at the first iteration boundary at or after tc.
-	base := pollStart + wakeCost
+	// The loop starts at pollStart (+ wake path, + run-queue wait if the
+	// core set is contended) and observes the entry at the first
+	// iteration boundary at or after tc.
+	base := s.proc.Claim(pollStart + wakeCost)
 	wait := tc - base
 	var iters int64
 	if wait <= 0 {
@@ -239,22 +255,26 @@ func (s *SyncStack) onVisible() {
 
 	// Two tail penalties hit busy pollers but not interrupt waiters.
 	// Scheduler ticks during the poll preempt the poller outright.
-	ticks := s.core.TicksIn(base, detect)
+	core := s.proc.Core()
+	ticks := core.TicksIn(base, detect)
 	if ticks > 0 {
-		penalty := sim.Time(ticks) * s.core.TickWork
-		s.core.Charge(cpu.FnOther, penalty, 40*uint64(ticks), 20*uint64(ticks))
+		penalty := sim.Time(ticks) * core.TickWork
+		s.proc.Charge(cpu.FnOther, penalty, 40*uint64(ticks), 20*uint64(ticks))
 		detect += penalty
 	}
 	// And long waits absorb the deferred kernel work an idle core would
 	// have soaked up: the Figure 11 inversion for sub-tick tails.
 	if wait > s.costs.PollStealThreshold && s.costs.PollStealFrac > 0 {
 		steal := sim.Time(float64(wait) * s.costs.PollStealFrac)
-		s.core.Charge(cpu.FnOther, steal, uint64(steal/sim.Microsecond)*12, uint64(steal/sim.Microsecond)*5)
+		s.proc.Charge(cpu.FnOther, steal, uint64(steal/sim.Microsecond)*12, uint64(steal/sim.Microsecond)*5)
 		detect += steal
 	}
 
 	s.chargeN(cpu.FnBlkMQPoll, s.costs.PollIterBlk, iters)
 	s.chargeN(cpu.FnNVMePoll, s.costs.PollIterNVMe, iters)
+
+	// The spinning task owns the core for the whole detection window.
+	s.proc.Spin(base, detect)
 
 	s.eng.At(detect, s.detectFn)
 }
@@ -271,7 +291,12 @@ func (s *SyncStack) onMSI() {
 	}
 	s.charge(cpu.FnISR, s.costs.ISR)
 	s.charge(cpu.FnCtxSwitch, s.costs.CtxSwitch)
+	now := s.eng.Now()
+	// Under arbitration the IRQ wakeup pays migration plus any run-queue
+	// wait, and the ISR + context-switch work occupies the core.
 	delay := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.WakeLatency
+	delay += s.proc.Wake(now)
+	s.proc.Hold(now, now+s.costs.ISR.Time+s.costs.CtxSwitch.Time)
 	s.eng.After(delay, s.finishCur)
 }
 
@@ -283,6 +308,8 @@ func (s *SyncStack) finish(io *syncIO) {
 		exit += s.costs.PollComplete.Time
 	}
 	s.charge(cpu.FnSyscall, half(s.costs.Syscall))
+	now := s.eng.Now()
+	s.proc.Hold(now, now+exit)
 	s.eng.After(exit, s.settleFn)
 }
 
@@ -318,7 +345,7 @@ func half(c StageCost) StageCost {
 type AsyncStack struct {
 	eng   *sim.Engine
 	qp    *nvme.QueuePair
-	core  *cpu.Core
+	proc  *cpu.Proc
 	costs Costs
 
 	// pending is a direct-mapped CID table (the CID space is uint16, so
@@ -352,12 +379,21 @@ type asyncIO struct {
 	next     *asyncIO
 }
 
-// NewAsyncStack wires an asynchronous stack onto a queue pair.
+// NewAsyncStack wires an asynchronous stack onto a queue pair using the
+// legacy single-core accounting model.
 func NewAsyncStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) *AsyncStack {
+	return NewAsyncStackOn(eng, qp, cpu.SoloProc(core), costs)
+}
+
+// NewAsyncStackOn wires an asynchronous stack onto a queue pair,
+// executing on the given core handle: io_submit work queues behind and
+// then holds the core, and the io_getevents reap path pays the wakeup
+// migration cost when the core set arbitrates.
+func NewAsyncStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs Costs) *AsyncStack {
 	s := &AsyncStack{
 		eng:     eng,
 		qp:      qp,
-		core:    core,
+		proc:    proc,
 		costs:   costs,
 		pending: make([]*asyncIO, 1<<16),
 	}
@@ -405,14 +441,18 @@ func (s *AsyncStack) Flush(done func()) {
 }
 
 func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done func()) {
-	s.core.Charge(cpu.FnAppUser, s.costs.AppSetup.Time, s.costs.AppSetup.Loads, s.costs.AppSetup.Stores)
-	s.core.Charge(cpu.FnSyscall, s.costs.Syscall.Time, s.costs.Syscall.Loads, s.costs.Syscall.Stores)
-	s.core.Charge(cpu.FnVFS, s.costs.VFS.Time, s.costs.VFS.Loads, s.costs.VFS.Stores)
-	s.core.Charge(cpu.FnBlkMQSubmit, s.costs.BlkMQ.Time, s.costs.BlkMQ.Loads, s.costs.BlkMQ.Stores)
-	s.core.Charge(cpu.FnNVMeDriver, s.costs.Driver.Time, s.costs.Driver.Loads, s.costs.Driver.Stores)
+	now := s.eng.Now()
+	start := s.proc.Claim(now)
+
+	s.proc.Charge(cpu.FnAppUser, s.costs.AppSetup.Time, s.costs.AppSetup.Loads, s.costs.AppSetup.Stores)
+	s.proc.Charge(cpu.FnSyscall, s.costs.Syscall.Time, s.costs.Syscall.Loads, s.costs.Syscall.Stores)
+	s.proc.Charge(cpu.FnVFS, s.costs.VFS.Time, s.costs.VFS.Loads, s.costs.VFS.Stores)
+	s.proc.Charge(cpu.FnBlkMQSubmit, s.costs.BlkMQ.Time, s.costs.BlkMQ.Loads, s.costs.BlkMQ.Stores)
+	s.proc.Charge(cpu.FnNVMeDriver, s.costs.Driver.Time, s.costs.Driver.Loads, s.costs.Driver.Stores)
 
 	submitDelay := s.costs.AppSetup.Time + s.costs.Syscall.Time/2 +
 		s.costs.VFS.Time + s.costs.BlkMQ.Time + s.costs.Driver.Time
+	s.proc.Hold(start, start+submitDelay)
 
 	io := s.getIO()
 	io.write = write
@@ -427,7 +467,7 @@ func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done fun
 	}
 	s.pending[io.cid] = io
 	s.nOut++
-	s.eng.After(submitDelay, io.submitFn)
+	s.eng.After(start-now+submitDelay, io.submitFn)
 }
 
 // onMSI reaps every visible completion, charging the ISR path per CQE.
@@ -448,8 +488,8 @@ func (s *AsyncStack) onMSI() {
 		s.nOut--
 		done := io.done
 		s.putIO(io)
-		s.core.Charge(cpu.FnISR, s.costs.ISR.Time, s.costs.ISR.Loads, s.costs.ISR.Stores)
-		s.core.Charge(cpu.FnCtxSwitch, s.costs.CtxSwitch.Time, s.costs.CtxSwitch.Loads, s.costs.CtxSwitch.Stores)
+		s.proc.Charge(cpu.FnISR, s.costs.ISR.Time, s.costs.ISR.Loads, s.costs.ISR.Stores)
+		s.proc.Charge(cpu.FnCtxSwitch, s.costs.CtxSwitch.Time, s.costs.CtxSwitch.Loads, s.costs.CtxSwitch.Stores)
 		if b == nil {
 			b = s.getBatch()
 		}
@@ -461,9 +501,13 @@ func (s *AsyncStack) onMSI() {
 	// Every reaped CQE observes the same delay, so the whole batch rides
 	// one scheduled event; the dones run in reap order, which preserves
 	// the firing order the per-CQE events had (their sequence numbers
-	// were consecutive).
+	// were consecutive). Under arbitration the reaping task additionally
+	// pays the wakeup cost and occupies the core for the reap span.
 	reap := s.costs.ISR.Time + s.costs.CtxSwitch.Time + s.costs.Syscall.Time/2
-	s.eng.AfterArg(reap, s.deliverFn, b)
+	now := s.eng.Now()
+	extra := s.proc.Wake(now)
+	s.proc.Hold(now+extra, now+extra+reap)
+	s.eng.AfterArg(extra+reap, s.deliverFn, b)
 }
 
 func (s *AsyncStack) getBatch() *doneBatch {

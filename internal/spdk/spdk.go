@@ -57,7 +57,7 @@ func DefaultCosts() Costs {
 type Stack struct {
 	eng   *sim.Engine
 	qp    *nvme.QueuePair
-	core  *cpu.Core
+	proc  *cpu.Proc
 	costs Costs
 
 	// pending is a direct-mapped CID table (the CID space is uint16, so
@@ -110,15 +110,27 @@ func (s *Stack) getReq() *spdkReq {
 	return r
 }
 
-// NewStack wires an SPDK stack onto a queue pair; interrupts are disabled
-// permanently (userspace cannot service them).
+// NewStack wires an SPDK stack onto a queue pair using the legacy
+// single-core accounting model; interrupts are disabled permanently
+// (userspace cannot service them).
 func NewStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) *Stack {
+	return NewStackOn(eng, qp, cpu.SoloProc(core), costs)
+}
+
+// NewStackOn wires an SPDK stack onto a queue pair, executing on the
+// given core handle. The reactor pins its core outright — SPDK's
+// thread-per-core model — so topology lowering keeps other stacks off it
+// when the core set arbitrates.
+func NewStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs Costs) *Stack {
 	s := &Stack{
 		eng:     eng,
 		qp:      qp,
-		core:    core,
+		proc:    proc,
 		costs:   costs,
 		pending: make([]func(), 1<<16),
+	}
+	if proc.Set().Arbitrating() {
+		proc.Pin()
 	}
 	qp.EnableInterrupts(false)
 	qp.SetCompletionHook(s.onVisible)
@@ -128,7 +140,7 @@ func NewStack(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, costs Costs) 
 }
 
 func (s *Stack) charge(fn cpu.Fn, c StageCost) {
-	s.core.Charge(fn, c.Time, c.Loads, c.Stores)
+	s.proc.Charge(fn, c.Time, c.Loads, c.Stores)
 }
 
 // Submit issues one I/O through the userspace driver.
@@ -263,7 +275,7 @@ func (s *Stack) Finalize(end sim.Time) {
 	// Subtract time already charged explicitly to user functions so the
 	// utilization sums to ~100%, not above.
 	for _, fn := range []cpu.Fn{cpu.FnAppUser, cpu.FnSPDKSubmit, cpu.FnSPDKProcess, cpu.FnQpairCheck} {
-		span -= s.core.Acct(fn).Time
+		span -= s.proc.Core().Acct(fn).Time
 	}
 	if span <= 0 {
 		return
@@ -273,7 +285,7 @@ func (s *Stack) Finalize(end sim.Time) {
 		return
 	}
 	chargeIter := func(fn cpu.Fn, c StageCost) {
-		s.core.Charge(fn, c.Time*sim.Time(iters), c.Loads*uint64(iters), c.Stores*uint64(iters))
+		s.proc.Charge(fn, c.Time*sim.Time(iters), c.Loads*uint64(iters), c.Stores*uint64(iters))
 	}
 	chargeIter(cpu.FnSPDKProcess, s.costs.IterProcess)
 	chargeIter(cpu.FnPCIeProcess, s.costs.IterPCIe)

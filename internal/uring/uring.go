@@ -1,0 +1,600 @@
+// Package uring models a Linux 5.x io_uring storage path: the submission
+// and completion rings the paper's pvsync2/libaio/SPDK trio predates.
+// Applications prep SQEs in shared memory (no per-I/O syscall cost
+// beyond the prep itself), one io_uring_enter flushes every SQE prepped
+// since the last flush (batch amortization), and completions are reaped
+// as CQE batches — one ISR + context switch per interrupt rather than
+// libaio's per-CQE charge, which is exactly where the IOPS-per-core win
+// comes from. Four completion modes span the paper's design space:
+// interrupt, IOPOLL busy polling, adaptive hybrid polling (AIMD-tuned
+// sleep, unlike the kernel's fixed half-mean scheme), and SQPOLL, which
+// pins a dedicated kernel thread to its own core and eliminates even the
+// submission syscall.
+package uring
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/nvme"
+	"repro/internal/sim"
+)
+
+// Mode selects the completion method of an io_uring stack.
+type Mode int
+
+// The four completion modes.
+const (
+	Interrupt Mode = iota // MSI + batched CQE reap in io_uring_enter
+	Poll                  // IORING_SETUP_IOPOLL: spin in io_iopoll_check
+	Hybrid                // adaptive sleep-then-poll (AIMD-tuned delay)
+	SQPoll                // IORING_SETUP_SQPOLL: dedicated kernel thread
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Interrupt:
+		return "interrupt"
+	case Poll:
+		return "poll"
+	case Hybrid:
+		return "hybrid"
+	case SQPoll:
+		return "sqpoll"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves a mode name; ok is false for unknown names.
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "interrupt":
+		return Interrupt, true
+	case "poll":
+		return Poll, true
+	case "hybrid":
+		return Hybrid, true
+	case "sqpoll":
+		return SQPoll, true
+	default:
+		return 0, false
+	}
+}
+
+// StageCost mirrors kernel.StageCost for the io_uring path.
+type StageCost struct {
+	Time   sim.Time
+	Loads  uint64
+	Stores uint64
+}
+
+// Costs is the calibrated cost table of the io_uring datapath.
+type Costs struct {
+	// Submission.
+	Prep      StageCost // SQE fill-in in the shared ring (user code)
+	Enter     StageCost // io_uring_enter syscall shell, once per batch
+	SubmitSQE StageCost // per-SQE fetch, io_kiocb setup, blk-mq+NVMe fast path
+
+	// Completion.
+	ReapCQE   StageCost // per-CQE posting + app-side completion handling
+	ISR       StageCost // MSI handling, once per interrupt (not per CQE)
+	CtxSwitch StageCost // sleep/wake pair around the enter wait
+
+	// IOPOLL iteration: the same blk_mq_poll/nvme_poll walk the classic
+	// polled path pays, entered from io_iopoll_check.
+	PollIterBlk  StageCost
+	PollIterNVMe StageCost
+
+	// SQPOLL: one io_sq_thread loop iteration (SQ check + IOPOLL drain),
+	// and the app-side lock-free CQ peek that replaces the reap syscall.
+	SQPollIter StageCost
+	SQPollPeek StageCost
+
+	// Adaptive hybrid polling: the hrtimer costs match the kernel path;
+	// the delay itself is tuned by AIMD between the bounds below rather
+	// than fixed at half the tracked mean.
+	TimerProgram    StageCost
+	TimerWake       StageCost
+	HybridDelayInit sim.Time
+	HybridMinDelay  sim.Time
+	HybridMaxDelay  sim.Time
+}
+
+// PollIter is the duration of one IOPOLL loop iteration.
+func (c *Costs) PollIter() sim.Time {
+	return c.PollIterBlk.Time + c.PollIterNVMe.Time
+}
+
+// DefaultCosts returns the calibrated io_uring cost table. The ratios
+// against the kernel table tell the measured story: prep is cheaper than
+// a pvsync2 setup (no engine glue around a syscall), the enter shell is
+// amortized over the batch, the per-SQE kernel path skips the VFS
+// re-validation the synchronous path pays, and reaping a CQE costs less
+// than a libaio event because the ISR/context-switch pair is charged per
+// interrupt instead of per completion.
+func DefaultCosts() Costs {
+	return Costs{
+		Prep:      StageCost{Time: 350 * sim.Nanosecond, Loads: 100, Stores: 70},
+		Enter:     StageCost{Time: 250 * sim.Nanosecond, Loads: 80, Stores: 50},
+		SubmitSQE: StageCost{Time: 550 * sim.Nanosecond, Loads: 160, Stores: 120},
+
+		ReapCQE:   StageCost{Time: 300 * sim.Nanosecond, Loads: 70, Stores: 45},
+		ISR:       StageCost{Time: 400 * sim.Nanosecond, Loads: 120, Stores: 60},
+		CtxSwitch: StageCost{Time: 500 * sim.Nanosecond, Loads: 90, Stores: 80},
+
+		PollIterBlk:  StageCost{Time: 80 * sim.Nanosecond, Loads: 11, Stores: 4},
+		PollIterNVMe: StageCost{Time: 20 * sim.Nanosecond, Loads: 5, Stores: 1},
+
+		SQPollIter: StageCost{Time: 180 * sim.Nanosecond, Loads: 30, Stores: 6},
+		SQPollPeek: StageCost{Time: 150 * sim.Nanosecond, Loads: 40, Stores: 10},
+
+		TimerProgram:    StageCost{Time: 150 * sim.Nanosecond, Loads: 40, Stores: 30},
+		TimerWake:       StageCost{Time: 650 * sim.Nanosecond, Loads: 110, Stores: 70},
+		HybridDelayInit: 5 * sim.Microsecond,
+		HybridMinDelay:  1 * sim.Microsecond,
+		HybridMaxDelay:  50 * sim.Microsecond,
+	}
+}
+
+// Config selects an io_uring stack variant.
+type Config struct {
+	Mode    Mode
+	SQDepth int    // SQ ring entries; a full ring forces an early flush (0 = 256)
+	Costs   *Costs // nil = DefaultCosts
+}
+
+// Stack is one io_uring instance on a queue pair. Any number of I/Os may
+// be outstanding up to the device queue depth.
+type Stack struct {
+	eng    *sim.Engine
+	qp     *nvme.QueuePair
+	proc   *cpu.Proc // submitter (application) core
+	sqProc *cpu.Proc // SQPOLL thread core; == proc outside SQPOLL
+	costs  Costs
+	mode   Mode
+	depth  int
+
+	// pending is a direct-mapped CID table (the CID space is uint16, so
+	// the table covers it fully — no hashing, no collisions).
+	pending []func()
+	nOut    int
+	nextCID uint16
+
+	// sq is the batch of SQEs prepped since the last ring flush; the
+	// flush event is armed by the first prep of a batch.
+	sq         []sqe
+	flushArmed bool
+	flushFn    func()
+	freeReq    *uringReq  // recycled doorbell contexts
+	freeBatch  *doneBatch // recycled completion batches
+	drainFn    func()     // bound once: batch-reap visible CQEs
+	deliverFn  func(any)  // bound once: deliver one reaped batch
+
+	// Poll/hybrid state.
+	pollSince sim.Time // spin window start; 0 = not spinning
+	drainAt   sim.Time // scheduled drain boundary, 0 if none
+	firstSeen sim.Time // hybrid: first CQE visibility in this wait
+	wakeAt    sim.Time // hybrid: armed wakeup; 0 = no sleep armed
+	delay     sim.Time // hybrid: current adaptive sleep
+
+	started    bool
+	firstStart sim.Time
+	finalized  bool
+}
+
+type sqe struct {
+	write  bool
+	flush  bool // fsync barrier SQE instead of a data transfer
+	offset int64
+	length int
+	cid    uint16
+}
+
+// uringReq carries one SQE across the doorbell delay; fn is bound once
+// and the object recycles itself right after ringing.
+type uringReq struct {
+	s      *Stack
+	write  bool
+	flush  bool
+	offset int64
+	length int
+	cid    uint16
+	fn     func()
+	next   *uringReq
+}
+
+func (s *Stack) getReq() *uringReq {
+	r := s.freeReq
+	if r == nil {
+		r = &uringReq{s: s}
+		r.fn = func() {
+			if r.flush {
+				r.s.qp.SubmitFlush(r.cid)
+			} else {
+				r.s.qp.Submit(r.write, r.offset, r.length, r.cid)
+			}
+			r.next = r.s.freeReq
+			r.s.freeReq = r
+		}
+		return r
+	}
+	s.freeReq = r.next
+	r.next = nil
+	return r
+}
+
+// doneBatch carries every completion reaped in one pass through the
+// delivery delay as a single scheduled event.
+type doneBatch struct {
+	dones []func()
+	next  *doneBatch
+}
+
+func (s *Stack) getBatch() *doneBatch {
+	b := s.freeBatch
+	if b == nil {
+		return &doneBatch{}
+	}
+	s.freeBatch = b.next
+	b.next = nil
+	return b
+}
+
+// New wires an io_uring stack onto a queue pair using the legacy
+// single-core accounting model. In SQPOLL mode the kernel thread's work
+// lands on the same accounting core as the submitter — the over-
+// subscription shows up in Utilization.Oversub rather than on a second
+// core.
+func New(eng *sim.Engine, qp *nvme.QueuePair, core *cpu.Core, cfg Config) *Stack {
+	return NewOn(eng, qp, cpu.SoloProc(core), nil, cfg)
+}
+
+// NewOn wires an io_uring stack onto a queue pair, executing on the
+// given core handle. sqProc, when non-nil, is the dedicated core of the
+// SQPOLL kernel thread (pinned, like an SPDK reactor); nil runs the
+// thread on the submitter's core.
+func NewOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, sqProc *cpu.Proc, cfg Config) *Stack {
+	costs := DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	depth := cfg.SQDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	if sqProc == nil || cfg.Mode != SQPoll {
+		sqProc = proc
+	}
+	s := &Stack{
+		eng:     eng,
+		qp:      qp,
+		proc:    proc,
+		sqProc:  sqProc,
+		costs:   costs,
+		mode:    cfg.Mode,
+		depth:   depth,
+		pending: make([]func(), 1<<16),
+		delay:   costs.HybridDelayInit,
+	}
+	if cfg.Mode == SQPoll && sqProc != proc && sqProc.Set().Arbitrating() {
+		sqProc.Pin()
+	}
+	s.flushFn = s.flush
+	s.drainFn = s.drain
+	s.deliverFn = s.deliver
+	if cfg.Mode == Interrupt {
+		qp.EnableInterrupts(true)
+		qp.SetMSIHandler(s.onMSI)
+	} else {
+		qp.EnableInterrupts(false)
+		qp.SetCompletionHook(s.onVisible)
+	}
+	return s
+}
+
+// Mode reports the configured completion mode.
+func (s *Stack) Mode() Mode { return s.mode }
+
+func (s *Stack) charge(p *cpu.Proc, fn cpu.Fn, c StageCost) {
+	p.Charge(fn, c.Time, c.Loads, c.Stores)
+}
+
+// Submit preps one I/O SQE; the ring flush armed by the first prep of a
+// batch submits every SQE prepped before it fires.
+func (s *Stack) Submit(write bool, offset int64, length int, done func()) {
+	s.begin(write, false, offset, length, done)
+}
+
+// Flush preps one fsync-barrier SQE (IORING_OP_FSYNC lowered to an NVMe
+// Flush) through the same ring path as data I/O.
+func (s *Stack) Flush(done func()) {
+	s.begin(false, true, 0, 0, done)
+}
+
+func (s *Stack) begin(write, flush bool, offset int64, length int, done func()) {
+	if !s.started {
+		s.started = true
+		s.firstStart = s.eng.Now()
+	}
+	s.charge(s.proc, cpu.FnAppUser, s.costs.Prep)
+
+	cid := s.nextCID
+	s.nextCID++
+	if s.pending[cid] != nil {
+		panic(fmt.Sprintf("uring: CID %d reused while outstanding", cid))
+	}
+	s.pending[cid] = done
+	s.nOut++
+	s.sq = append(s.sq, sqe{write: write, flush: flush, offset: offset, length: length, cid: cid})
+
+	if len(s.sq) >= s.depth {
+		// SQ ring full: forced flush, no batching benefit left to wait for.
+		s.flush()
+		return
+	}
+	if !s.flushArmed {
+		s.flushArmed = true
+		s.eng.After(s.costs.Prep.Time, s.flushFn)
+	}
+}
+
+// flush submits every prepped SQE. Outside SQPOLL this is io_uring_enter:
+// one syscall shell for the whole batch plus per-SQE kernel submission
+// work on the caller's core. Under SQPOLL there is no syscall at all —
+// the kernel thread picks the SQEs up at its next loop iteration and
+// pays the submission work on its own core.
+func (s *Stack) flush() {
+	s.flushArmed = false
+	n := len(s.sq)
+	if n == 0 {
+		return
+	}
+	now := s.eng.Now()
+	wasIdle := s.nOut == n
+
+	var doorbell sim.Time // time of the first doorbell
+	if s.mode == SQPoll {
+		// Next io_sq_thread iteration boundary, strictly after now.
+		iter := s.costs.SQPollIter.Time
+		pick := ((now + iter - 1) / iter) * iter
+		if pick == now {
+			pick += iter
+		}
+		for i := range s.sq {
+			s.charge(s.sqProc, cpu.FnUringSubmit, s.costs.SubmitSQE)
+			s.ring(&s.sq[i], pick+sim.Time(i+1)*s.costs.SubmitSQE.Time)
+		}
+		doorbell = pick + s.costs.SubmitSQE.Time
+	} else {
+		start := s.proc.Claim(now)
+		s.charge(s.proc, cpu.FnSyscall, s.costs.Enter)
+		for i := range s.sq {
+			s.charge(s.proc, cpu.FnUringSubmit, s.costs.SubmitSQE)
+			s.ring(&s.sq[i], start+s.costs.Enter.Time+sim.Time(i+1)*s.costs.SubmitSQE.Time)
+		}
+		end := start + s.costs.Enter.Time + sim.Time(n)*s.costs.SubmitSQE.Time
+		s.proc.Hold(start, end)
+		doorbell = start + s.costs.Enter.Time + s.costs.SubmitSQE.Time
+	}
+	s.sq = s.sq[:0]
+
+	switch s.mode {
+	case Poll, SQPoll:
+		if s.pollSince == 0 {
+			s.pollSince = doorbell
+		}
+	case Hybrid:
+		if wasIdle {
+			// Arm the adaptive sleep; the poll loop starts at the wakeup.
+			s.charge(s.proc, cpu.FnTimer, s.costs.TimerProgram)
+			s.wakeAt = doorbell + s.delay
+			s.firstSeen = 0
+			s.pollSince = 0
+		}
+	}
+}
+
+// ring schedules one SQE's doorbell at the given time.
+func (s *Stack) ring(e *sqe, at sim.Time) {
+	r := s.getReq()
+	r.write = e.write
+	r.flush = e.flush
+	r.offset = e.offset
+	r.length = e.length
+	r.cid = e.cid
+	s.eng.At(at, r.fn)
+}
+
+// onMSI is the interrupt-mode completion: ONE ISR + context switch per
+// interrupt reaps every visible CQE — the batching libaio's per-CQE
+// charge lacks.
+func (s *Stack) onMSI() {
+	var b *doneBatch
+	n := 0
+	for {
+		cid, ok := s.qp.Poll()
+		if !ok {
+			break
+		}
+		done := s.pending[cid]
+		if done == nil {
+			panic(fmt.Sprintf("uring: completion for unknown CID %d", cid))
+		}
+		s.pending[cid] = nil
+		s.nOut--
+		s.charge(s.proc, cpu.FnUringReap, s.costs.ReapCQE)
+		if b == nil {
+			b = s.getBatch()
+		}
+		b.dones = append(b.dones, done)
+		n++
+	}
+	if b == nil {
+		return
+	}
+	s.charge(s.proc, cpu.FnISR, s.costs.ISR)
+	s.charge(s.proc, cpu.FnCtxSwitch, s.costs.CtxSwitch)
+	reap := s.costs.ISR.Time + s.costs.CtxSwitch.Time + sim.Time(n)*s.costs.ReapCQE.Time
+	now := s.eng.Now()
+	extra := s.proc.Wake(now)
+	s.proc.Hold(now+extra, now+extra+reap)
+	s.eng.AfterArg(extra+reap, s.deliverFn, b)
+}
+
+// onVisible quantizes detection to the poll-loop grid (IOPOLL iteration
+// outside SQPOLL, io_sq_thread iteration under it); hybrid additionally
+// cannot observe anything before its armed wakeup.
+func (s *Stack) onVisible() {
+	now := s.eng.Now()
+	if s.firstSeen == 0 {
+		s.firstSeen = now
+	}
+	iter := s.costs.PollIter()
+	if s.mode == SQPoll {
+		iter = s.costs.SQPollIter.Time
+	}
+	at := now
+	if s.mode == Hybrid && s.wakeAt > at {
+		at = s.wakeAt
+	}
+	boundary := ((at + iter - 1) / iter) * iter
+	if boundary <= now {
+		boundary += iter
+	}
+	if s.drainAt != 0 && s.drainAt >= boundary {
+		return // a drain is already scheduled at or after this boundary
+	}
+	s.drainAt = boundary
+	s.eng.At(boundary, s.drainFn)
+}
+
+// drain batch-reaps every CQE visible at the poll boundary and charges
+// the spin that got the loop there.
+func (s *Stack) drain() {
+	boundary := s.drainAt
+	s.drainAt = 0
+	reapProc := s.proc
+	if s.mode == SQPoll {
+		reapProc = s.sqProc
+	}
+
+	if s.mode == Hybrid && s.wakeAt != 0 {
+		s.charge(s.proc, cpu.FnTimer, s.costs.TimerWake)
+		// AIMD retune: a CQE that arrived mid-sleep means the delay
+		// overshot (multiplicative decrease); otherwise the spin between
+		// wakeup and detection was pure burn (additive increase).
+		if s.firstSeen != 0 && s.firstSeen < s.wakeAt {
+			s.delay = s.delay * 3 / 4
+			if s.delay < s.costs.HybridMinDelay {
+				s.delay = s.costs.HybridMinDelay
+			}
+		} else {
+			s.delay += (boundary - s.wakeAt) / 2
+			if s.delay > s.costs.HybridMaxDelay {
+				s.delay = s.costs.HybridMaxDelay
+			}
+		}
+		s.pollSince = s.wakeAt
+		s.wakeAt = 0
+	}
+
+	var b *doneBatch
+	n := 0
+	for {
+		cid, ok := s.qp.Poll()
+		if !ok {
+			break
+		}
+		done := s.pending[cid]
+		if done == nil {
+			panic(fmt.Sprintf("uring: completion for unknown CID %d", cid))
+		}
+		s.pending[cid] = nil
+		s.nOut--
+		s.charge(reapProc, cpu.FnUringReap, s.costs.ReapCQE)
+		if b == nil {
+			b = s.getBatch()
+		}
+		b.dones = append(b.dones, done)
+		n++
+	}
+
+	// Spin accounting for the window that ended at this boundary. SQPOLL's
+	// continuous loop is charged in Finalize instead; here only the
+	// submitter-side modes burn their own core.
+	if s.mode != SQPoll && s.pollSince != 0 && boundary > s.pollSince {
+		iters := int64((boundary - s.pollSince) / s.costs.PollIter())
+		if iters > 0 {
+			s.proc.Charge(cpu.FnBlkMQPoll, s.costs.PollIterBlk.Time*sim.Time(iters),
+				s.costs.PollIterBlk.Loads*uint64(iters), s.costs.PollIterBlk.Stores*uint64(iters))
+			s.proc.Charge(cpu.FnNVMePoll, s.costs.PollIterNVMe.Time*sim.Time(iters),
+				s.costs.PollIterNVMe.Loads*uint64(iters), s.costs.PollIterNVMe.Stores*uint64(iters))
+		}
+		s.proc.Spin(s.pollSince, boundary)
+	}
+	if s.nOut > 0 {
+		s.pollSince = boundary
+	} else {
+		s.pollSince = 0
+		s.firstSeen = 0
+	}
+
+	if b == nil {
+		return
+	}
+	delay := s.costs.ReapCQE.Time
+	if s.mode == SQPoll {
+		// The app discovers the CQEs with a lock-free ring peek, no
+		// syscall; the peek runs on the submitter's core.
+		s.charge(s.proc, cpu.FnAppUser, s.costs.SQPollPeek)
+		delay += s.costs.SQPollPeek.Time
+	}
+	s.eng.AfterArg(delay, s.deliverFn, b)
+}
+
+// deliver runs one reaped batch after the delivery delay.
+func (s *Stack) deliver(arg any) {
+	b := arg.(*doneBatch)
+	for i := 0; i < len(b.dones); i++ {
+		fn := b.dones[i]
+		b.dones[i] = nil
+		fn()
+	}
+	b.dones = b.dones[:0]
+	b.next = s.freeBatch
+	s.freeBatch = b
+}
+
+// Outstanding reports in-flight I/Os.
+func (s *Stack) Outstanding() int { return s.nOut }
+
+// Delay reports the hybrid mode's current adaptive sleep delay.
+func (s *Stack) Delay() sim.Time { return s.delay }
+
+// Finalize charges the SQPOLL thread's continuous loop spin for the
+// whole active span [first submit, end]: io_sq_thread never sleeps while
+// the ring is live, exactly like an SPDK reactor. Call once, at the end
+// of a run; a no-op outside SQPOLL mode.
+func (s *Stack) Finalize(end sim.Time) {
+	if s.mode != SQPoll || s.finalized || !s.started || end <= s.firstStart {
+		return
+	}
+	s.finalized = true
+	span := end - s.firstStart
+	// Subtract the work already charged explicitly to the thread so its
+	// core sums to ~100%, not above.
+	core := s.sqProc.Core()
+	span -= core.Acct(cpu.FnUringSubmit).Time
+	span -= core.Acct(cpu.FnUringReap).Time
+	span -= core.Acct(cpu.FnSQPoll).Time
+	if span <= 0 {
+		return
+	}
+	iters := int64(span / s.costs.SQPollIter.Time)
+	if iters <= 0 {
+		return
+	}
+	s.sqProc.Charge(cpu.FnSQPoll, s.costs.SQPollIter.Time*sim.Time(iters),
+		s.costs.SQPollIter.Loads*uint64(iters), s.costs.SQPollIter.Stores*uint64(iters))
+}

@@ -140,6 +140,33 @@ type OpenJob struct {
 	// QueueCap bounds the FIFO of admitted-but-waiting arrivals
 	// (0: DefaultQueueCap; negative: no queue, overload drops instantly).
 	QueueCap int
+	// CPU caps the tenant's submission-side compute (zero: unlimited).
+	CPU CPUBudget
+}
+
+// CPUBudget rations a tenant's submission-side CPU: each admitted I/O
+// consumes PerOp core-time on a virtual thread pool of Cores cores, so
+// issues cannot leave faster than Cores/PerOp per second — a cgroup
+// cpu.max for the tenant's submit path. The zero budget (either field
+// zero) is unlimited and adds no events, keeping unbudgeted runs
+// byte-identical. Throttled issues still hold their admission slot;
+// the stall is visible in CPUThrottled/CPUWait and, because latency is
+// measured from arrival, in every percentile.
+type CPUBudget struct {
+	Cores float64  // virtual submit cores (> 0 to enable)
+	PerOp sim.Time // core-time consumed per admitted I/O
+}
+
+// quantum is the minimum spacing the budget enforces between issues.
+func (b CPUBudget) quantum() sim.Time {
+	if b.Cores <= 0 || b.PerOp <= 0 {
+		return 0
+	}
+	q := sim.Time(float64(b.PerOp) / b.Cores)
+	if q < 1 {
+		q = 1
+	}
+	return q
 }
 
 // OpenResult extends Result with the open-loop admission counters. The
@@ -154,6 +181,10 @@ type OpenResult struct {
 	Deferred  uint64 // arrivals that had to wait in the admission queue
 	Dropped   uint64 // arrivals discarded because the queue was full
 	PeakQueue int    // high-water mark of the admission queue
+
+	// CPU-budget stalls (zero without a budget).
+	CPUThrottled uint64   // issues delayed by the CPU budget
+	CPUWait      sim.Time // total delay the budget imposed
 }
 
 // pendingIO is one arrival waiting for (or holding) an admission slot.
@@ -181,7 +212,9 @@ type openRunner struct {
 	writesSince int      // write arrivals since the last fsync
 	stopAt      sim.Time // arrival generation deadline (0: none)
 	startT      sim.Time
-	arriveFn    func() // bound once; the chained arrival event
+	arriveFn    func()   // bound once; the chained arrival event
+	cpuQuantum  sim.Time // CPU-budget spacing between issues (0: none)
+	cpuFree     sim.Time // when the budgeted submit pool is next free
 
 	m   meter
 	res OpenResult
@@ -216,12 +249,13 @@ func newOpenRunner(svc Service, job OpenJob, tenant int) *openRunner {
 	}
 	base := sim.NewRNG(mixTenantSeed(job.Seed, tenant))
 	r := &openRunner{
-		svc:      svc,
-		job:      job,
-		ops:      newOpSource(svc, &job.Spec, base.Fork()),
-		clockRNG: base.Fork(),
-		cap:      capIF,
-		queueCap: qc,
+		svc:        svc,
+		job:        job,
+		ops:        newOpSource(svc, &job.Spec, base.Fork()),
+		clockRNG:   base.Fork(),
+		cap:        capIF,
+		queueCap:   qc,
+		cpuQuantum: job.CPU.quantum(),
 	}
 	r.arriveFn = r.arrive
 	r.res.Job = job
@@ -319,10 +353,31 @@ func (r *openRunner) chaseSync(now sim.Time) {
 func (r *openRunner) issue(p pendingIO) {
 	r.inFlight++
 	if p.sync {
+		// Durability barriers ride the stack's own machinery; the budget
+		// meters I/O submission work only.
 		r.svc.Sync(func() { r.onDone(p) })
 		return
 	}
 	r.res.Admitted++
+	if r.cpuQuantum > 0 {
+		now := r.svc.Engine().Now()
+		startAt := now
+		if r.cpuFree > now {
+			startAt = r.cpuFree
+			r.res.CPUThrottled++
+			r.res.CPUWait += startAt - now
+		}
+		r.cpuFree = startAt + r.cpuQuantum
+		if startAt > now {
+			r.svc.Engine().At(startAt, func() { r.fire(p) })
+			return
+		}
+	}
+	r.fire(p)
+}
+
+// fire submits one admitted (and, if budgeted, CPU-cleared) I/O.
+func (r *openRunner) fire(p pendingIO) {
 	r.svc.Issue(p.write, p.offset, r.job.BlockSize, func() { r.onDone(p) })
 }
 

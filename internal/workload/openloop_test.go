@@ -451,3 +451,78 @@ func TestWallWarmupByCountIOPSRegression(t *testing.T) {
 			ratio, warm.IOPS(), cold.IOPS())
 	}
 }
+
+// TestOpenLoopCPUBudgetThrottles pins the CPU-budget rationing: a
+// tenant offered far more load than its submit cores can clear gets
+// throttled to ~Cores/PerOp issues per second, with the stall visible
+// in the counters and the latency (measured from arrival).
+func TestOpenLoopCPUBudgetThrottles(t *testing.T) {
+	job := OpenJob{
+		Spec: Spec{
+			Pattern: RandRead, BlockSize: 4096,
+			Duration: 10 * sim.Millisecond, Seed: 11,
+		},
+		Arrival: Arrival{Kind: FixedRate, Rate: 200_000},
+	}
+	free := RunOpen(asyncSys(), job)
+
+	job.CPU = CPUBudget{Cores: 0.5, PerOp: 10 * sim.Microsecond}
+	capped := RunOpen(asyncSys(), job)
+
+	if capped.CPUThrottled == 0 || capped.CPUWait == 0 {
+		t.Fatal("overloaded budget never throttled")
+	}
+	if free.CPUThrottled != 0 || free.CPUWait != 0 {
+		t.Fatal("unbudgeted run reported CPU stalls")
+	}
+	// 0.5 cores / 10µs = 50k issues/s against 200k offered: the budget,
+	// not the device, must be the bottleneck.
+	if got, want := capped.IOPS(), 50_000.0; got > want*1.1 {
+		t.Fatalf("budgeted IOPS = %.0f, want <= ~%.0f", got, want)
+	}
+	if capped.IOPS() >= free.IOPS() {
+		t.Fatalf("budget did not reduce throughput: %.0f vs %.0f", capped.IOPS(), free.IOPS())
+	}
+	if capped.All.Percentile(99) <= free.All.Percentile(99) {
+		t.Fatal("CPU stall invisible in arrival-measured p99")
+	}
+}
+
+// TestOpenLoopCPUBudgetZeroIsIdentity pins byte identity: the zero
+// budget takes the historical code path and produces identical results.
+func TestOpenLoopCPUBudgetZeroIsIdentity(t *testing.T) {
+	job := OpenJob{
+		Spec: Spec{
+			Pattern: RandRW, BlockSize: 4096, WriteFraction: 0.3,
+			Duration: 8 * sim.Millisecond, Seed: 23,
+		},
+		Arrival: Arrival{Kind: Poisson, Rate: 80_000},
+	}
+	a := digest(RunOpen(asyncSys(), job))
+	job.CPU = CPUBudget{} // explicit zero
+	b := digest(RunOpen(asyncSys(), job))
+	if a != b {
+		t.Fatalf("zero CPU budget changed the run:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestOpenLoopCPUBudgetDeterministic pins serial determinism with the
+// budget's extra scheduling events in play.
+func TestOpenLoopCPUBudgetDeterministic(t *testing.T) {
+	job := OpenJob{
+		Spec: Spec{
+			Pattern: RandRead, BlockSize: 4096,
+			Duration: 8 * sim.Millisecond, Seed: 31,
+		},
+		Arrival: Arrival{Kind: Poisson, Rate: 150_000},
+		CPU:     CPUBudget{Cores: 1, PerOp: 8 * sim.Microsecond},
+	}
+	a := digest(RunOpen(asyncSys(), job))
+	b := digest(RunOpen(asyncSys(), job))
+	if a != b {
+		t.Fatalf("budgeted runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.ios == 0 {
+		t.Fatal("budgeted run measured nothing")
+	}
+}

@@ -7,10 +7,17 @@
 // prototype with super-channels, split-DMA and program suspend/resume,
 // and an Intel-750-class NVMe SSD with a DRAM write-back cache), the NVMe
 // queue-pair protocol, the Linux storage stack with interrupt, polled and
-// hybrid-polled I/O completion, the SPDK kernel-bypass stack, an ext4 +
-// NBD server-client system, and a FIO-like workload engine — plus an
-// experiment harness that regenerates every table and figure of the
-// paper's evaluation.
+// hybrid-polled I/O completion, an io_uring-class ring stack (batched
+// submission, IOPOLL, adaptive hybrid polling, SQPOLL), the SPDK
+// kernel-bypass stack, an ext4 + NBD server-client system, and a
+// FIO-like workload engine — plus an experiment harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// CPU cores are a contended resource: size Topology.Cores (or
+// SystemConfig.Cores) above one and stacks arbitrate for cores — work
+// queues behind busy cores, interrupt wakeups pay a migration penalty,
+// and busy-polling pins cores outright. The default single core keeps
+// the historical accounting-only model, bit-exactly.
 //
 // Quick start — one device behind one stack (the shorthand):
 //
@@ -100,6 +107,7 @@ package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/fs"
 	"repro/internal/kernel"
@@ -109,6 +117,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/ssd"
+	"repro/internal/uring"
 	"repro/internal/workload"
 )
 
@@ -160,6 +169,22 @@ type (
 	KernelCosts = kernel.Costs
 	// SPDKCosts is the userspace-stack cost table.
 	SPDKCosts = spdk.Costs
+	// UringConfig parameterizes the io_uring stack (completion mode,
+	// ring depth, cost table).
+	UringConfig = uring.Config
+	// UringMode selects the io_uring completion scheme.
+	UringMode = uring.Mode
+	// UringCosts is the io_uring datapath cost table.
+	UringCosts = uring.Costs
+	// CPUCoreSet is a host's cores under one arbiter; with more than one
+	// core, stacks contend for them (Topology.Cores / SystemConfig.Cores).
+	CPUCoreSet = cpu.CoreSet
+	// CPUUtilization is one core's (or the aggregate's) time split,
+	// including the raw over-subscription factor before clamping.
+	CPUUtilization = cpu.Utilization
+	// CPUBudget rate-limits one open-loop tenant's submit path to a
+	// virtual core allowance (OpenJob.CPU).
+	CPUBudget = workload.CPUBudget
 	// NBDConfig parameterizes the simulated server-client system.
 	NBDConfig = nbd.ModelConfig
 	// NBDModel is the wired server-client system.
@@ -248,6 +273,9 @@ const (
 	KernelAsync = core.KernelAsync
 	// SPDK is the kernel-bypass userspace path.
 	SPDK = core.SPDK
+	// IOUring is the io_uring ring path (batched submission; completion
+	// scheme selected by SystemConfig.Uring / StackLayer.Uring).
+	IOUring = core.IOUring
 )
 
 // I/O completion methods for KernelSync.
@@ -255,6 +283,21 @@ const (
 	Interrupt = kernel.Interrupt
 	Poll      = kernel.Poll
 	Hybrid    = kernel.Hybrid
+)
+
+// io_uring completion schemes (UringConfig.Mode).
+const (
+	// UringInterrupt completes over MSI; every CQE visible at the
+	// interrupt is reaped under one ISR charge.
+	UringInterrupt = uring.Interrupt
+	// UringPoll is IOPOLL: the submitting task spins on the CQ ring.
+	UringPoll = uring.Poll
+	// UringHybrid sleeps an adaptively resized delay (AIMD on every
+	// completion), then polls.
+	UringHybrid = uring.Hybrid
+	// UringSQPoll dedicates a pinned kernel thread to the SQ ring:
+	// submission is syscall-free; give it its own core via Cores >= 2.
+	UringSQPoll = uring.SQPoll
 )
 
 // Time units.
@@ -290,6 +333,16 @@ func BuildTopology(t Topology) *TopologySystem { return core.Build(t) }
 func StackOn(kind core.StackKind, mode kernel.Mode, dev DeviceConfig) StackLayer {
 	return StackLayer{Kind: kind, Mode: mode, Queue: QueueLayer{Device: dev}}
 }
+
+// UringOn returns the leaf layer for the io_uring stack in the given
+// completion mode over one device. For UringSQPoll, size the topology's
+// Cores axis to at least 2 so the submission thread pins its own core.
+func UringOn(mode UringMode, dev DeviceConfig) StackLayer {
+	return StackLayer{Kind: IOUring, Uring: &UringConfig{Mode: mode}, Queue: QueueLayer{Device: dev}}
+}
+
+// DefaultUringCosts returns the calibrated io_uring cost table.
+func DefaultUringCosts() UringCosts { return uring.DefaultCosts() }
 
 // StripedVolume composes children into a RAID-0 stripe with the given
 // chunk (stripe unit) in bytes; 0 means the 64KiB default.
