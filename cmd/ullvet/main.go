@@ -1,0 +1,143 @@
+// Command ullvet is the repo's determinism and hot-path lint suite: a
+// multichecker over the analyzers in internal/analysis, wired into CI
+// so the invariants the paper's methodology depends on are enforced by
+// the toolchain on every build instead of by reviewers reading diffs.
+//
+//	ullvet [packages]                  run the analyzer suite (default ./...)
+//	ullvet -noalloc [packages]         check //ullvet:noalloc contracts
+//	                                   against go build -gcflags=-m
+//	ullvet -noalloc-xref FILE [pkgs]   additionally cross-check bench=
+//	                                   annotation references against the
+//	                                   allocs/op baseline in FILE
+//	                                   (BENCH_simcore.json)
+//	ullvet -list [packages]            print the //ullvet:noalloc registry
+//
+// The analyzers:
+//
+//	mapiter    map iteration order must not leak into simulation output
+//	wallclock  no wall-clock time or global math/rand in model packages
+//	poolpair   pooled objects must reach a Put or an ownership transfer
+//	noalloc    //ullvet:noalloc annotation hygiene
+//
+// Exit status is 1 when any diagnostic or contract violation is found,
+// 2 on operational errors (load or build failure).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	noalloc := flag.Bool("noalloc", false, "verify //ullvet:noalloc contracts against escape analysis instead of running the analyzer suite")
+	xref := flag.String("noalloc-xref", "", "with -noalloc: also cross-check bench= references against the allocs/op baseline in this JSON file")
+	list := flag.Bool("list", false, "print the //ullvet:noalloc registry and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ullvet [-noalloc [-noalloc-xref BENCH.json]] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	switch {
+	case *list:
+		os.Exit(runList(patterns))
+	case *noalloc || *xref != "":
+		os.Exit(runNoalloc(patterns, *xref))
+	default:
+		os.Exit(runSuite(patterns))
+	}
+}
+
+func fatalf(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "ullvet: "+format+"\n", args...)
+	return 2
+}
+
+func runSuite(patterns []string) int {
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+func runNoalloc(patterns []string, xref string) int {
+	funcs, violations, err := analysis.CheckNoalloc(".", patterns...)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	status := 0
+	for _, v := range violations {
+		fmt.Println(v)
+		status = 1
+	}
+	if xref != "" {
+		baseline, err := loadBaseline(xref)
+		if err != nil {
+			return fatalf("reading baseline %s: %v", xref, err)
+		}
+		for _, p := range analysis.CrossCheckBenches(funcs, baseline) {
+			fmt.Println(p)
+			status = 1
+		}
+	}
+	if status == 0 {
+		fmt.Printf("ullvet: %d //ullvet:noalloc contracts hold\n", len(funcs))
+	}
+	return status
+}
+
+func runList(patterns []string) int {
+	pkgs, err := analysis.LoadSyntax(".", patterns...)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	for _, fn := range analysis.CollectNoalloc(pkgs) {
+		fmt.Printf("%s.%s\t%s:%d-%d", fn.Pkg, fn.Name, fn.File, fn.StartLine, fn.EndLine)
+		for _, b := range fn.Benches {
+			fmt.Printf("\tbench=%s", b)
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+// loadBaseline reads the "current" block of BENCH_simcore.json into the
+// name -> allocs/op map the cross-check consumes.
+func loadBaseline(path string) (analysis.BenchBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		Current map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"current"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	out := make(analysis.BenchBaseline, len(f.Current))
+	//ullvet:sorted map-to-map copy; no order dependence
+	for name, r := range f.Current {
+		out[name] = r.AllocsPerOp
+	}
+	return out, nil
+}

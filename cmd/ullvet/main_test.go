@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestTreeIsClean is the standing gate: the whole repository must pass
+// the analyzer suite with zero diagnostics, exactly as the CI ullvet
+// lane runs it.
+func TestTreeIsClean(t *testing.T) {
+	pkgs, err := analysis.LoadPackages("..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestReintroducedKVRotationBugIsCaught rebuilds the exact shape of the
+// memtable-rotation bug PR 7 fixed — snapshotting memtable keys by
+// ranging the map without sorting, so the immutable snapshot's flush
+// order (and with it WAL sizing and compaction timing) varied run to
+// run — and checks the mapiter analyzer rejects it. The tree-level
+// guard above plus this reintroduction test are the two directions of
+// the acceptance criterion: the real internal/kv stays clean, and the
+// bug cannot come back without failing the suite.
+func TestReintroducedKVRotationBugIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"kv/kv.go": `package kv
+
+type store struct {
+	mem map[int64]int
+	imm []int64
+}
+
+// maybeRotate reproduces the pre-PR-7 rotation: the snapshot keeps the
+// map walk's randomized order instead of sorting it.
+func (s *store) maybeRotate() {
+	s.imm = s.imm[:0]
+	for k := range s.mem {
+		s.imm = append(s.imm, k)
+	}
+	s.mem = make(map[int64]int)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := analysis.LoadPackages(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	var diags []string
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, []*analysis.Analyzer{analysis.Mapiter}) {
+			diags = append(diags, d.String())
+		}
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsorted rotation:\n%s",
+			len(diags), strings.Join(diags, "\n"))
+	}
+	if !strings.Contains(diags[0], "s.mem") || !strings.Contains(diags[0], "randomized per run") {
+		t.Errorf("diagnostic does not name the unsorted map walk over s.mem: %s", diags[0])
+	}
+}
+
+// TestBaselineLoads pins the BENCH_simcore.json shape the -noalloc-xref
+// flag depends on: a "current" block keyed by benchmark name with
+// allocs_per_op fields.
+func TestBaselineLoads(t *testing.T) {
+	baseline, err := loadBaseline(filepath.Join("..", "..", "BENCH_simcore.json"))
+	if err != nil {
+		t.Fatalf("loadBaseline: %v", err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline has no current entries")
+	}
+	if _, ok := baseline["BenchmarkEventSchedule/fire"]; !ok {
+		t.Error("baseline is missing BenchmarkEventSchedule/fire")
+	}
+}

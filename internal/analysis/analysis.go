@@ -1,0 +1,123 @@
+// Package analysis is ullvet's analyzer framework: a deliberately small,
+// dependency-free clone of the golang.org/x/tools/go/analysis surface
+// (this module is built offline, so x/tools is not available). An
+// Analyzer inspects one type-checked package and reports Diagnostics;
+// cmd/ullvet is the multichecker driver that loads every package in the
+// module and runs the suite.
+//
+// The analyzers enforce the two invariants the paper's methodology
+// stands on (paired A-vs-B latency comparisons at microsecond scale are
+// meaningless unless runs repeat exactly):
+//
+//   - determinism: every fixed-seed run is byte-identical, serial vs
+//     -parallel N ("mapiter", "wallclock"), and
+//   - hot-path discipline: the simulator's steady-state paths stay at
+//     0-1 allocs/op ("poolpair", "noalloc").
+//
+// Rules are suppressed or asserted with //ullvet: directives; see
+// directives.go for the comment grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one ullvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run inspects the package held by pass and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass holds one type-checked package plus everything an analyzer
+// needs to inspect it.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // non-test files only
+	Pkg      *types.Package
+	Info     *types.Info
+
+	directives *directiveIndex
+	diags      []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers against pkg and returns their diagnostics
+// sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	idx := indexDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			directives: idx,
+		}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// All is the full ullvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Mapiter, Wallclock, Poolpair, Noalloc}
+}
+
+// internalPackage reports whether path is simulation code under
+// repro/internal/ — the tree the determinism analyzers police. Packages
+// from other modules (analyzer test fixtures) are always in scope.
+func internalPackage(path string) bool {
+	if path == "repro" || strings.HasPrefix(path, "repro/") {
+		return strings.HasPrefix(path, "repro/internal/")
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+// The //ullvet: comment grammar. A directive is a line comment of the
+// form
+//
+//	//ullvet:NAME [args...] [— justification]
+//
+// attached to the line it sits on and the line directly below it (so it
+// works both as a trailing comment and as a lead-in line). The suite
+// understands:
+//
+//	//ullvet:sorted <why>        mapiter: this map iteration is order-
+//	                             safe; <why> is mandatory.
+//	//ullvet:wallclock <why>     wallclock: this use is intentional
+//	                             (e.g. operator-facing progress output).
+//	//ullvet:retained <why>      poolpair: this pooled object is
+//	                             deliberately stored beyond the call.
+//	//ullvet:pool get|put        poolpair: marks a pool accessor; the
+//	                             function body itself is exempt.
+//	//ullvet:noalloc [bench=B]   noalloc: contract that this function
+//	                             compiles with zero heap allocations,
+//	                             optionally naming the benchmark(s) that
+//	                             gate it at run time.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "//ullvet:"
+
+// A directive is one parsed //ullvet: comment.
+type directive struct {
+	name string // "sorted", "wallclock", "retained", "pool", "noalloc"
+	args string // remainder of the line, trimmed
+	pos  token.Pos
+}
+
+// directiveIndex resolves (file, line) -> directives for a package.
+type directiveIndex struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]directive
+}
+
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{
+		fset:   fset,
+		byLine: make(map[string]map[int][]directive),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, args, _ := strings.Cut(rest, " ")
+				d := directive{name: name, args: strings.TrimSpace(args), pos: c.Pos()}
+				p := fset.Position(c.Pos())
+				m := idx.byLine[p.Filename]
+				if m == nil {
+					m = make(map[int][]directive)
+					idx.byLine[p.Filename] = m
+				}
+				m[p.Line] = append(m[p.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// at returns the directives named name that cover pos: on the same
+// line, or on the line directly above.
+func (idx *directiveIndex) at(name string, pos token.Pos) []directive {
+	p := idx.fset.Position(pos)
+	m := idx.byLine[p.Filename]
+	if m == nil {
+		return nil
+	}
+	var out []directive
+	for _, d := range m[p.Line] {
+		if d.name == name {
+			out = append(out, d)
+		}
+	}
+	for _, d := range m[p.Line-1] {
+		if d.name == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a directive named name covers pos. When
+// the directive is present but carries no justification text, it does
+// not suppress and the pass gets a "missing justification" diagnostic
+// instead — a bare waiver is exactly the undocumented exception the
+// suite exists to prevent.
+func (p *Pass) suppressed(name string, pos token.Pos) bool {
+	ds := p.directives.at(name, pos)
+	if len(ds) == 0 {
+		return false
+	}
+	for _, d := range ds {
+		if d.args == "" {
+			p.Reportf(pos, "//ullvet:%s needs a justification (why is this safe?)", name)
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+// The //ullvet:noalloc escape checker: verifies annotated functions
+// against the compiler's own escape analysis. `go build -gcflags=-m`
+// prints one diagnostic per heap allocation site ("escapes to heap",
+// "moved to heap"); any such site inside an annotated function's body
+// breaks the contract. The go command replays compiler diagnostics
+// from the build cache, so repeat runs are cheap.
+//
+// Known limit: -m reports an allocation at its source location in the
+// function that contains it, so an annotated function that inlines an
+// allocating helper is attributed to the helper, not the annotation
+// span. The benchmark allocs/op gate (scripts/bench.sh, cross-checked
+// against the bench= references) is the runtime backstop for that gap.
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An EscapeViolation is one compiler-reported heap allocation inside a
+// //ullvet:noalloc function.
+type EscapeViolation struct {
+	Func    NoallocFunc
+	File    string
+	Line    int
+	Message string
+}
+
+func (v EscapeViolation) String() string {
+	return fmt.Sprintf("%s:%d: //ullvet:noalloc %s.%s: %s",
+		v.File, v.Line, v.Func.Pkg, v.Func.Name, v.Message)
+}
+
+// LoadSyntax parses (without type-checking) every package matching
+// patterns — all the escape checker needs to find annotations.
+func LoadSyntax(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-e", listFields, "--"}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg := &Package{Path: lp.ImportPath, Name: lp.Name, Dir: lp.Dir, Fset: fset}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckNoalloc loads the packages matching patterns, collects their
+// //ullvet:noalloc functions, and verifies each against the escape
+// analysis of a real build. It returns the annotated functions (for
+// reporting and bench cross-checks) and any violations.
+func CheckNoalloc(dir string, patterns ...string) ([]NoallocFunc, []EscapeViolation, error) {
+	pkgs, err := LoadSyntax(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	funcs := CollectNoalloc(pkgs)
+	if len(funcs) == 0 {
+		return nil, nil, nil
+	}
+	pkgSet := make(map[string]bool)
+	for _, fn := range funcs {
+		pkgSet[fn.Pkg] = true
+	}
+	diags, err := escapeDiagnostics(dir, sortedStrings(pkgSet))
+	if err != nil {
+		return funcs, nil, err
+	}
+	var out []EscapeViolation
+	for _, d := range diags {
+		for _, fn := range funcs {
+			if sameFile(dir, d.file, fn.File) && d.line >= fn.StartLine && d.line <= fn.EndLine {
+				out = append(out, EscapeViolation{Func: fn, File: d.file, Line: d.line, Message: d.msg})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return funcs, out, nil
+}
+
+type escapeDiag struct {
+	file string
+	line int
+	msg  string
+}
+
+// escapeDiagnostics builds pkgs with -gcflags=-m and keeps the
+// heap-allocation findings.
+func escapeDiagnostics(dir string, pkgs []string) ([]escapeDiag, error) {
+	args := append([]string{"build", "-gcflags=-m", "--"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, buf.String())
+	}
+	var out []escapeDiag
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.Contains(line, "heap") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		msg := strings.TrimSpace(parts[3])
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		if strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap") {
+			out = append(out, escapeDiag{file: parts[0], line: n, msg: msg})
+		}
+	}
+	return out, nil
+}
+
+// sameFile compares a compiler-reported path (relative to dir) with a
+// fileset path.
+func sameFile(dir, reported, recorded string) bool {
+	if reported == recorded {
+		return true
+	}
+	ra := reported
+	if !filepath.IsAbs(ra) {
+		ra = filepath.Join(dir, ra)
+	}
+	rb := recorded
+	if !filepath.IsAbs(rb) {
+		rb = filepath.Join(dir, rb)
+	}
+	return ra == rb
+}
+
+// BenchBaseline is the slice of BENCH_simcore.json the noalloc
+// cross-check reads: benchmark name -> allocs/op in the gated baseline.
+type BenchBaseline map[string]int64
+
+// CrossCheckBenches verifies every bench= reference on a noalloc
+// annotation against the benchmark baseline: the referenced benchmark
+// must exist (exact name or parent of sub-benchmarks) and its gated
+// allocs/op must not exceed 1 — the simulator-wide hot-path budget. A
+// missing benchmark means the annotation and the bench gate have
+// drifted apart; a higher gate means the "zero-alloc" claim is not one.
+func CrossCheckBenches(funcs []NoallocFunc, baseline BenchBaseline) []string {
+	var problems []string
+	for _, fn := range funcs {
+		for _, b := range fn.Benches {
+			found := false
+			bad := ""
+			//ullvet:sorted membership scan; problems are sorted before return
+			for name, allocs := range baseline {
+				if name != b && !strings.HasPrefix(name, b+"/") {
+					continue
+				}
+				found = true
+				if allocs > 1 {
+					bad = fmt.Sprintf("%s gates %d allocs/op", name, allocs)
+				}
+			}
+			switch {
+			case !found:
+				problems = append(problems,
+					fmt.Sprintf("%s.%s: //ullvet:noalloc bench=%s names no benchmark in the baseline (annotation and bench gate drifted)",
+						fn.Pkg, fn.Name, b))
+			case bad != "":
+				problems = append(problems,
+					fmt.Sprintf("%s.%s: //ullvet:noalloc bench=%s but %s — not a zero-alloc path",
+						fn.Pkg, fn.Name, b, bad))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

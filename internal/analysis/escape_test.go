@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule lays out a throwaway module for the escape checker to
+// build for real.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCheckNoallocFindsEscapes(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"fixture.go": `package fixture
+
+var sink *int
+
+// bad allocates: new(int) reaches the package-level sink, so it
+// escapes to the heap on every call.
+//
+//ullvet:noalloc
+func bad() *int {
+	x := new(int)
+	sink = x
+	return x
+}
+
+// good is arithmetic only.
+//
+//ullvet:noalloc bench=BenchmarkGood
+func good(a, b int) int {
+	return a*31 + b
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return make([]int, 64)
+}
+`,
+	})
+	funcs, violations, err := analysis.CheckNoalloc(dir, "./...")
+	if err != nil {
+		t.Fatalf("CheckNoalloc: %v", err)
+	}
+	if len(funcs) != 2 {
+		t.Fatalf("collected %d annotated functions, want 2: %+v", len(funcs), funcs)
+	}
+	if len(violations) == 0 {
+		t.Fatal("no violations; want the new(int) escape in bad() to be caught")
+	}
+	for _, v := range violations {
+		if v.Func.Name != "bad" {
+			t.Errorf("violation attributed to %s, want bad: %v", v.Func.Name, v)
+		}
+		if !strings.Contains(v.Message, "heap") {
+			t.Errorf("violation message %q does not mention the heap", v.Message)
+		}
+	}
+}
+
+func TestCheckNoallocCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"fixture.go": `package fixture
+
+var acc int
+
+// step is allocation-free.
+//
+//ullvet:noalloc
+func step(n int) {
+	acc += n * n
+}
+`,
+	})
+	funcs, violations, err := analysis.CheckNoalloc(dir, "./...")
+	if err != nil {
+		t.Fatalf("CheckNoalloc: %v", err)
+	}
+	if len(funcs) != 1 || len(violations) != 0 {
+		t.Fatalf("got %d funcs, %d violations; want 1 and 0: %v", len(funcs), len(violations), violations)
+	}
+}
+
+func TestCrossCheckBenches(t *testing.T) {
+	funcs := []analysis.NoallocFunc{
+		{Pkg: "repro/internal/sim", Name: "(*Engine).At", Benches: []string{"BenchmarkEventSchedule"}},
+		{Pkg: "repro/internal/fs", Name: "(*FS).Sync", Benches: []string{"BenchmarkGone"}},
+		{Pkg: "repro/internal/kv", Name: "(*Store).Get", Benches: []string{"BenchmarkLeaky"}},
+	}
+	baseline := analysis.BenchBaseline{
+		"BenchmarkEventSchedule/fire": 0,
+		"BenchmarkLeaky":              5,
+	}
+	problems := analysis.CrossCheckBenches(funcs, baseline)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "BenchmarkGone") {
+		t.Errorf("missing-benchmark drift not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "BenchmarkLeaky") {
+		t.Errorf("over-budget benchmark not reported:\n%s", joined)
+	}
+}

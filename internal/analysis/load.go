@@ -1,0 +1,256 @@
+// Package loading. ullvet is built offline with no dependency on
+// x/tools' go/packages, so the loader drives the go command directly:
+// `go list -export -deps -json` enumerates the packages matching the
+// patterns and compiles export data for every dependency (stdlib
+// included) into the build cache, and each target package is then
+// parsed and type-checked against that export data with the stdlib gc
+// importer. One shared importer unifies dependency types across
+// packages and keeps repeat loads cheap.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, build-constraint filtered
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output ullvet reads.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error"
+
+// LoadPackages loads and type-checks the non-test parts of every
+// package matching patterns, resolving imports via compiled export
+// data. dir anchors the go command (the module root, or any directory
+// inside it).
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-e", "-export", "-deps", listFields, "--"}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadFixture type-checks a single directory of Go files as import path
+// "path", for analyzer tests. The fixture may import only packages
+// resolvable by the surrounding toolchain (in practice: the standard
+// library); their export data is compiled on the fly.
+func LoadFixture(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	imports := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := append([]string{"-e", "-export", "-deps", listFields, "--"}, sortedStrings(imports)...)
+		listed, err := goList(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	return typeCheckFiles(fset, imp, path, path, parsed)
+}
+
+// sortedStrings flattens set in sorted order, so the go list
+// invocation is deterministic regardless of map iteration order.
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	//ullvet:sorted keys are sorted on the next line
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func typeCheck(fset *token.FileSet, imp types.ImporterFrom, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := typeCheckFiles(fset, imp, lp.ImportPath, lp.Name, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = lp.Dir
+	return pkg, nil
+}
+
+func typeCheckFiles(fset *token.FileSet, imp types.ImporterFrom, path, name string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Name: name, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// exportImporter resolves imports from the export files recorded by
+// `go list -export`, delegating the actual decoding to the stdlib gc
+// importer.
+type exportImporter struct {
+	gc      types.ImporterFrom
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	e.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.gc.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Mapiter flags `range` over a map in simulation code when the loop
+// body can affect simulation output. Go randomizes map iteration order
+// per run, so any output-affecting work done in map order is a
+// run-to-run nondeterminism hazard — exactly the PR 7 maybeRotate bug,
+// where a value size sampled from randomized iteration leaked into the
+// simulated WAL layout.
+//
+// A map range is accepted when:
+//
+//   - the iteration only collects keys/values into slices that are
+//     sorted later in the same function (sort.*, slices.Sort*) — order
+//     is laundered out before anything observes it;
+//   - the body only deletes from the map being ranged (a clear loop);
+//   - the body is output-neutral: no calls, no appends, no sends, no
+//     returns, and no writes to anything declared outside the loop; or
+//   - the statement carries a //ullvet:sorted justification.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration whose order can leak into simulation output; " +
+		"sort the keys (internal/detutil) or justify with //ullvet:sorted",
+	Run: runMapiter,
+}
+
+func runMapiter(pass *Pass) {
+	if !internalPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			mapiterFunc(pass, fn)
+			return true
+		})
+	}
+}
+
+func mapiterFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.suppressed("sorted", rng.Pos()) {
+			return true
+		}
+		if mapiterClearLoop(pass, rng) || mapiterNeutralBody(pass, rng) {
+			return true
+		}
+		if mapiterFeedsSort(pass, fn, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"iteration over map %s is randomized per run and the loop body affects output; "+
+				"sort the keys first (detutil.SortedKeys/SortedRange) or annotate //ullvet:sorted with a justification",
+			exprString(pass.Fset, rng.X))
+		return true
+	})
+}
+
+// mapiterClearLoop reports whether every statement in the body is a
+// delete on the ranged map itself.
+func mapiterClearLoop(pass *Pass, rng *ast.RangeStmt) bool {
+	obj := exprObject(pass, rng.X)
+	if obj == nil || len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "delete") || len(call.Args) != 2 {
+			return false
+		}
+		if exprObject(pass, call.Args[0]) != obj {
+			return false
+		}
+	}
+	return true
+}
+
+// mapiterNeutralBody reports whether the loop body cannot affect
+// anything outside the iteration: no calls (len/cap excepted), appends,
+// sends, returns, gotos, or writes to objects declared outside the body.
+func mapiterNeutralBody(pass *Pass, rng *ast.RangeStmt) bool {
+	body := rng.Body
+	inBody := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+	localTarget := func(e ast.Expr) bool {
+		// A write is local only when it lands on a plain identifier
+		// declared inside the loop body; selector/index writes mutate
+		// state reachable from outside.
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return id.Name == "_" || inBody(pass.Info.ObjectOf(id))
+	}
+	neutral := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !neutral {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "len") || isBuiltin(pass, n.Fun, "cap") {
+				return true
+			}
+			neutral = false
+		case *ast.SendStmt, *ast.ReturnStmt, *ast.GoStmt, *ast.DeferStmt:
+			neutral = false
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				neutral = false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !localTarget(lhs) {
+					neutral = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !localTarget(n.X) {
+				neutral = false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				neutral = false // address may escape the loop
+			}
+		}
+		return neutral
+	})
+	return neutral
+}
+
+// mapiterFeedsSort reports whether the loop only accumulates into
+// slices via append (plus loop-local bookkeeping) and every such slice
+// is passed to a sort call later in the same function.
+func mapiterFeedsSort(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	// Collect the append targets; reject bodies doing anything else
+	// that mapiterNeutralBody would not accept.
+	targets := make(map[types.Object]bool)
+	var targetList []types.Object // iteration stays deterministic
+	addTarget := func(obj types.Object) {
+		if !targets[obj] {
+			targets[obj] = true
+			targetList = append(targetList, obj)
+		}
+	}
+	clean := true
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if !clean {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					clean = false
+					return false
+				}
+				if i < len(n.Rhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+						if tgt := pass.Info.ObjectOf(id); tgt != nil {
+							addTarget(tgt)
+							continue
+						}
+					}
+				}
+				obj := pass.Info.ObjectOf(id)
+				if id.Name != "_" && (obj == nil || obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()) {
+					clean = false
+				}
+			}
+		case *ast.CallExpr:
+			if !isBuiltin(pass, n.Fun, "append") && !isBuiltin(pass, n.Fun, "len") && !isBuiltin(pass, n.Fun, "cap") {
+				clean = false
+			}
+		case *ast.SendStmt, *ast.ReturnStmt, *ast.GoStmt, *ast.DeferStmt:
+			clean = false
+		}
+		return clean
+	})
+	if !clean || len(targets) == 0 {
+		return false
+	}
+	// Every target must reach a sort call after the loop.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !isSortCall(pass, call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil && targets[obj] {
+						sorted[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for _, tgt := range targetList {
+		if !sorted[tgt] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSortCall reports whether fun denotes a sorting function from the
+// sort or slices packages.
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		switch obj.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// exprObject resolves e to the object of its leftmost identifier-only
+// form (x or x.y), or nil.
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return exprObject(pass, e.X)
+	}
+	return nil
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

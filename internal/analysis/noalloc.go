@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Noalloc validates //ullvet:noalloc annotation hygiene: the directive
+// must sit in the doc comment of a function that has a body, and a
+// function must not carry it twice. The annotation itself is a
+// machine-checked contract — "this function compiles with zero heap
+// allocations" — enforced against the compiler's escape analysis by
+// `ullvet -noalloc` (scripts/noalloc.sh) and cross-referenced against
+// the benchmark allocs/op gate by scripts/bench.sh, so the zero-alloc
+// claims on the wheel scheduler, fsync path, uring submit, and FS hit
+// path cannot silently rot into folklore.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "//ullvet:noalloc must annotate a concrete function; the contract is enforced by " +
+		"`ullvet -noalloc` against go build -gcflags=-m output",
+	Run: runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	for _, file := range pass.Files {
+		attached := make(map[token.Pos]bool)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			n := 0
+			for _, c := range fn.Doc.List {
+				if _, ok := parseNoallocComment(c); ok {
+					attached[c.Pos()] = true
+					n++
+					if fn.Body == nil {
+						pass.Reportf(c.Pos(), "//ullvet:noalloc on bodyless declaration %s has nothing to check", fn.Name.Name)
+					}
+					if n > 1 {
+						pass.Reportf(c.Pos(), "duplicate //ullvet:noalloc on %s", fn.Name.Name)
+					}
+				}
+			}
+		}
+		// Any noalloc directive not consumed above is dangling: on a
+		// statement, a type, a blank line away from its function — all
+		// places the escape checker will never look.
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if _, ok := parseNoallocComment(c); ok && !attached[c.Pos()] {
+					pass.Reportf(c.Pos(), "//ullvet:noalloc must be part of a function's doc comment (no blank line before the declaration)")
+				}
+			}
+		}
+	}
+}
+
+// A NoallocFunc is one function carrying the zero-alloc contract.
+type NoallocFunc struct {
+	Pkg       string   // import path
+	Name      string   // (*Recv).Name or Name
+	File      string   // as recorded in the fileset
+	StartLine int      // first line of the declaration
+	EndLine   int      // last line of the body
+	Benches   []string // bench=... references from the annotation
+}
+
+// parseNoallocComment parses one //ullvet:noalloc comment, returning
+// its bench references.
+func parseNoallocComment(c *ast.Comment) (benches []string, ok bool) {
+	rest, found := strings.CutPrefix(c.Text, directivePrefix+"noalloc")
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	for _, tok := range strings.Fields(rest) {
+		if b, isBench := strings.CutPrefix(tok, "bench="); isBench {
+			benches = append(benches, b)
+		}
+	}
+	return benches, true
+}
+
+// CollectNoalloc gathers every annotated function in pkgs. It needs
+// only syntax, so packages loaded without type information work too.
+func CollectNoalloc(pkgs []*Package) []NoallocFunc {
+	var out []NoallocFunc
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil || fn.Body == nil {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					benches, ok := parseNoallocComment(c)
+					if !ok {
+						continue
+					}
+					start := pkg.Fset.Position(fn.Pos())
+					end := pkg.Fset.Position(fn.Body.End())
+					out = append(out, NoallocFunc{
+						Pkg:       pkg.Path,
+						Name:      funcDisplayName(fn),
+						File:      start.Filename,
+						StartLine: start.Line,
+						EndLine:   end.Line,
+						Benches:   benches,
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := recvTypeName(fn)
+	if _, isPtr := fn.Recv.List[0].Type.(*ast.StarExpr); isPtr {
+		return "(*" + recv + ")." + fn.Name.Name
+	}
+	return recv + "." + fn.Name.Name
+}

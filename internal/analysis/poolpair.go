@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Poolpair checks pooled-object discipline around the free-list pools
+// the zero-alloc hot paths depend on (engine events, gate ops, NVMe
+// command contexts, ring submission contexts, ...). A value obtained
+// from a pool get accessor must be handed onward on every path —
+// reaching a put accessor, or any call/return/send that transfers
+// ownership — and must not be parked in a struct field or slice that
+// outlives the callback unless the store carries a //ullvet:retained
+// justification (the annotation is the audit trail for who puts it
+// back).
+//
+// Accessors are recognized by annotation (//ullvet:pool get,
+// //ullvet:pool put on the declaration) or by the Get/Put naming
+// convention on a type whose name contains "pool". Accessor bodies are
+// exempt: the free-list splicing lives there. The analysis is
+// per-function and flow-insensitive — one transferring use anywhere
+// after the get counts — so it catches dropped and silently-retained
+// objects, not double puts; the bench allocs/op gates backstop the
+// rest.
+var Poolpair = &Analyzer{
+	Name: "poolpair",
+	Doc: "pooled objects must reach a Put or ownership transfer and may not be retained " +
+		"in longer-lived state without //ullvet:retained",
+	Run: runPoolpair,
+}
+
+type poolKind int
+
+const (
+	poolGet poolKind = iota + 1
+	poolPut
+)
+
+func runPoolpair(pass *Pass) {
+	if !internalPackage(pass.Pkg.Path()) {
+		return
+	}
+	accessors := poolAccessors(pass)
+	if len(accessors) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok && accessors[obj] != 0 {
+				continue // pool internals are exempt
+			}
+			poolpairFunc(pass, fn, accessors)
+		}
+	}
+}
+
+// poolAccessors maps the package's pool get/put functions.
+func poolAccessors(pass *Pass) map[*types.Func]poolKind {
+	out := make(map[*types.Func]poolKind)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			kind := poolKind(0)
+			for _, d := range poolDirectives(pass, fn) {
+				switch arg := d.args; {
+				case arg == "get" || strings.HasPrefix(arg, "get "):
+					kind = poolGet
+				case arg == "put" || strings.HasPrefix(arg, "put "):
+					kind = poolPut
+				default:
+					pass.Reportf(d.pos, "//ullvet:pool wants \"get\" or \"put\", got %q", d.args)
+				}
+			}
+			if kind == 0 && fn.Recv != nil {
+				recv := recvTypeName(fn)
+				if strings.Contains(strings.ToLower(recv), "pool") {
+					switch fn.Name.Name {
+					case "Get", "get":
+						kind = poolGet
+					case "Put", "put":
+						kind = poolPut
+					}
+				}
+			}
+			if kind != 0 {
+				out[obj] = kind
+			}
+		}
+	}
+	return out
+}
+
+// poolDirectives returns the //ullvet:pool directives in fn's doc
+// comment.
+func poolDirectives(pass *Pass, fn *ast.FuncDecl) []directive {
+	if fn.Doc == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range fn.Doc.List {
+		if !strings.HasPrefix(c.Text, directivePrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, directivePrefix)
+		name, args, _ := strings.Cut(rest, " ")
+		if name == "pool" {
+			out = append(out, directive{name: name, args: strings.TrimSpace(args), pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// poolpairFunc checks one client function.
+func poolpairFunc(pass *Pass, fn *ast.FuncDecl, accessors map[*types.Func]poolKind) {
+	// calleeKind resolves a call expression to a pool accessor kind.
+	calleeKind := func(call *ast.CallExpr) poolKind {
+		var id *ast.Ident
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		default:
+			return 0
+		}
+		if obj, ok := pass.Info.Uses[id].(*types.Func); ok {
+			return accessors[obj]
+		}
+		return 0
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A bare get drops the object on the floor.
+			if call, ok := n.X.(*ast.CallExpr); ok && calleeKind(call) == poolGet {
+				pass.Reportf(call.Pos(),
+					"pooled object from %s is discarded; it must reach a Put or be handed onward",
+					exprString(pass.Fset, call.Fun))
+			}
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				rhs := assignRHS(n, i)
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || calleeKind(call) != poolGet {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						pass.Reportf(call.Pos(),
+							"pooled object from %s is discarded; it must reach a Put or be handed onward",
+							exprString(pass.Fset, call.Fun))
+						continue
+					}
+					obj := pass.Info.ObjectOf(lhs)
+					if obj == nil {
+						continue
+					}
+					poolpairTrack(pass, fn, n, obj, call)
+				default:
+					// Stored straight into a field/slice: retention at birth.
+					if !pass.suppressed("retained", n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"pooled object from %s is stored into %s, outliving this call; "+
+								"annotate //ullvet:retained with who puts it back",
+							exprString(pass.Fset, call.Fun), exprString(pass.Fset, n.Lhs[i]))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootExpr strips selectors, indexes, derefs, and parens down to the
+// base expression: the root of o.batch.dones[i] is o.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}
+
+func assignRHS(n *ast.AssignStmt, i int) ast.Expr {
+	if len(n.Rhs) == len(n.Lhs) {
+		return n.Rhs[i]
+	}
+	if len(n.Rhs) == 1 {
+		return n.Rhs[0]
+	}
+	return nil
+}
+
+// poolpairTrack follows obj (a variable bound to a fresh pooled object
+// at assign) through the remainder of fn.
+func poolpairTrack(pass *Pass, fn *ast.FuncDecl, assign *ast.AssignStmt, obj types.Object, getCall *ast.CallExpr) {
+	released := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.Info.ObjectOf(id) == obj
+	}
+	mentionsObj := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.End() <= assign.End() {
+			return false // entirely before the binding: irrelevant subtree
+		}
+		if n.Pos() <= assign.End() {
+			return true // encloses the binding: recurse to reach later statements
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Passing the object anywhere — as an argument or as the
+			// method receiver — hands ownership onward.
+			if mentionsObj(n) {
+				released = true
+			}
+		case *ast.ReturnStmt, *ast.SendStmt:
+			if mentionsObj(n) {
+				released = true
+			}
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				rhs := assignRHS(n, i)
+				if rhs == nil || !mentionsObj(rhs) || isObj(n.Lhs[i]) {
+					continue
+				}
+				if _, plain := n.Lhs[i].(*ast.Ident); plain {
+					continue // local alias; tracking stops, put-side checks resume there
+				}
+				if isObj(rootExpr(n.Lhs[i])) {
+					continue // store into the object's own field: mutation, not retention
+				}
+				// Field or element store: the object outlives the call.
+				if pass.suppressed("retained", n.Pos()) {
+					released = true
+				} else {
+					pass.Reportf(n.Pos(),
+						"pooled object %s is stored into %s, outliving this call; "+
+							"annotate //ullvet:retained with who puts it back",
+						obj.Name(), exprString(pass.Fset, n.Lhs[i]))
+					released = true // reported once; don't double-report as a leak
+				}
+			}
+		}
+		return true
+	})
+	if !released {
+		pass.Reportf(getCall.Pos(),
+			"pooled object %s from %s never reaches a Put or ownership transfer in this function",
+			obj.Name(), exprString(pass.Fset, getCall.Fun))
+	}
+}

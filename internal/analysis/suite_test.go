@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Mapiter, "mapiter")
+}
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "sim")
+}
+
+// TestWallclockScope: outside the model-package list the analyzer is
+// silent; the notmodel fixture calls time.Since and has no want
+// comments.
+func TestWallclockScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "notmodel")
+}
+
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Poolpair, "poolpair")
+}
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Noalloc, "noalloc")
+}
+
+// TestMapiterScope: mapiter polices repro/internal/ but not the
+// repro command/example packages; fixture packages (non-repro paths)
+// are always in scope, which the fixtures above rely on.
+func TestMapiterScope(t *testing.T) {
+	pkgs, err := analysis.LoadPackages(".", "repro/cmd/ullsim")
+	if err != nil {
+		t.Fatalf("loading cmd/ullsim: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if diags := analysis.Run(pkg, []*analysis.Analyzer{analysis.Mapiter}); len(diags) != 0 {
+			t.Errorf("mapiter reported outside internal/: %v", diags)
+		}
+	}
+}

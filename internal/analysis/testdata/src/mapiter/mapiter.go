@@ -1,0 +1,107 @@
+// Fixture for the mapiter analyzer: map iteration order must not leak
+// into simulation output.
+package mapiter
+
+import (
+	"slices"
+	"sort"
+)
+
+var out []int64
+
+func schedule(k int64) {}
+
+// Unsorted key collection — the PR 7 maybeRotate shape.
+func collectUnsorted(m map[int64]int) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m { // want "iteration over map m is randomized per run"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Scheduling work in map order.
+func scheduleAll(m map[int64]int) {
+	for k := range m { // want "iteration over map m is randomized per run"
+		schedule(k)
+	}
+}
+
+// Accumulating into a variable declared outside the loop: flagged —
+// float addition is not associative, so accumulation order is output.
+func accumulate(m map[int64]float64) {
+	var sum float64
+	for _, v := range m { // want "iteration over map m is randomized per run"
+		sum += v
+	}
+	out = append(out, int64(sum))
+}
+
+// Keys collected then sorted with sort.Slice: order is laundered out.
+func collectSorted(m map[int64]int) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Same with slices.Sort.
+func collectSlicesSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Clear loop: delete on the ranged map only.
+func clearAll(m map[int64]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Output-neutral body: only loop-local state is written.
+func neutral(m map[int64]int) int {
+	for _, v := range m {
+		x := v * 2
+		_ = x
+	}
+	return len(m)
+}
+
+// Annotated with a justification: accepted.
+func justified(m map[int64]int) int64 {
+	var max int64
+	//ullvet:sorted max reduction is order-insensitive over int64 keys
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// Annotation without a justification does not suppress the demand for
+// one.
+func bareDirective(m map[int64]int) {
+	//ullvet:sorted
+	for k := range m { // want "needs a justification"
+		schedule(k)
+	}
+}
+
+// Collected but sorted only on one of two targets: still flagged.
+func halfSorted(m map[int64]int) ([]int64, []int) {
+	var keys []int64
+	var vals []int
+	for k, v := range m { // want "iteration over map m is randomized per run"
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, vals
+}

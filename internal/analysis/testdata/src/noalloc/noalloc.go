@@ -1,0 +1,37 @@
+// Fixture for the noalloc analyzer's annotation hygiene. The escape
+// contract itself is checked by `ullvet -noalloc` against real builds;
+// see the escape harness test.
+package noalloc
+
+var sink int
+
+// hot is properly annotated: directive in the doc comment of a concrete
+// function.
+//
+//ullvet:noalloc bench=BenchmarkHot
+func hot(a, b int) int {
+	return a + b
+}
+
+// plain has no annotation and no constraints.
+func plain() {
+	sink++
+}
+
+func dangling() {
+	//ullvet:noalloc // want "must be part of a function's doc comment"
+	sink++
+}
+
+// doubled carries the directive twice.
+//
+//ullvet:noalloc
+//ullvet:noalloc // want "duplicate //ullvet:noalloc on doubled"
+func doubled() {
+	sink++
+}
+
+// external has no body to check.
+//
+//ullvet:noalloc // want "bodyless declaration external"
+func external()

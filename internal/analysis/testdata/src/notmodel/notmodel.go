@@ -1,0 +1,11 @@
+// Fixture: a package outside the model list (orchestration code).
+// Wall-clock use is allowed here — shard timing, progress reporting and
+// CI wall budgets legitimately read the host clock.
+package notmodel
+
+import "time"
+
+// Elapsed is fine: notmodel is not a model package.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -1,0 +1,132 @@
+// Fixture for the poolpair analyzer: free-list discipline for pooled
+// objects.
+package poolpair
+
+type op struct {
+	next *op
+	done func()
+}
+
+type gate struct {
+	free *op
+	cur  *op
+}
+
+// get takes an op from the free list.
+//
+//ullvet:pool get
+func (g *gate) get() *op {
+	o := g.free
+	if o == nil {
+		o = &op{}
+	} else {
+		g.free = o.next
+		o.next = nil
+	}
+	return o
+}
+
+// put returns an op to the free list.
+//
+//ullvet:pool put
+func (g *gate) put(o *op) {
+	o.done = nil
+	o.next = g.free
+	g.free = o
+}
+
+func dispatch(o *op) {}
+
+// Balanced get/put: clean.
+func balanced(g *gate) {
+	o := g.get()
+	o.done = func() {}
+	g.put(o)
+}
+
+// Handing the object onward transfers ownership: clean.
+func transfers(g *gate) {
+	o := g.get()
+	dispatch(o)
+}
+
+// Deferred put: clean.
+func deferred(g *gate) {
+	o := g.get()
+	defer g.put(o)
+	o.done = func() {}
+}
+
+// Never put, never handed onward: a leak.
+func leaks(g *gate) {
+	o := g.get() // want "pooled object o from g.get never reaches a Put or ownership transfer"
+	o.done = func() {}
+}
+
+// Bare get drops the object on the floor.
+func discards(g *gate) {
+	g.get() // want "pooled object from g.get is discarded"
+}
+
+// Blank assignment is the same drop.
+func discardsBlank(g *gate) {
+	_ = g.get() // want "pooled object from g.get is discarded"
+}
+
+// Parking the object in longer-lived state needs a justification.
+func retains(g *gate) {
+	o := g.get()
+	g.cur = o // want "pooled object o is stored into g.cur"
+}
+
+// With the annotation, retention is an audited hand-off: clean.
+func retainsJustified(g *gate) {
+	o := g.get()
+	//ullvet:retained g.cur owns it; gate teardown puts it back
+	g.cur = o
+}
+
+// Stores into the object's own fields — even self-referential ones,
+// like appending to its own slice — are mutation, not retention.
+func selfMutates(g *gate) {
+	o := g.get()
+	o.next = o
+	dispatch(o)
+}
+
+// Storing the fresh object straight into a field is retention at birth.
+func retainsAtBirth(g *gate) {
+	g.cur = g.get() // want "is stored into g.cur, outliving this call"
+}
+
+// reqPool triggers the Get/Put naming convention without annotations.
+type reqPool struct {
+	free *op
+}
+
+func (p *reqPool) Get() *op {
+	o := p.free
+	if o == nil {
+		return &op{}
+	}
+	p.free = o.next
+	return o
+}
+
+func (p *reqPool) Put(o *op) {
+	o.next = p.free
+	p.free = o
+}
+
+// Convention-recognized pool: a leak is still a leak.
+func leaksConvention(p *reqPool) {
+	o := p.Get() // want "pooled object o from p.Get never reaches a Put or ownership transfer"
+	o.done = nil
+}
+
+// A malformed pool directive is reported.
+//
+//ullvet:pool gte // want "wants .get. or .put., got"
+func (g *gate) badDirective() *op {
+	return nil
+}

@@ -1,0 +1,56 @@
+// Fixture for the wallclock analyzer. The package is named sim, so it
+// counts as a model package and wall-clock time plus the global
+// math/rand source are off limits.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+var t0 time.Time
+
+func stamp() {
+	t0 = time.Now() // want `time.Now is wall-clock`
+}
+
+func elapsed() time.Duration {
+	return time.Since(t0) // want `time.Since is wall-clock`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `time.Sleep is wall-clock`
+}
+
+func draw() (int, float64) {
+	n := rand.Intn(10)                 // want `math/rand.Intn draws from the process-global random source`
+	f := rand.Float64()                // want `math/rand.Float64 draws from the process-global random source`
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand.Shuffle draws from the process-global random source`
+	_ = rand.Perm(4)                   // want `math/rand.Perm draws from the process-global random source`
+	return n, f
+}
+
+// Per-shard seeded generators are the sanctioned path: constructors are
+// allowed, and methods on the seeded generator are not global draws.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Types and constants from time are fine; only the wall-clock calls
+// are banned.
+func budget(d time.Duration) bool {
+	return d > 5*time.Microsecond
+}
+
+// A justified waiver is accepted (e.g. operator-facing progress logs).
+func progress() time.Time {
+	//ullvet:wallclock operator-facing progress stamp; never enters results
+	return time.Now()
+}
+
+// A bare waiver still demands a justification.
+func bareWaiver() time.Time {
+	//ullvet:wallclock
+	return time.Now() // want "needs a justification"
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// modelPackages are the simulation-model packages where the only
+// admissible clock is the engine's virtual time and the only admissible
+// randomness is a per-shard seeded generator. Keyed by the package
+// name (the last import-path element).
+var modelPackages = map[string]bool{
+	"sim": true, "core": true, "ssd": true, "flash": true, "nvme": true,
+	"kernel": true, "spdk": true, "uring": true, "fs": true, "kv": true,
+	"cpu": true, "workload": true, "nbd": true, "trace": true, "metrics": true,
+}
+
+// Wallclock forbids wall-clock time and the global math/rand source in
+// model packages. time.Now/Since/Sleep make results depend on host
+// speed and scheduling; the global rand functions draw from one shared,
+// lock-protected stream, so any two shards racing for it produce
+// different values run to run even under fixed seeds. Model code uses
+// the engine clock (sim.Engine.Now) and per-shard seeded generators
+// (sim.RNG) instead.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Sleep and global math/rand functions in model packages; " +
+		"use simulated time and per-shard seeded RNGs",
+	Run: runWallclock,
+}
+
+var wallclockTimeFuncs = map[string]bool{"Now": true, "Since": true, "Sleep": true}
+
+func runWallclock(pass *Pass) {
+	if !modelPackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. *rand.Rand.Int63) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] && !pass.suppressed("wallclock", id.Pos()) {
+					pass.Reportf(id.Pos(),
+						"time.%s is wall-clock and breaks fixed-seed repeatability; "+
+							"model packages must use the engine's simulated time", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (New, NewSource, NewZipf, ...) build the
+				// per-shard generators we want; everything else draws from
+				// the shared global stream.
+				if len(fn.Name()) >= 3 && fn.Name()[:3] == "New" {
+					return true
+				}
+				if !pass.suppressed("wallclock", id.Pos()) {
+					pass.Reportf(id.Pos(),
+						"%s.%s draws from the process-global random source and is not repeatable across "+
+							"runs or shard interleavings; use a per-shard seeded generator (sim.RNG or rand.New)",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

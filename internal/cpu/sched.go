@@ -187,6 +187,8 @@ func (p *Proc) Charge(fn Fn, d sim.Time, loads, stores uint64) {
 // when the work can actually begin. On an idle (or non-arbitrating)
 // core that is t itself; on a busy core the work queues behind the
 // current hold and pays the run-queue dispatch cost.
+//
+//ullvet:noalloc bench=BenchmarkCoreSchedule
 func (p *Proc) Claim(t sim.Time) sim.Time {
 	cs := p.set
 	if !cs.arbitrate {
@@ -206,6 +208,8 @@ func (p *Proc) Claim(t sim.Time) sim.Time {
 
 // Hold occupies the core for [from, to): work claimed at from releases
 // the core at to. Holds never shrink the occupancy horizon.
+//
+//ullvet:noalloc bench=BenchmarkCoreSchedule
 func (p *Proc) Hold(from, to sim.Time) {
 	cs := p.set
 	if !cs.arbitrate || to <= from {
@@ -227,6 +231,8 @@ func (p *Proc) Spin(from, to sim.Time) { p.Hold(from, to) }
 // the core is mid-work, plus the migration (cache-refill) penalty. The
 // legacy one-core model pays nothing here — its wakeup latency is
 // already in the stack cost tables.
+//
+//ullvet:noalloc bench=BenchmarkCoreSchedule
 func (p *Proc) Wake(t sim.Time) sim.Time {
 	cs := p.set
 	if !cs.arbitrate {

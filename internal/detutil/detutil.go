@@ -1,0 +1,46 @@
+// Package detutil holds determinism helpers for iterating Go maps in
+// simulation code. Go randomizes map iteration order per run, so any
+// map walk whose body can affect simulation output must be laundered
+// through a sort first — the mapiter analyzer (internal/analysis)
+// enforces exactly that, and these helpers are the sanctioned way to
+// comply.
+package detutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order.
+//
+//ullvet:sorted keys are sorted before return; iteration order cannot leak
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// AppendSortedKeys appends m's keys to dst in ascending order and
+// returns the extended slice. Passing a reused dst[:0] keeps
+// steady-state callers allocation-free once capacity has grown.
+//
+//ullvet:sorted keys are sorted before return; iteration order cannot leak
+func AppendSortedKeys[M ~map[K]V, K cmp.Ordered, V any](dst []K, m M) []K {
+	base := len(dst)
+	for k := range m {
+		dst = append(dst, k)
+	}
+	slices.Sort(dst[base:])
+	return dst
+}
+
+// SortedRange calls fn for every key/value pair of m in ascending key
+// order.
+func SortedRange[M ~map[K]V, K cmp.Ordered, V any](m M, fn func(K, V)) {
+	for _, k := range SortedKeys(m) {
+		fn(k, m[k])
+	}
+}

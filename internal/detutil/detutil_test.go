@@ -1,0 +1,69 @@
+package detutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSortedKeysPinsOrder is the regression pin for the iteration-order
+// contract: whatever order keys were inserted in — and whatever order
+// Go's randomized map walk yields them — the helpers observe them
+// ascending. This is what makes a fixed-seed run byte-identical when a
+// map walk feeds simulation output.
+func TestSortedKeysPinsOrder(t *testing.T) {
+	insertions := [][]int64{
+		{5, 1, 9, 3, 7},
+		{9, 7, 5, 3, 1},
+		{3, 9, 1, 7, 5},
+	}
+	want := []int64{1, 3, 5, 7, 9}
+	for _, order := range insertions {
+		m := make(map[int64]int, len(order))
+		for i, k := range order {
+			m[k] = i
+		}
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Errorf("SortedKeys after insertions %v = %v, want %v", order, got, want)
+		}
+	}
+}
+
+func TestSortedRangeVisitsAscendingWithValues(t *testing.T) {
+	m := map[string]int{"delta": 4, "alpha": 1, "charlie": 3, "bravo": 2}
+	var keys []string
+	var vals []int
+	SortedRange(m, func(k string, v int) {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	})
+	if !reflect.DeepEqual(keys, []string{"alpha", "bravo", "charlie", "delta"}) {
+		t.Errorf("key order %v", keys)
+	}
+	if !reflect.DeepEqual(vals, []int{1, 2, 3, 4}) {
+		t.Errorf("value order %v", vals)
+	}
+}
+
+func TestAppendSortedKeysReusesDst(t *testing.T) {
+	m := map[int]struct{}{4: {}, 2: {}, 8: {}}
+	buf := make([]int, 0, 8)
+	got := AppendSortedKeys(buf, m)
+	if !reflect.DeepEqual(got, []int{2, 4, 8}) {
+		t.Fatalf("got %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("AppendSortedKeys reallocated although dst had capacity")
+	}
+	// Only the appended tail is sorted; an existing prefix is preserved.
+	pre := append(buf[:0], 99)
+	got = AppendSortedKeys(pre, m)
+	if !reflect.DeepEqual(got, []int{99, 2, 4, 8}) {
+		t.Fatalf("prefix not preserved: %v", got)
+	}
+}
+
+func TestSortedKeysEmpty(t *testing.T) {
+	if got := SortedKeys(map[uint64]bool{}); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

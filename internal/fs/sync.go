@@ -196,6 +196,8 @@ func (f *FS) expireFire() {
 // Sync runs fsync(2): write back every dirty page, then commit under
 // the configured journal mode, then barrier the device. Concurrent
 // syncs queue and run one at a time.
+//
+//ullvet:noalloc bench=BenchmarkFSFsync
 func (f *FS) Sync(done func()) {
 	f.stats.Fsyncs++
 	f.charge(cpu.FnSyscall, f.costs.Syscall)
@@ -226,6 +228,8 @@ func (f *FS) syncData() {
 
 // syncAdvance steps the commit protocol; each child I/O or barrier
 // completion calls it again.
+//
+//ullvet:noalloc bench=BenchmarkFSFsync
 func (f *FS) syncAdvance() {
 	switch f.cfg.Journal {
 	case NoJournal:

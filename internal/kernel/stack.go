@@ -403,6 +403,10 @@ func NewAsyncStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs 
 	return s
 }
 
+// getIO takes an I/O context from the free list, binding its submit
+// closure once on first allocation.
+//
+//ullvet:pool get
 func (s *AsyncStack) getIO() *asyncIO {
 	io := s.freeIOs
 	if io == nil {
@@ -421,6 +425,9 @@ func (s *AsyncStack) getIO() *asyncIO {
 	return io
 }
 
+// putIO returns an I/O context to the free list.
+//
+//ullvet:pool put
 func (s *AsyncStack) putIO(io *asyncIO) {
 	io.done = nil
 	io.next = s.freeIOs
@@ -465,6 +472,7 @@ func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done fun
 	if s.pending[io.cid] != nil {
 		panic(fmt.Sprintf("kernel: CID %d reused while outstanding", io.cid))
 	}
+	//ullvet:retained outstanding until its CQE; onMSI reaps and putIOs it
 	s.pending[io.cid] = io
 	s.nOut++
 	s.eng.After(start-now+submitDelay, io.submitFn)
@@ -510,6 +518,9 @@ func (s *AsyncStack) onMSI() {
 	s.eng.AfterArg(extra+reap, s.deliverFn, b)
 }
 
+// getBatch takes a completion batch from the free list.
+//
+//ullvet:pool get
 func (s *AsyncStack) getBatch() *doneBatch {
 	b := s.freeBatch
 	if b == nil {
@@ -520,6 +531,15 @@ func (s *AsyncStack) getBatch() *doneBatch {
 	return b
 }
 
+// putBatch empties a delivered batch and returns it to the free list.
+//
+//ullvet:pool put
+func (s *AsyncStack) putBatch(b *doneBatch) {
+	b.dones = b.dones[:0]
+	b.next = s.freeBatch
+	s.freeBatch = b
+}
+
 // deliver runs one reaped batch after the io_getevents path delay.
 func (s *AsyncStack) deliver(arg any) {
 	b := arg.(*doneBatch)
@@ -528,9 +548,7 @@ func (s *AsyncStack) deliver(arg any) {
 		b.dones[i] = nil
 		fn()
 	}
-	b.dones = b.dones[:0]
-	b.next = s.freeBatch
-	s.freeBatch = b
+	s.putBatch(b)
 }
 
 // Outstanding reports in-flight asynchronous I/Os.

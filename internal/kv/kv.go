@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/detutil"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -411,17 +412,15 @@ func (s *Store) memInsert(key int64, size int) {
 }
 
 // maybeRotate seals a full memtable and starts its flush, if no flush
-// is already running.
+// is already running. The sealed key slice must not depend on map
+// iteration order — it becomes the flushed table's layout, so any
+// order leak here diverges fixed-seed runs (the original PR 7 bug, now
+// also caught at compile time by the mapiter analyzer).
 func (s *Store) maybeRotate() {
 	if s.memBytes < s.cfg.MemtableBytes || s.imm != nil {
 		return
 	}
-	keys := make([]int64, 0, len(s.mem))
-	for k := range s.mem {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	s.imm = keys
+	s.imm = detutil.SortedKeys(s.mem)
 	s.immSet = s.mem
 	s.mem = make(map[int64]int)
 	s.memBytes = 0

@@ -72,6 +72,61 @@ func TestPutThenGetGroupCommit(t *testing.T) {
 	}
 }
 
+// TestRotationSnapshotSortedRegardlessOfPutOrder is the regression pin
+// for the PR 7 bug the mapiter analyzer now catches at compile time:
+// sealing the memtable must yield the same sorted key layout no matter
+// what order the puts arrived in (or what order Go's randomized map
+// walk would have yielded). The flushed L0 table's layout feeds block
+// addressing, compaction timing, and WAL sizing, so an order leak here
+// diverges fixed-seed runs.
+func TestRotationSnapshotSortedRegardlessOfPutOrder(t *testing.T) {
+	// 128 puts of 512 B fill MemtableBytes (64 KiB) exactly, sealing all
+	// of them into one rotation regardless of arrival order.
+	const keys = 128
+	orders := make([][]int64, 3)
+	for i := range orders {
+		orders[i] = make([]int64, keys)
+	}
+	for k := int64(0); k < keys; k++ {
+		orders[0][k] = k           // ascending
+		orders[1][keys-1-k] = k    // descending
+		orders[2][(k*37)%keys] = k // fixed shuffle (37 coprime to 128)
+	}
+	var want []int64
+	for _, order := range orders {
+		s, g := testStore(7)
+		for _, k := range order {
+			s.Put(k, 512, func() {})
+		}
+		g.Engine().Run()
+		if len(s.levels[0]) == 0 {
+			t.Fatal("no L0 table installed; rotation did not flush")
+		}
+		var got []int64
+		for i := len(s.levels[0]) - 1; i >= 0; i-- { // newest-first install
+			got = append(got, s.levels[0][i].keys...)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("flushed layout not strictly ascending at %d: %v", i, got)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("flushed %d keys, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("insertion order %v changed the flushed layout at %d: got %d, want %d",
+					order[:4], i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestFlushCompactionAndCacheLifecycle(t *testing.T) {
 	s, g := testStore(11)
 	s.Preload(4096, 512)

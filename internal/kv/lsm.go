@@ -224,7 +224,10 @@ func (s *Store) mergeInstall(l int, up, down, inputs []*sstable) {
 		// memtable flush can install new L0 tables while this merge's
 		// reads and writes are in flight, and those must survive the
 		// install (they are newer than the merged run, and L0 resolves
-		// newest-first, so correctness holds either way).
+		// newest-first, so correctness holds either way). The deadUp and
+		// dead sets are membership-only: written and probed from slice
+		// iterations but never ranged, so map iteration order cannot
+		// leak into the install (mapiter-audited).
 		deadUp := map[*sstable]bool{}
 		for _, t := range up {
 			deadUp[t] = true

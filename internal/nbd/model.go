@@ -136,6 +136,11 @@ type remoteReq struct {
 	sendFn   func() // server send path done: response onto the downlink
 }
 
+// getReq takes a remote-request context from the free list; the sendFn
+// closure bound on first allocation recycles it after the response is
+// queued, so there is no separate put helper.
+//
+//ullvet:pool get
 func (m *Model) getReq() *remoteReq {
 	r := m.freeReqs
 	if r == nil {

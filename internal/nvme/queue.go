@@ -94,6 +94,10 @@ type cmd struct {
 	postFn  func() // CQE reached host memory: publish and recycle
 }
 
+// getCmd takes a command context from the free list, binding its
+// completion closures once on first allocation.
+//
+//ullvet:pool get
 func (qp *QueuePair) getCmd() *cmd {
 	c := qp.freeCmds
 	if c == nil {
@@ -110,6 +114,9 @@ func (qp *QueuePair) getCmd() *cmd {
 	return c
 }
 
+// putCmd returns a command context to the free list.
+//
+//ullvet:pool put
 func (qp *QueuePair) putCmd(c *cmd) {
 	c.next = qp.freeCmds
 	qp.freeCmds = c

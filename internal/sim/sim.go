@@ -111,6 +111,8 @@ func (r EventRef) When() Time {
 // a stale handle from touching a recycled event. Canceled events stay in
 // their wheel slot and are skipped (and recycled) when their instant is
 // reached.
+//
+//ullvet:noalloc bench=BenchmarkEventSchedule
 func (r EventRef) Cancel() {
 	if r.live() {
 		r.ev.canceled = true
@@ -205,6 +207,8 @@ func (e *Engine) Pending() int { return e.pending }
 
 // alloc takes an event from the free list (or the heap allocator on a
 // cold start) and stamps it with the schedule time and sequence number.
+//
+//ullvet:pool get
 func (e *Engine) alloc(t Time) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
@@ -223,6 +227,9 @@ func (e *Engine) alloc(t Time) *Event {
 
 // recycle returns a fired or reaped event to the free list. The
 // generation bump invalidates every outstanding EventRef to it.
+//
+//ullvet:pool put
+//ullvet:noalloc bench=BenchmarkEventSchedule
 func (e *Engine) recycle(ev *Event) {
 	ev.gen++
 	ev.fn = nil
@@ -239,6 +246,8 @@ func (e *Engine) recycle(ev *Event) {
 // slot spans when base sits mid-slot, letting two events one lap apart
 // share a slot and corrupting the "first occupied slot is earliest" scan.
 // Slots are prepend lists; the drain sort restores schedule order.
+//
+//ullvet:noalloc bench=BenchmarkEventSchedule
 func (e *Engine) place(ev *Event) {
 	au := uint64(ev.at)
 	bu := uint64(e.base)
@@ -389,6 +398,8 @@ func (e *Engine) cascade(level, slot int, newBase Time) {
 // has not advanced past deadline, so later schedules stay valid). The
 // returned event has been removed from the engine but not recycled —
 // canceled events come back too, for the caller to reap.
+//
+//ullvet:noalloc bench=BenchmarkSimulatorThroughput
 func (e *Engine) next(deadline Time) *Event {
 	if ev := e.solo; ev != nil {
 		if deadline >= 0 && ev.at > deadline {
@@ -621,6 +632,7 @@ func (e *Engine) schedule(t Time) *Event {
 		e.rebase(t)
 	}
 	if e.pending == 0 && e.runIdx == len(e.run) {
+		//ullvet:retained solo fast-path slot; the drain loop fires and recycles it like any placed event
 		e.solo = ev
 	} else {
 		e.place(ev)

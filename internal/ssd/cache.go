@@ -96,13 +96,8 @@ func (w *WriteBuffer) HasSpace(n int64) bool { return w.used+n <= w.capacity }
 func (w *WriteBuffer) Insert(lpn int64, mask uint32) (e *bufEntry, isNew bool) {
 	e = w.entries[lpn]
 	if e == nil || e.flushing {
-		if f := w.freeEnts; f != nil {
-			w.freeEnts = f.free
-			*f = bufEntry{lpn: lpn}
-			e = f
-		} else {
-			e = &bufEntry{lpn: lpn}
-		}
+		e = w.getEnt(lpn)
+		//ullvet:retained staged in the dirty map until its flush lands; Release puts it back
 		w.entries[lpn] = e
 		isNew = true
 	}
@@ -151,6 +146,25 @@ func (w *WriteBuffer) Release(e *bufEntry) {
 	if w.inflight[e.lpn] == e {
 		delete(w.inflight, e.lpn)
 	}
+	w.putEnt(e)
+}
+
+// getEnt takes a zeroed entry for lpn from the free list.
+//
+//ullvet:pool get
+func (w *WriteBuffer) getEnt(lpn int64) *bufEntry {
+	if f := w.freeEnts; f != nil {
+		w.freeEnts = f.free
+		*f = bufEntry{lpn: lpn}
+		return f
+	}
+	return &bufEntry{lpn: lpn}
+}
+
+// putEnt returns an entry to the free list.
+//
+//ullvet:pool put
+func (w *WriteBuffer) putEnt(e *bufEntry) {
 	e.free = w.freeEnts
 	w.freeEnts = e
 }
@@ -164,6 +178,7 @@ func (w *WriteBuffer) Len() int { return len(w.entries) }
 // call; callers must consume it before touching the buffer again.
 func (w *WriteBuffer) Entries() []*bufEntry {
 	w.scratch = w.scratch[:0]
+	//ullvet:sorted snapshot is LPN-sorted by w.sorter below before any caller sees it
 	for _, e := range w.entries {
 		w.scratch = append(w.scratch, e)
 	}

@@ -24,3 +24,10 @@ go test -run '^$' \
 	-bench 'BenchmarkSimulatorThroughput$|BenchmarkEventSchedule$|BenchmarkNBDModel$|BenchmarkStripedVolume$|BenchmarkFSBufferedRead$|BenchmarkFSFsync$|BenchmarkKVGet$|BenchmarkKVPut$|BenchmarkUringSubmit$|BenchmarkCoreSchedule$' \
 	-benchmem -count "$COUNT" . >"$TMP"
 go run ./scripts/benchjson -out BENCH_simcore.json "$@" <"$TMP"
+
+# Cross-check the //ullvet:noalloc annotations against the baseline the
+# gate just updated (or checked): every bench= reference must resolve to
+# a benchmark present in BENCH_simcore.json whose allocs/op is still
+# within the zero-alloc budget, so the annotations and the allocs/op
+# gate cannot drift apart silently.
+go run ./cmd/ullvet -noalloc-xref BENCH_simcore.json ./...

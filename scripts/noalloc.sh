@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# noalloc.sh — verify every //ullvet:noalloc contract in the tree
+# against the compiler's escape analysis. `ullvet -noalloc` rebuilds the
+# annotated packages with -gcflags=-m and fails if any heap escape lands
+# inside an annotated function's body (the build cache replays the
+# diagnostics, so repeat runs are cheap).
+#
+# Usage:
+#   scripts/noalloc.sh          # verify the escape-analysis contracts
+#   scripts/noalloc.sh -check   # CI gate: also cross-check bench=
+#                               # references against the allocs/op
+#                               # baseline in BENCH_simcore.json
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-check" ]; then
+	exec go run ./cmd/ullvet -noalloc -noalloc-xref BENCH_simcore.json ./...
+fi
+exec go run ./cmd/ullvet -noalloc ./...
