@@ -21,6 +21,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kv"
 	"repro/internal/nbd"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/uring"
@@ -512,4 +513,47 @@ func BenchmarkKVPut(b *testing.B) {
 	}
 	issue()
 	s.Engine().Run()
+}
+
+// BenchmarkProbeDisabled measures the observability tax paid by every
+// layer when probes are off: the full per-I/O hook sequence (register
+// hand-off, phase marks, span open/close) against a nil *probe.Probe.
+// This is the configuration every experiment and benchmark runs in, so
+// the contract is strict: 0 allocs/op and single-digit nanoseconds.
+// The //ullvet:noalloc annotations on the hook methods reference this
+// benchmark; scripts/bench.sh cross-checks the two.
+func BenchmarkProbeDisabled(b *testing.B) {
+	var p *probe.Probe
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := p.Start(probe.KRead, 0, sim.Time(i))
+		sp.To(probe.PSubmit, sim.Time(i)+100)
+		p.SetSpan(sp)
+		sp2 := p.TakeSpan()
+		sp2.Add(probe.PQueue, 50)
+		sp2.To(probe.PDevice, sim.Time(i)+900)
+		sp2.Tail(probe.PComplete)
+		p.End(sp2, sim.Time(i)+1000)
+	}
+}
+
+// BenchmarkProbeSpan measures the same hook sequence with breakdowns
+// and the trace ring enabled: span pool pop, phase marks, histogram
+// update, ladder event push, pool push. Spans are pooled, so the
+// steady state stays allocation-free; the cost bounds the probes-on
+// slowdown per I/O.
+func BenchmarkProbeSpan(b *testing.B) {
+	p := probe.New(probe.Config{Breakdown: true, Trace: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := p.Start(probe.KRead, 0, sim.Time(i))
+		sp.To(probe.PSubmit, sim.Time(i)+100)
+		p.SetSpan(sp)
+		sp2 := p.TakeSpan()
+		sp2.Add(probe.PQueue, 50)
+		sp2.To(probe.PDevice, sim.Time(i)+900)
+		sp2.Tail(probe.PComplete)
+		p.End(sp2, sim.Time(i)+1000)
+	}
 }

@@ -21,6 +21,15 @@
 //
 //	fioemu -dev nvme -rw randrw -ios 20000 -trace-out nvme.csv
 //	fioemu -dev ull -replay nvme.csv
+//
+// Observability: -breakdown prints the per-phase latency attribution
+// (where each microsecond of a request went), -trace writes a Chrome
+// trace-event JSON of the run (Perfetto-loadable; distinct from the
+// per-I/O CSV of -trace-out), and -series samples layer gauges (queue
+// depth, dirty ratio, cache hit rate) into a CSV time series:
+//
+//	fioemu -dev ull -rw randwrite -ios 20000 -fs -journal ordered -syncratio 32 -breakdown
+//	fioemu -dev ull -rw randread -ios 20000 -trace run.json -series gauges.csv
 package main
 
 import (
@@ -60,6 +69,10 @@ type config struct {
 	fsCache   int64
 	journal   string
 	syncRatio int
+
+	breakdown bool
+	traceJSON string
+	seriesOut string
 }
 
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
@@ -83,6 +96,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fl.Int64Var(&c.fsCache, "fscache", 64<<20, "page-cache capacity in bytes (with -fs)")
 	fl.StringVar(&c.journal, "journal", "none", "fsync journal mode: none | ordered | log (implies a filesystem layer)")
 	fl.IntVar(&c.syncRatio, "syncratio", 0, "issue one fsync per N writes (0 = never)")
+	fl.BoolVar(&c.breakdown, "breakdown", false, "print the per-phase latency breakdown table")
+	fl.StringVar(&c.traceJSON, "trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	fl.StringVar(&c.seriesOut, "series", "", "write the sampled gauge time series (1ms buckets) as CSV to this file")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
 	}
@@ -260,6 +276,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Observability flags configure the probe the build attaches; the
+	// default is restored so repeated runs in one process stay isolated.
+	pcfg := repro.ProbeConfig{
+		Breakdown: c.breakdown,
+		Trace:     c.traceJSON != "",
+	}
+	if c.seriesOut != "" {
+		pcfg.Sample = repro.Millisecond
+	}
+	prevProbe := repro.ProbeDefault()
+	repro.SetProbeDefault(pcfg)
+	defer repro.SetProbeDefault(prevProbe)
+
 	g := repro.BuildTopology(topo)
 	// Confine I/O to the preconditioned region so reads touch media.
 	if c.precond > 0 {
@@ -349,7 +378,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "  device power: %.2f W avg\n", g.Devices()[0].Meter().AvgWatts(g.Engine().Now()))
 	fmt.Fprintf(stdout, "  simulated %v in %v wall\n", g.Engine().Now(), elapsed.Round(time.Millisecond))
+
+	if c.breakdown {
+		if err := g.Probe().Breakdown().WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
+		}
+	}
+	if c.traceJSON != "" {
+		if err := writeFile(c.traceJSON, func(f *os.File) error {
+			return repro.WriteTrace(f, g.Probe())
+		}); err != nil {
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace: Chrome trace-event JSON written to %s\n", c.traceJSON)
+	}
+	if c.seriesOut != "" {
+		if err := writeFile(c.seriesOut, func(f *os.File) error {
+			return g.Probe().WriteSeriesCSV(f)
+		}); err != nil {
+			fmt.Fprintf(stderr, "fioemu: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "series: gauge samples written to %s\n", c.seriesOut)
+	}
 	return 0
+}
+
+// writeFile creates path, runs write against it, and closes it, keeping
+// the first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // replayTrace re-issues a recorded trace against the built system and

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -270,5 +273,86 @@ func TestHelpExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "-rwmixwrite") {
 		t.Fatal("usage text not printed")
+	}
+}
+
+// TestBreakdownFlag: -breakdown appends the per-phase attribution table
+// to the report, and leaving it off keeps the report unchanged.
+func TestBreakdownFlag(t *testing.T) {
+	base := []string{"-dev", "ull", "-rw", "randwrite", "-engine", "libaio",
+		"-iodepth", "4", "-ios", "400", "-fs", "-syncratio", "32",
+		"-precondition", "0.05", "-seed", "7"}
+	var out, errOut strings.Builder
+	if code := run(append(base, "-breakdown"), &out, &errOut); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"phase", "writeback", "journal", "total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, got)
+		}
+	}
+	var plain, plainErr strings.Builder
+	if code := run(base, &plain, &plainErr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, plainErr.String())
+	}
+	if strings.Contains(plain.String(), "phase") {
+		t.Error("phase table printed without -breakdown")
+	}
+	// The fio-style report lines themselves must not shift when the
+	// probe is recording: probes only observe, so the -breakdown output
+	// is the plain report plus the appended table.
+	if !strings.HasPrefix(stripWall(got), stripWall(plain.String())) {
+		t.Errorf("report body changed under -breakdown:\n--- off ---\n%s\n--- on ---\n%s", plain.String(), got)
+	}
+}
+
+// TestTraceAndSeriesFiles: -trace writes Chrome trace-event JSON and
+// -series writes the sampled gauge CSV, both alongside a normal report.
+func TestTraceAndSeriesFiles(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.json")
+	seriesFile := filepath.Join(dir, "series.csv")
+	var out, errOut strings.Builder
+	args := []string{"-dev", "ull", "-rw", "randread", "-engine", "libaio",
+		"-iodepth", "4", "-ios", "400", "-precondition", "0.05",
+		"-trace", traceFile, "-series", seriesFile}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace JSON is empty")
+	}
+	csv, err := os.ReadFile(seriesFile)
+	if err != nil {
+		t.Fatalf("series file: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "gauge,t_ns,value\n") {
+		t.Fatalf("series CSV missing header:\n%s", csv)
+	}
+	if !strings.Contains(string(csv), "queue0.inflight") {
+		t.Fatalf("series CSV missing the queue gauge:\n%s", csv)
+	}
+}
+
+// TestUnknownFlagUsage: a bad flag is a usage error — exit 2 with the
+// flag named on stderr, matching the other flag-validation paths.
+func TestUnknownFlagUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("run exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "nonsense") {
+		t.Fatalf("stderr does not name the bad flag: %q", errOut.String())
 	}
 }

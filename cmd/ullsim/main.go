@@ -21,6 +21,9 @@
 //	-seed N      override the experiment seed (0 is a valid seed)
 //	-parallel N  shard workers; 1 = serial, 0 = GOMAXPROCS (default)
 //	-csv DIR     also write each table as DIR/<id>.csv
+//	-trace FILE  record a Chrome trace-event JSON (Perfetto-loadable) of
+//	             the run's I/O and background activity; forces -parallel 1
+//	             and leaves stdout byte-identical (probes only observe)
 //
 // Every experiment is decomposed into independent shards (one sweep
 // point each) executed across -parallel workers; output is byte-identical
@@ -35,9 +38,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/orchestrator"
+	"repro/internal/probe"
 )
 
 func main() {
@@ -45,6 +51,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "experiment seed (any value, including 0; default if not set)")
 	parallel := flag.Int("parallel", 0, "shard workers: 1 = serial, 0 = GOMAXPROCS")
 	csvDir := flag.String("csv", "", "directory to write CSV tables into")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to FILE (forces -parallel 1)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -94,21 +101,36 @@ func main() {
 			SeedSet:  seedSet,
 			Parallel: *parallel,
 		}
+		if *traceOut != "" {
+			// One flight-recorder window per shard is legible; a pool's
+			// worth interleaved on one timeline is not. Serial execution
+			// also keeps the retained-probe order the shard order.
+			opts.Parallel = 1
+			opts.Probe = probe.Config{Breakdown: true, Trace: true, Retain: true}
+		}
 		// Progress goes to stderr (stdout stays byte-identical across
-		// worker counts): one line per ~5% of shards, so long -full
-		// runs are visibly alive.
+		// worker counts): one line per ~5% of shards, with throughput
+		// and ETA, so long -full runs are visibly alive.
+		start := time.Now()
 		opts.Progress = func(done, total int) {
 			stride := total / 20
 			if stride < 1 {
 				stride = 1
 			}
 			if done%stride == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "ullsim: %d/%d shards done\n", done, total)
+				fmt.Fprintf(os.Stderr, "ullsim: %s\n",
+					orchestrator.FormatProgress(done, total, time.Since(start)))
 			}
 		}
 		if err := runExperiments(os.Stdout, opts, *csvDir, ids...); err != nil {
 			fmt.Fprintf(os.Stderr, "ullsim: %v (try 'ullsim list')\n", err)
 			os.Exit(2)
+		}
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, probe.Retained()); err != nil {
+				fmt.Fprintln(os.Stderr, "ullsim:", err)
+				os.Exit(1)
+			}
 		}
 	default:
 		usage()
@@ -174,6 +196,20 @@ func writeList(w io.Writer, asJSON bool) error {
 	return enc.Encode(entries)
 }
 
+// writeTraceFile dumps the retained probes' flight-recorder windows as
+// one Chrome trace-event JSON file (each shard on its own pid group).
+func writeTraceFile(path string, probes []*probe.Probe) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := probe.WriteTrace(f, probes...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func writeCSV(dir string, t *metrics.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -192,7 +228,7 @@ func usage() {
 
 usage:
   ullsim list [-json]
-  ullsim [-full] [-seed N] [-parallel N] [-csv DIR] run <id>... | all
+  ullsim [-full] [-seed N] [-parallel N] [-csv DIR] [-trace FILE] run <id>... | all
 
 open-loop extensions (latency vs offered load, multi-tenant mixes):
   ullsim run ext-loadcurve ext-tenants

@@ -13,6 +13,7 @@ var modelPackages = map[string]bool{
 	"sim": true, "core": true, "ssd": true, "flash": true, "nvme": true,
 	"kernel": true, "spdk": true, "uring": true, "fs": true, "kv": true,
 	"cpu": true, "workload": true, "nbd": true, "trace": true, "metrics": true,
+	"probe": true,
 }
 
 // Wallclock forbids wall-clock time and the global math/rand source in

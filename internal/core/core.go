@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/nvme"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/ssd"
@@ -188,6 +189,9 @@ func (s *System) Serial() bool { return s.Cfg.Stack == KernelSync }
 
 // Graph returns the underlying topology graph.
 func (s *System) Graph() *Graph { return s.graph }
+
+// Probe returns the graph's observability probe; nil when disabled.
+func (s *System) Probe() *probe.Probe { return s.graph.Probe() }
 
 // ExportedBytes reports the device's host-visible capacity.
 func (s *System) ExportedBytes() int64 { return s.Dev.ExportedBytes() }

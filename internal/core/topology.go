@@ -33,6 +33,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/nvme"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/ssd"
@@ -243,9 +244,38 @@ func Build(t Topology) *Graph {
 	cores := cpu.NewCoreSet(t.Cores)
 	g := &Graph{eng: sim.NewEngine(), cores: cores, cpu: cores.Core(0),
 		pre: t.Precondition, seeds: make(map[uint64]bool)}
+	// Attach the observability probe (from the process-wide default
+	// config) before lowering, so every layer constructor can cache it.
+	// The probe only observes: it schedules no events and draws no
+	// randomness, so output is byte-identical with and without it.
+	probe.Attach(g.eng, probe.New(probe.Default()))
 	g.root = t.Root.lower(g)
+	g.registerGauges()
 	return g
 }
+
+// registerGauges points the probe's time-series sampler at the graph's
+// observable state, in lowering order (deterministic column order).
+func (g *Graph) registerGauges() {
+	p := probe.Get(g.eng)
+	if p == nil {
+		return
+	}
+	g.cores.RegisterGauges(p.Gauge)
+	for i, qp := range g.queues {
+		qp := qp
+		p.Gauge(fmt.Sprintf("queue%d.inflight", i), func() float64 { return float64(qp.Outstanding()) })
+	}
+	for i, m := range g.fss {
+		m := m
+		p.Gauge(fmt.Sprintf("fs%d.dirty_ratio", i), m.DirtyRatio)
+		p.Gauge(fmt.Sprintf("fs%d.cache_hit_rate", i), m.CacheHitRate)
+	}
+}
+
+// Probe returns the graph's observability probe, or nil when tracing
+// is disabled.
+func (g *Graph) Probe() *probe.Probe { return probe.Get(g.eng) }
 
 // assignProc picks the core a stack executes on: the explicit 1-based
 // choice when given, otherwise round-robin over unpinned cores (pinned

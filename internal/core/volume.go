@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -90,7 +91,7 @@ func (v Volume) lower(g *Graph) built {
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
-	vol := &volume{kind: v.Kind, chunk: chunk}
+	vol := &volume{kind: v.Kind, chunk: chunk, eng: g.eng, pr: probe.Get(g.eng)}
 	vol.stats.Kind = v.Kind
 	for _, c := range v.Children {
 		b := c.lower(g)
@@ -204,7 +205,9 @@ type vpending struct {
 }
 
 // vseg is one child segment: pooled, with its completion callback bound
-// once so steady-state routing schedules no fresh closures.
+// once so steady-state routing schedules no fresh closures. Segments of
+// a split host I/O share the host's span pointer; phase marks clamp, so
+// interleaved child completions keep the partition consistent.
 type vseg struct {
 	v      *volume
 	leaf   *vleaf
@@ -213,6 +216,7 @@ type vseg struct {
 	flush  bool  // flush barrier instead of a data segment
 	offset int64 // child-local offset
 	length int
+	span   *probe.Span
 	fn     func()
 	next   *vseg
 }
@@ -245,6 +249,13 @@ type volume struct {
 	exported int64
 	tier     *tierState
 	stats    VolumeStats
+
+	eng *sim.Engine
+	pr  *probe.Probe
+	// curSpan is the host span during the synchronous fan-out of one
+	// Submit/Flush; migration segments dispatch outside the window and
+	// stay unattributed.
+	curSpan *probe.Span
 
 	freeSegs *vseg
 	freePend *vpending
@@ -286,6 +297,7 @@ func (v *volume) dispatch(l *vleaf, write bool, offset int64, length int, p *vpe
 	s.flush = false
 	s.offset = offset
 	s.length = length
+	s.span = v.curSpan
 	v.enqueue(l, s)
 }
 
@@ -303,6 +315,7 @@ func (v *volume) dispatchFlush(l *vleaf, p *vpending) {
 	s.flush = true
 	s.offset = 0
 	s.length = 0
+	s.span = v.curSpan
 	v.enqueue(l, s)
 }
 
@@ -318,6 +331,8 @@ func (v *volume) enqueue(l *vleaf, s *vseg) {
 
 func (v *volume) issue(s *vseg) {
 	s.leaf.inflight++
+	s.span.To(probe.PVolume, v.eng.Now())
+	v.pr.SetSpan(s.span)
 	if s.flush {
 		s.leaf.flusher.Flush(s.fn)
 	} else {
@@ -329,6 +344,7 @@ func (v *volume) segDone(s *vseg) {
 	l, p := s.leaf, s.parent
 	s.leaf = nil
 	s.parent = nil
+	s.span = nil
 	s.next = v.freeSegs
 	v.freeSegs = s
 	l.inflight--
@@ -353,6 +369,7 @@ func (v *volume) Submit(write bool, offset int64, length int, done func()) {
 			offset, offset+int64(length), v.exported))
 	}
 	v.stats.HostIOs++
+	v.curSpan = v.pr.TakeSpan()
 	switch v.kind {
 	case Striped:
 		v.submitStriped(write, offset, length, done)
@@ -361,6 +378,7 @@ func (v *volume) Submit(write bool, offset int64, length int, done func()) {
 	default:
 		v.submitTiered(write, offset, length, done)
 	}
+	v.curSpan = nil
 }
 
 // Flush fans one durability barrier out to every member and completes
@@ -369,10 +387,12 @@ func (v *volume) Submit(write bool, offset int64, length int, done func()) {
 // serial member finishes its in-flight I/O first.
 func (v *volume) Flush(done func()) {
 	v.stats.Flushes++
+	v.curSpan = v.pr.TakeSpan()
 	p := v.getPending(len(v.leaves), done)
 	for _, l := range v.leaves {
 		v.dispatchFlush(l, p)
 	}
+	v.curSpan = nil
 }
 
 // chunkSpans reports how many chunk-aligned spans [offset, offset+length)
@@ -467,6 +487,7 @@ func (v *volume) submitTiered(write bool, offset int64, length int, done func())
 		length -= int(span)
 	}
 	if write {
+		v.curSpan = nil // migration segments are background, not host-attributed
 		v.maybeMigrate()
 	}
 }

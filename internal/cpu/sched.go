@@ -12,7 +12,11 @@
 // fixed-seed outputs are bit-identical to it.
 package cpu
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // SchedCosts parameterizes arbitration: what contending for a core
 // costs beyond the work itself.
@@ -128,6 +132,24 @@ func (cs *CoreSet) Utilization(wall sim.Time) []Utilization {
 		out[i] = c.Utilization(wall)
 	}
 	return out
+}
+
+// RegisterGauges points a time-series sampler at the set's per-core
+// state: cumulative busy nanoseconds and run-queue wait per core. The
+// registrar is the observability layer's Gauge function; keeping the
+// naming here keeps the core-count layout in one place.
+func (cs *CoreSet) RegisterGauges(register func(name string, fn func() float64)) {
+	for i := range cs.cores {
+		i := i
+		register(fmt.Sprintf("core%d.busy_ns", i), func() float64 {
+			return float64(cs.cores[i].BusyTime())
+		})
+		if cs.arbitrate {
+			register(fmt.Sprintf("core%d.queue_wait_ns", i), func() float64 {
+				return float64(cs.stats[i].QueueWait)
+			})
+		}
+	}
 }
 
 // BusyCores reports how many cores' worth of CPU the whole set burned

@@ -15,6 +15,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/orchestrator"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/uring"
@@ -41,6 +42,11 @@ type Options struct {
 	// running count (serialized; completion order, not shard order). It
 	// feeds wall-clock reporting and never affects results.
 	Progress func(done, total int)
+	// Probe configures observability for every system the shards build
+	// (installed as the process-wide probe default for the run's
+	// duration). The zero value records nothing; any setting leaves
+	// fixed-seed output byte-identical.
+	Probe probe.Config
 }
 
 // scale picks a sample count: full when precision matters, quick for CI.
@@ -107,8 +113,17 @@ func (e Experiment) jobs(p *Plan) []orchestrator.Job {
 // workers, and merges the results. For a fixed seed the output is
 // byte-identical for every worker count.
 func (e Experiment) Run(o Options) []*metrics.Table {
+	defer installProbe(o)()
 	p := e.Plan(o)
 	return p.Merge(orchestrator.RunProgress(o.seed(), o.Parallel, e.jobs(p), o.Progress))
+}
+
+// installProbe makes o.Probe the process-wide probe default and returns
+// the restore function.
+func installProbe(o Options) func() {
+	prev := probe.Default()
+	probe.SetDefault(o.Probe)
+	return func() { probe.SetDefault(prev) }
 }
 
 // ExperimentResult pairs an experiment with its regenerated tables.
@@ -123,6 +138,7 @@ type ExperimentResult struct {
 // of one figure overlap with another figure's sweep instead of each
 // experiment draining its own pool behind a barrier.
 func RunAll(o Options, ids ...string) ([]ExperimentResult, error) {
+	defer installProbe(o)()
 	exps := All()
 	if len(ids) > 0 {
 		exps = exps[:0:0]

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/probe"
+)
+
+// TestProbesDoNotPerturbResults is the observability subsystem's core
+// guarantee: enabling every probe feature (breakdowns, the trace ring,
+// the gauge sampler) renders the experiment lane byte-identical to the
+// bare run. Probes only observe — they never schedule events or draw
+// randomness — so a fixed seed must produce the same tables either way.
+// Under -short the reduced lane is compared; the full registry
+// otherwise.
+func TestProbesDoNotPerturbResults(t *testing.T) {
+	ids := laneIDs()
+	off := renderLane(t, Options{Quick: true, Seed: 0xbead, Parallel: 8}, ids)
+	on := renderLane(t, Options{
+		Quick: true, Seed: 0xbead, Parallel: 8,
+		Probe: probe.Config{Breakdown: true, Trace: true, Sample: 1 << 20},
+	}, ids)
+	if off != on {
+		t.Fatalf("probes perturb fixed-seed output:\n--- probes off ---\n%s\n--- probes on ---\n%s", off, on)
+	}
+	if got := probe.Default(); got.Enabled() {
+		t.Fatalf("probe default not restored after the run: %+v", got)
+	}
+}

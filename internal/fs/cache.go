@@ -7,6 +7,7 @@ package fs
 
 import (
 	"repro/internal/cpu"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -133,6 +134,15 @@ func (f *FS) insertPage(idx int64) *page {
 // joined host op if any, and recycle the fill.
 func (f *FS) fillDone(fl *fill) {
 	op, dirty := fl.op, fl.dirty
+	if op != nil {
+		// The fill's device trip is already phase-attributed downstream;
+		// this edge labels the delivery back into the cache layer.
+		if dirty {
+			op.span.To(probe.PRMW, f.eng.Now())
+		} else {
+			op.span.To(probe.PCacheMiss, f.eng.Now())
+		}
+	}
 	pg := f.cache[fl.idx]
 	if pg == nil {
 		pg = f.insertPage(fl.idx)
@@ -150,6 +160,7 @@ func (f *FS) fillDone(fl *fill) {
 			// down instead of losing the write.
 			f.stats.WriteThrough++
 			op.left++
+			f.pr.SetSpan(op.span)
 			f.gate.submit(true, fl.idx*f.ps, int(f.ps), op.fn)
 		}
 	}
@@ -181,8 +192,10 @@ func (f *FS) Submit(write bool, offset int64, length int, done func()) {
 // host bill lands on top of the device latency, not beside it.
 func (f *FS) read(offset int64, length int, done func()) {
 	f.stats.Reads++
+	sp := f.pr.TakeSpan()
 	if f.pages == 0 {
 		// No cache: O_DIRECT semantics, straight through.
+		f.pr.SetSpan(sp)
 		f.gate.submit(false, offset, length, done)
 		return
 	}
@@ -206,6 +219,7 @@ func (f *FS) read(offset int64, length int, done func()) {
 		f.stats.Misses++
 		if op == nil {
 			op = f.getOp(done)
+			op.span = sp
 		}
 		op.left++
 		op.tail += f.costs.Insert.Time + f.costs.CopyPerPage.Time
@@ -214,6 +228,7 @@ func (f *FS) read(offset int64, length int, done func()) {
 	}
 	f.readahead(offset, length)
 	if op == nil {
+		sp.Tail(probe.PCacheHit)
 		f.eng.After(delay, done) // pure hit: nothing allocated
 		return
 	}
@@ -268,7 +283,9 @@ func (f *FS) readahead(offset int64, length int) {
 // write goes straight down (write-through) instead of blocking.
 func (f *FS) write(offset int64, length int, done func()) {
 	f.stats.Writes++
+	sp := f.pr.TakeSpan()
 	if f.pages == 0 {
+		f.pr.SetSpan(sp)
 		f.gate.submit(true, offset, length, done)
 		return
 	}
@@ -307,8 +324,10 @@ func (f *FS) write(offset int64, length int, done func()) {
 			f.stats.WriteThrough++
 			if op == nil {
 				op = f.getOp(done)
+				op.span = sp
 			}
 			op.left++
+			f.pr.SetSpan(op.span)
 			f.gate.submit(true, spanOff, int(spanEnd-spanOff), op.fn)
 			continue
 		}
@@ -317,6 +336,7 @@ func (f *FS) write(offset int64, length int, done func()) {
 		f.stats.RMWReads++
 		if op == nil {
 			op = f.getOp(done)
+			op.span = sp
 		}
 		op.left++
 		op.tail += f.costs.CopyPerPage.Time
@@ -324,6 +344,7 @@ func (f *FS) write(offset int64, length int, done func()) {
 			f.fillIssueFn, f.getFill(idx, true, op))
 	}
 	if op == nil {
+		sp.Tail(probe.PCacheHit)
 		f.eng.After(delay, done)
 	} else {
 		op.left++
@@ -340,9 +361,12 @@ type gate struct {
 	busy   bool
 	q      sim.FIFO[*gateOp]
 	free   *gateOp
+	pr     *probe.Probe
 }
 
-// gateOp is one queued child request; fn is bound once.
+// gateOp is one queued child request; fn is bound once. The span rides
+// the queue with the op so a deferred issue hands the right span to the
+// child, not whatever the register holds by then.
 type gateOp struct {
 	g      *gate
 	write  bool
@@ -350,6 +374,7 @@ type gateOp struct {
 	offset int64
 	length int
 	done   func()
+	span   *probe.Span
 	fn     func()
 	next   *gateOp
 }
@@ -388,6 +413,7 @@ func (g *gate) submit(write bool, offset int64, length int, done func()) {
 	op.write, op.flush = write, false
 	op.offset, op.length = offset, length
 	op.done = done
+	op.span = g.pr.TakeSpan()
 	g.dispatch(op)
 }
 
@@ -400,6 +426,7 @@ func (g *gate) flush(done func()) {
 	op.write, op.flush = false, true
 	op.offset, op.length = 0, 0
 	op.done = done
+	op.span = g.pr.TakeSpan()
 	g.dispatch(op)
 }
 
@@ -413,6 +440,8 @@ func (g *gate) dispatch(op *gateOp) {
 
 func (g *gate) issue(op *gateOp) {
 	g.busy = true
+	g.pr.SetSpan(op.span)
+	op.span = nil
 	if op.flush {
 		g.dev.Flush(op.fn)
 	} else {

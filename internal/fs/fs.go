@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -245,6 +246,17 @@ type FS struct {
 	freeFills   *fill
 	fillIssueFn func(any) // bound once: issue a delayed page fill
 
+	// Observability: foreground spans mark cache/journal phases; the
+	// flusher and cleaner emit background trace events. syncSpans stays
+	// aligned with syncQ (one entry per queued fsync, possibly nil) so
+	// syncAdvance can mark the active sync's span. Nil probe = all off.
+	pr        *probe.Probe
+	wbTrack   string
+	clTrack   string
+	wbStart   sim.Time
+	clStart   sim.Time
+	syncSpans []*probe.Span
+
 	stats Stats
 }
 
@@ -313,9 +325,36 @@ func New(eng *sim.Engine, core *cpu.Core, dev Backend, devBytes int64, serialDev
 	f.cleanWrFn = f.cleanWriteDone
 	f.fillIssueFn = func(a any) {
 		fl := a.(*fill)
+		if fl.op != nil {
+			f.pr.SetSpan(fl.op.span)
+		}
 		f.gate.submit(false, fl.idx*f.ps, int(f.ps), fl.fn)
 	}
+	if f.pr = probe.Get(eng); f.pr != nil {
+		base := f.pr.Name("fs")
+		f.wbTrack = base + "/writeback"
+		f.clTrack = base + "/cleaner"
+		f.gate.pr = f.pr
+	}
 	return f
+}
+
+// DirtyRatio reports the dirty fraction of the cache (0 when uncached);
+// a time-series gauge for the sampler.
+func (f *FS) DirtyRatio() float64 {
+	if f.pages == 0 {
+		return 0
+	}
+	return float64(f.nDirty) / float64(f.pages)
+}
+
+// CacheHitRate reports the cumulative hit fraction of read lookups.
+func (f *FS) CacheHitRate() float64 {
+	t := f.stats.Hits + f.stats.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(f.stats.Hits) / float64(t)
 }
 
 // ExportedBytes reports the host-visible capacity: the child's, minus
@@ -352,6 +391,7 @@ type fsOp struct {
 	left int
 	tail sim.Time
 	done func()
+	span *probe.Span
 	fn   func()
 	next *fsOp
 }
@@ -386,6 +426,7 @@ func (f *FS) opStep(op *fsOp) {
 	}
 	done := op.done
 	op.done = nil
+	op.span = nil
 	op.next = f.freeOps
 	f.freeOps = op
 	done()

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/cpu"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -83,6 +84,7 @@ func (f *FS) startWritebackBatch() {
 		return
 	}
 	f.wbActive = true
+	f.wbStart = f.eng.Now()
 	f.stats.WritebackPages += uint64(len(f.wbPages))
 	// Dirty order approximates write order; sorting by page index turns
 	// neighboring dirtied pages into sequential extents. sort.Sort on a
@@ -133,6 +135,7 @@ func (f *FS) wbExtentDone() {
 
 func (f *FS) finishWritebackBatch() {
 	now := f.eng.Now()
+	f.pr.Emit(f.wbTrack, "writeback", f.wbStart, now-f.wbStart)
 	for _, pg := range f.wbPages {
 		pg.writing = false
 		if pg.redirty {
@@ -202,6 +205,11 @@ func (f *FS) Sync(done func()) {
 	f.stats.Fsyncs++
 	f.charge(cpu.FnSyscall, f.costs.Syscall)
 	f.charge(cpu.FnExt4, f.costs.FsyncCall)
+	if f.pr != nil {
+		// One slot per queued sync, nil spans included, so the head of
+		// this FIFO is always the active sync's span.
+		f.syncSpans = append(f.syncSpans, f.pr.TakeSpan())
+	}
 	f.syncQ.Push(done)
 	if f.syncActive {
 		return
@@ -231,13 +239,20 @@ func (f *FS) syncData() {
 //
 //ullvet:noalloc bench=BenchmarkFSFsync
 func (f *FS) syncAdvance() {
+	// Phase-attribute the active sync's span at each protocol edge: stage
+	// 0 means the data drain just finished (writeback), later stages mean
+	// the commit write or barrier that ran before them finished.
+	sp := f.syncHeadSpan()
+	now := f.eng.Now()
 	switch f.cfg.Journal {
 	case NoJournal:
 		switch f.syncStage {
 		case 0:
+			sp.To(probe.PWriteback, now)
 			f.syncStage = 1
 			f.barrier(f.syncStepFn)
 		default:
+			sp.To(probe.PBarrier, now)
 			f.syncFinish()
 		}
 	case OrderedJournal:
@@ -246,19 +261,24 @@ func (f *FS) syncAdvance() {
 		// barrier again so the commit is durable.
 		switch f.syncStage {
 		case 0:
+			sp.To(probe.PWriteback, now)
 			f.charge(cpu.FnExt4, f.costs.JournalPrep)
 			f.syncStage = 1
 			f.jwrite(f.commitBytes(), f.syncStepFn)
 		case 1:
+			sp.To(probe.PJournal, now)
 			f.syncStage = 2
 			f.barrier(f.syncStepFn)
 		case 2:
+			sp.To(probe.PBarrier, now)
 			f.syncStage = 3
 			f.jwrite(f.commitBytes(), f.syncStepFn)
 		case 3:
+			sp.To(probe.PJournal, now)
 			f.syncStage = 4
 			f.barrier(f.syncStepFn)
 		default:
+			sp.To(probe.PBarrier, now)
 			f.syncFinish()
 		}
 	default: // LogStructured
@@ -266,10 +286,14 @@ func (f *FS) syncAdvance() {
 		// cleaning the append forced, one barrier.
 		switch f.syncStage {
 		case 0:
+			sp.To(probe.PWriteback, now)
 			f.charge(cpu.FnExt4, f.costs.JournalPrep)
 			f.syncStage = 1
 			f.logAppend(f.commitBytes(), f.syncStepFn)
 		case 1:
+			// Covers the node append and, on re-entry after a forced
+			// cleaning wait, the wait itself.
+			sp.To(probe.PJournal, now)
 			if f.cleaning {
 				f.syncWaitClean = true
 				return
@@ -277,12 +301,26 @@ func (f *FS) syncAdvance() {
 			f.syncStage = 2
 			f.barrier(f.syncStepFn)
 		default:
+			sp.To(probe.PBarrier, now)
 			f.syncFinish()
 		}
 	}
 }
 
+// syncHeadSpan returns the active sync's span (nil when observability is
+// off or the span was not carried in).
+func (f *FS) syncHeadSpan() *probe.Span {
+	if f.pr == nil || len(f.syncSpans) == 0 {
+		return nil
+	}
+	return f.syncSpans[0]
+}
+
 func (f *FS) syncFinish() {
+	if f.pr != nil && len(f.syncSpans) > 0 {
+		copy(f.syncSpans, f.syncSpans[1:])
+		f.syncSpans = f.syncSpans[:len(f.syncSpans)-1]
+	}
 	done := f.syncQ.Pop()
 	if f.syncQ.Len() > 0 {
 		done()
@@ -372,6 +410,7 @@ func (f *FS) cleanStep() {
 	}
 	off := f.journalOff + f.cleanCursor
 	f.cleanCursor += n
+	f.clStart = f.eng.Now()
 	f.gate.submit(false, off, int(n), f.cleanRdFn)
 }
 
@@ -380,6 +419,7 @@ func (f *FS) cleanReadDone() {
 }
 
 func (f *FS) cleanWriteDone() {
+	f.pr.Emit(f.clTrack, "clean", f.clStart, f.eng.Now()-f.clStart)
 	n := int64(f.cleanChunkN)
 	f.cleanDebt -= n
 	f.stats.CleanedBytes += n

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/nvme"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,7 @@ type SyncStack struct {
 	costs Costs
 	mode  Mode
 	rng   *sim.RNG
+	pr    *probe.Probe
 
 	busy    bool
 	current *syncIO
@@ -65,6 +67,7 @@ type syncIO struct {
 	length    int
 	cid       uint16
 	done      func()
+	span      *probe.Span
 	start     sim.Time // Submit call time
 	submitEnd sim.Time // doorbell ring time
 	wakeAt    sim.Time // hybrid: when the sleep ends; 0 for plain poll
@@ -105,11 +108,13 @@ func NewSyncStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs C
 		costs:  costs,
 		mode:   mode,
 		rng:    sim.NewRNG(0x517ac4),
+		pr:     probe.Get(eng),
 		hybrid: make(map[int]*latencyMean),
 	}
 	s.ringFn = func() {
 		io := s.current
 		io.submitEnd = s.eng.Now()
+		s.pr.SetSpan(io.span)
 		if io.flush {
 			s.qp.SubmitFlush(io.cid)
 		} else {
@@ -168,11 +173,13 @@ func (s *SyncStack) begin(write, flush bool, offset int64, length int, done func
 		panic("kernel: overlapping I/O on a synchronous stack")
 	}
 	s.busy = true
+	sp := s.pr.TakeSpan()
 
 	// Acquire the core: on a contended set the submission queues behind
 	// whatever the core is doing (zero delay on the legacy solo core).
 	now := s.eng.Now()
 	start := s.proc.Claim(now)
+	sp.Add(probe.PCoreWait, start-now)
 
 	// Submission pipeline: user setup, syscall entry, VFS, blk-mq, driver.
 	s.charge(cpu.FnAppUser, s.costs.AppSetup)
@@ -193,6 +200,7 @@ func (s *SyncStack) begin(write, flush bool, offset int64, length int, done func
 		length: length,
 		cid:    s.nextCID,
 		done:   done,
+		span:   sp,
 		start:  now,
 	}
 	s.current = io
@@ -348,6 +356,8 @@ type AsyncStack struct {
 	proc  *cpu.Proc
 	costs Costs
 
+	pr *probe.Probe
+
 	// pending is a direct-mapped CID table (the CID space is uint16, so
 	// the table covers it fully — no hashing, no collisions).
 	pending   []*asyncIO
@@ -375,6 +385,7 @@ type asyncIO struct {
 	length   int
 	cid      uint16
 	done     func()
+	span     *probe.Span
 	submitFn func()
 	next     *asyncIO
 }
@@ -395,6 +406,7 @@ func NewAsyncStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs 
 		qp:      qp,
 		proc:    proc,
 		costs:   costs,
+		pr:      probe.Get(eng),
 		pending: make([]*asyncIO, 1<<16),
 	}
 	s.deliverFn = s.deliver
@@ -412,6 +424,7 @@ func (s *AsyncStack) getIO() *asyncIO {
 	if io == nil {
 		io = &asyncIO{s: s}
 		io.submitFn = func() {
+			io.s.pr.SetSpan(io.span)
 			if io.flush {
 				io.s.qp.SubmitFlush(io.cid)
 			} else {
@@ -430,6 +443,7 @@ func (s *AsyncStack) getIO() *asyncIO {
 //ullvet:pool put
 func (s *AsyncStack) putIO(io *asyncIO) {
 	io.done = nil
+	io.span = nil
 	io.next = s.freeIOs
 	s.freeIOs = io
 }
@@ -448,8 +462,10 @@ func (s *AsyncStack) Flush(done func()) {
 }
 
 func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done func()) {
+	sp := s.pr.TakeSpan()
 	now := s.eng.Now()
 	start := s.proc.Claim(now)
+	sp.Add(probe.PCoreWait, start-now)
 
 	s.proc.Charge(cpu.FnAppUser, s.costs.AppSetup.Time, s.costs.AppSetup.Loads, s.costs.AppSetup.Stores)
 	s.proc.Charge(cpu.FnSyscall, s.costs.Syscall.Time, s.costs.Syscall.Loads, s.costs.Syscall.Stores)
@@ -468,6 +484,7 @@ func (s *AsyncStack) begin(write, flush bool, offset int64, length int, done fun
 	io.length = length
 	io.cid = s.nextCID
 	io.done = done
+	io.span = sp
 	s.nextCID++
 	if s.pending[io.cid] != nil {
 		panic(fmt.Sprintf("kernel: CID %d reused while outstanding", io.cid))

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detutil"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -122,6 +123,14 @@ type waiter struct {
 	key  int64
 	size int
 	done func()
+	span *probe.Span
+}
+
+// syncWaiter is one explicit Sync barrier waiting out the in-flight WAL
+// commit, with the span it carried in.
+type syncWaiter struct {
+	done func()
+	span *probe.Span
 }
 
 // Store is the LSM engine. It satisfies workload.Service.
@@ -147,10 +156,10 @@ type Store struct {
 	// flight queue as the next batch; the completing sync launches it.
 	walPos     int64 // append cursor within the circular region
 	walBusy    bool
-	walBatch   []waiter // accumulating batch
-	walFlight  []waiter // batch whose write+fsync is in flight
-	syncQueue  []func() // explicit Sync barriers riding the next commit
-	walFlushFn func()   // bound once
+	walBatch   []waiter     // accumulating batch
+	walFlight  []waiter     // batch whose write+fsync is in flight
+	syncQueue  []syncWaiter // explicit Sync barriers riding the next commit
+	walFlushFn func()       // bound once
 
 	levels  [][]*sstable // levels[0] newest-first; levels[1:] disjoint, sorted
 	nextID  uint64
@@ -161,6 +170,14 @@ type Store struct {
 	compactBusy bool
 
 	cache *blockCache
+
+	// Observability: put/get spans mark KV phases; flush and compaction
+	// emit background trace events. Nil probe = all off.
+	pr       *probe.Probe
+	flTrack  string
+	cmpTrack string
+	flStart  sim.Time
+	cmpStart sim.Time
 
 	keys  int64 // preloaded keyspace size (Service.Ops)
 	stats Stats
@@ -208,6 +225,12 @@ func New(host core.Host, cfg Config) *Store {
 	s.walFlushFn = s.walFlush
 	if cfg.CacheBytes > 0 {
 		s.cache = newBlockCache(cfg.CacheBytes, cfg.BlockBytes)
+	}
+	if s.pr = probe.Get(s.eng); s.pr != nil {
+		base := s.pr.Name("kv")
+		s.flTrack = base + "/flush"
+		s.cmpTrack = base + "/compact"
+		s.pr.Gauge("kv.debt", func() float64 { return float64(s.debt()) })
 	}
 	return s
 }
@@ -285,10 +308,12 @@ func (s *Store) Issue(write bool, key int64, size int, done func()) {
 // Sync barriers the WAL: done fires once every put issued so far is
 // durable (riding the in-flight group commit if one is open).
 func (s *Store) Sync(done func()) {
+	sp := s.pr.TakeSpan()
 	if s.walBusy || len(s.walBatch) > 0 {
-		s.syncQueue = append(s.syncQueue, done)
+		s.syncQueue = append(s.syncQueue, syncWaiter{done: done, span: sp})
 		return
 	}
+	s.pr.SetSpan(sp)
 	s.host.Sync(done)
 }
 
@@ -319,7 +344,7 @@ func (s *Store) Put(key int64, size int, done func()) {
 		panic("kv: one value size per store (table geometry is pinned by the first preload or put)")
 	}
 	s.stats.Puts++
-	s.walBatch = append(s.walBatch, waiter{key: key, size: size, done: done})
+	s.walBatch = append(s.walBatch, waiter{key: key, size: size, done: done, span: s.pr.TakeSpan()})
 	if !s.walBusy {
 		// Leader pays: charge the record CPU, then carry the batch.
 		s.walBusy = true
@@ -371,7 +396,12 @@ func (s *Store) walCommitted() {
 	s.stats.BatchedPuts += uint64(len(s.walFlight))
 	batch := s.walFlight
 	s.walFlight = nil
+	now := s.eng.Now()
 	for _, w := range batch {
+		// The wait from issue to group-commit durability is the WAL
+		// phase; the remainder (memtable insert) is memtable service.
+		w.span.To(probe.PKVWal, now)
+		w.span.Tail(probe.PKVMem)
 		s.memInsert(w.key, w.size)
 	}
 	// Completions fire after the insert CPU of the whole batch — the
@@ -383,8 +413,9 @@ func (s *Store) walCommitted() {
 		}
 	}, batch)
 	for _, sync := range s.syncQueue {
-		done := sync
-		s.host.Sync(done)
+		sync.span.To(probe.PKVWal, now)
+		s.pr.SetSpan(sync.span)
+		s.host.Sync(sync.done)
 	}
 	s.syncQueue = nil
 	if len(s.walBatch) > 0 {
@@ -434,14 +465,17 @@ func (s *Store) maybeRotate() {
 // key serves it from the block cache or with one block read.
 func (s *Store) Get(key int64, size int, done func()) {
 	s.stats.Gets++
+	sp := s.pr.TakeSpan()
 	if _, ok := s.mem[key]; ok {
 		s.stats.MemHits++
+		sp.Tail(probe.PKVMem)
 		s.eng.After(s.cfg.Costs.MemtableGet, done)
 		return
 	}
 	if s.imm != nil {
 		if _, ok := s.immSet[key]; ok {
 			s.stats.MemHits++
+			sp.Tail(probe.PKVMem)
 			s.eng.After(s.cfg.Costs.MemtableGet, done)
 			return
 		}
@@ -451,22 +485,30 @@ func (s *Store) Get(key int64, size int, done func()) {
 		block := (int64(idx) * int64(t.vsize)) / int64(s.cfg.BlockBytes)
 		if s.cache != nil && s.cache.get(t.id, block) {
 			s.stats.CacheHits++
+			sp.Tail(probe.PKVMem)
 			s.eng.After(seek+s.cfg.Costs.CacheHit, done)
 			return
 		}
 		s.stats.BlockReads++
 		off := t.slot + block*int64(s.cfg.BlockBytes)
 		s.eng.AfterArg(seek, func(arg any) {
+			// The probe CPU so far is memtable/index service; the block
+			// read's device trip is attributed downstream and its
+			// delivery absorbs the remainder.
+			sp.To(probe.PKVMem, s.eng.Now())
+			s.pr.SetSpan(sp)
 			s.host.Submit(false, off, s.cfg.BlockBytes, func() {
 				if s.cache != nil {
 					s.cache.put(t.id, block)
 				}
 				arg.(func())()
 			})
+			sp.Tail(probe.PKVRead)
 		}, done)
 		return
 	}
 	// Not found: the probes were the whole cost.
+	sp.Tail(probe.PKVMem)
 	s.eng.After(seek, done)
 }
 

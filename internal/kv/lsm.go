@@ -50,6 +50,7 @@ func (s *Store) freeSlot(off int64) {
 // SSTableBytes-sized tables as it needs — every table fits its slot.
 func (s *Store) startFlush() {
 	s.flushBusy = true
+	s.flStart = s.eng.Now()
 	perTable := int(s.cfg.SSTableBytes / int64(s.vsize))
 	if perTable < 1 {
 		perTable = 1
@@ -72,6 +73,7 @@ func (s *Store) startFlush() {
 		keys = keys[n:]
 	}
 	s.flushWrite(tables, 0, func() {
+		s.pr.Emit(s.flTrack, "flush", s.flStart, s.eng.Now()-s.flStart)
 		s.stats.Flushes++
 		for _, t := range tables {
 			s.stats.FlushedBytes += t.bytes
@@ -150,6 +152,7 @@ func (s *Store) maybeCompact() {
 // the install — the debt window the ext-compaction experiment measures.
 func (s *Store) compactLevel(l int) {
 	s.compactBusy = true
+	s.cmpStart = s.eng.Now()
 	var up []*sstable
 	if l == 0 {
 		up = append(up, s.levels[0]...) // all of L0: ranges overlap
@@ -220,6 +223,7 @@ func (s *Store) mergeInstall(l int, up, down, inputs []*sstable) {
 		uniq = uniq[n:]
 	}
 	s.writeOuts(outs, 0, func() {
+		s.pr.Emit(s.cmpTrack, "compact", s.cmpStart, s.eng.Now()-s.cmpStart)
 		// Remove exactly the snapshotted up tables, by identity: a
 		// memtable flush can install new L0 tables while this merge's
 		// reads and writes are in flight, and those must survive the

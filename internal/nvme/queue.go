@@ -10,6 +10,7 @@ package nvme
 import (
 	"fmt"
 
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -73,7 +74,8 @@ type QueuePair struct {
 	visible    func()
 
 	inflight int
-	freeCmds *cmd // free list of recycled command contexts
+	freeCmds *cmd         // free list of recycled command contexts
+	pr       *probe.Probe // nil unless observability is enabled
 	// Statistics.
 	Submitted uint64
 	Completed uint64
@@ -103,7 +105,8 @@ func (qp *QueuePair) getCmd() *cmd {
 	if c == nil {
 		c = &cmd{qp: qp}
 		c.fetchFn = func() { c.qp.dev.Submit(&c.req) }
-		c.req.Done = func(sim.Time) {
+		c.req.Done = func(end sim.Time) {
+			c.req.Span.To(probe.PDevice, end)
 			c.qp.eng.After(c.qp.cfg.PCIeLatency, c.postFn)
 		}
 		c.postFn = c.post
@@ -136,6 +139,7 @@ func New(eng *sim.Engine, dev *ssd.Device, cfg Config) *QueuePair {
 		// never looks complete.
 		devPhase:  true,
 		hostPhase: true,
+		pr:        probe.Get(eng),
 	}
 	return qp
 }
@@ -175,6 +179,8 @@ func (qp *QueuePair) Submit(write bool, offset int64, length int, cid uint16) {
 	c.req.Op = ssd.OpRead // recycled contexts may carry a stale Flush op
 	c.req.Offset = offset
 	c.req.Len = length
+	c.req.Span = qp.pr.TakeSpan()
+	c.req.Span.To(probe.PSubmit, qp.eng.Now())
 	qp.eng.After(qp.cfg.PCIeLatency+qp.cfg.FetchCost, c.fetchFn)
 }
 
@@ -193,6 +199,8 @@ func (qp *QueuePair) SubmitFlush(cid uint16) {
 	c.req.Op = ssd.OpFlush
 	c.req.Offset = 0
 	c.req.Len = 0
+	c.req.Span = qp.pr.TakeSpan()
+	c.req.Span.To(probe.PSubmit, qp.eng.Now())
 	qp.eng.After(qp.cfg.PCIeLatency+qp.cfg.FetchCost, c.fetchFn)
 }
 

@@ -19,6 +19,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job is one independent unit of work: a sweep point that builds its own
@@ -49,6 +50,22 @@ func SeedFor(root uint64, key string) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// FormatProgress renders one wall-clock progress line for a pool run:
+// completion count, observed shard throughput, and an ETA extrapolated
+// from the mean rate so far. With no elapsed time (or nothing done yet)
+// it degrades to the bare count; a finished run drops the ETA.
+func FormatProgress(done, total int, elapsed time.Duration) string {
+	if done <= 0 || elapsed <= 0 {
+		return fmt.Sprintf("%d/%d shards done", done, total)
+	}
+	rate := float64(done) / elapsed.Seconds()
+	if done >= total {
+		return fmt.Sprintf("%d/%d shards done (%.1f shards/s)", done, total, rate)
+	}
+	eta := time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+	return fmt.Sprintf("%d/%d shards done (%.1f shards/s, eta %s)", done, total, rate, eta)
 }
 
 // jobPanic records a panic raised inside a job so it can be re-thrown on

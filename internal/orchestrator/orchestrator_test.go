@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestOrderPreserved checks that results come back in job order for every
@@ -177,5 +178,28 @@ func TestEmptyAndDefaults(t *testing.T) {
 	got := Run(9, -1, []Job{{Key: "k", Run: func(seed uint64) any { return seed }}})
 	if got[0].(uint64) != SeedFor(9, "k") {
 		t.Fatal("default worker count broke seeding")
+	}
+}
+
+// TestFormatProgress covers the progress-line formatter: a bare count
+// before any work lands, throughput + ETA mid-run, and throughput
+// without an ETA once everything is done.
+func TestFormatProgress(t *testing.T) {
+	cases := []struct {
+		done, total int
+		elapsed     time.Duration
+		want        string
+	}{
+		{0, 100, 0, "0/100 shards done"},
+		{0, 100, time.Second, "0/100 shards done"},
+		{25, 100, 0, "25/100 shards done"},
+		{25, 100, 5 * time.Second, "25/100 shards done (5.0 shards/s, eta 15s)"},
+		{50, 100, 25 * time.Second, "50/100 shards done (2.0 shards/s, eta 25s)"},
+		{100, 100, 20 * time.Second, "100/100 shards done (5.0 shards/s)"},
+	}
+	for _, c := range cases {
+		if got := FormatProgress(c.done, c.total, c.elapsed); got != c.want {
+			t.Errorf("FormatProgress(%d, %d, %v) = %q, want %q", c.done, c.total, c.elapsed, got, c.want)
+		}
 	}
 }

@@ -1,0 +1,87 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Breakdown is the "where the microseconds went" aggregate: one
+// histogram (and exact sum) per phase over every span the probe closed,
+// plus the whole-span latency distribution. Experiments surface it as
+// Result.Breakdown.
+type Breakdown struct {
+	Hist  [NumPhases]*metrics.Histogram
+	Sum   [NumPhases]sim.Time
+	Total *metrics.Histogram
+}
+
+// Breakdown snapshots the probe's phase aggregation; nil when the probe
+// is disabled or not recording breakdowns. The histograms are shared
+// with the probe, so take the snapshot after the run drains.
+func (p *Probe) Breakdown() *Breakdown {
+	if p == nil || !p.cfg.Breakdown {
+		return nil
+	}
+	b := &Breakdown{Sum: p.sum, Total: &p.total}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		b.Hist[ph] = &p.hist[ph]
+	}
+	return b
+}
+
+// Merge folds other's phase aggregation into b (the multi-shard case).
+func (b *Breakdown) Merge(other *Breakdown) {
+	if other == nil {
+		return
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		b.Hist[ph].Merge(other.Hist[ph])
+		b.Sum[ph] += other.Sum[ph]
+	}
+	b.Total.Merge(other.Total)
+}
+
+// WriteTable renders the per-phase breakdown: phase, observation count,
+// mean, p99, total attributed time, and the total's share of all
+// attributed time. Phases with no observations are omitted.
+func (b *Breakdown) WriteTable(w io.Writer) error {
+	if b == nil {
+		_, err := io.WriteString(w, "breakdown: no probe data\n")
+		return err
+	}
+	var grand sim.Time
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		grand += b.Sum[ph]
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %10s %10s %10s %12s %6s\n",
+		"phase", "count", "mean_us", "p99_us", "total_us", "share"); err != nil {
+		return err
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		h := b.Hist[ph]
+		if h.Count() == 0 {
+			continue
+		}
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(b.Sum[ph]) / float64(grand)
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %10d %10.2f %10.2f %12.2f %5.1f%%\n",
+			ph, h.Count(), h.Mean().Micros(), h.Percentile(99).Micros(),
+			b.Sum[ph].Micros(), share); err != nil {
+			return err
+		}
+	}
+	if b.Total.Count() > 0 {
+		s := b.Total.Summarize()
+		if _, err := fmt.Fprintf(w, "%-12s %10d %10.2f %10.2f %12.2f %5s\n",
+			"total", s.Count, s.Mean.Micros(), b.Total.Percentile(99).Micros(),
+			grand.Micros(), ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package probe is the cross-layer observability subsystem: per-IO
+// spans with phase attribution (where each microsecond of a request
+// went — submission CPU, queue wait, device service, completion
+// delivery, cache and journal work), a bounded flight-recorder ring of
+// trace events exported as Chrome trace-event JSON (viewable in
+// Perfetto), and a fixed sim-interval sampler that turns layer gauges
+// (queue depth, dirty ratio, cache hit rate, compaction debt, per-core
+// busy time) into metrics.Series.
+//
+// The subsystem is strictly an observer: it never schedules engine
+// events, never draws randomness, and never feeds anything back into
+// the model, so enabling it cannot perturb fixed-seed simulation
+// output — results are byte-identical with probes on and off
+// (test-enforced). With probes off every hook is a nil-receiver method
+// call that returns immediately: zero allocations, a few nanoseconds,
+// checked by //ullvet:noalloc contracts and BenchmarkProbeDisabled.
+//
+// Wiring: core.Build attaches one Probe per topology graph (from the
+// process-wide default config, see SetDefault) onto the engine's
+// observer slot; layers cache probe.Get(eng) at construction. A span
+// is created by the workload engine at issue and handed down the layer
+// stack through the probe's span register — each layer sets the
+// register immediately before calling its child's Submit, and every
+// Submit entry takes it — so background I/O (writeback, cleaning,
+// compaction, GC) naturally carries no span and is recorded through
+// Emit events instead.
+package probe
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config selects what a Probe records. The zero value disables
+// everything: core.Build then attaches no probe at all and every hook
+// short-circuits on a nil receiver.
+type Config struct {
+	// Breakdown aggregates per-IO phase durations into per-phase
+	// histograms (Result.Breakdown).
+	Breakdown bool
+	// Trace records span phase ladders and background-actor events into
+	// the flight-recorder ring for Chrome trace-event export.
+	Trace bool
+	// TraceEvents caps the flight-recorder ring; 0 means
+	// DefaultTraceEvents. When full the oldest events are dropped.
+	TraceEvents int
+	// Sample is the time-series sampling interval; 0 disables the
+	// sampler. Sampling is observation-driven (evaluated at span ends
+	// and emits), sim-time only.
+	Sample sim.Time
+	// Retain adds every probe built from this config to the package
+	// registry so a CLI can collect traces after a run that builds its
+	// systems internally (ullsim -trace). Leave false in tests and
+	// libraries or retained probes accumulate for the process lifetime.
+	Retain bool
+}
+
+// DefaultTraceEvents is the flight-recorder ring capacity when
+// Config.TraceEvents is zero.
+const DefaultTraceEvents = 1 << 15
+
+// Enabled reports whether the config asks for any recording.
+func (c Config) Enabled() bool { return c.Breakdown || c.Trace || c.Sample > 0 }
+
+var (
+	defaultMu  sync.Mutex
+	defaultCfg Config
+	retained   []*Probe
+)
+
+// SetDefault installs the process-wide default config consulted by
+// core.Build. Set it before building systems (and before launching
+// parallel shards); the config is copied at build time, so changing it
+// mid-run affects only future builds.
+func SetDefault(c Config) {
+	defaultMu.Lock()
+	defaultCfg = c
+	defaultMu.Unlock()
+}
+
+// Default returns the current process-wide default config.
+func Default() Config {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultCfg
+}
+
+// Retained drains the registry of probes built with Config.Retain, in
+// build order.
+func Retained() []*Probe {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	out := retained
+	retained = nil
+	return out
+}
+
+// gauge is one registered time-series source.
+type gauge struct {
+	name   string
+	fn     func() float64
+	series *metrics.Series
+}
+
+// Probe is one topology graph's recorder. All methods are safe on a
+// nil receiver (the disabled path). A Probe is not safe for concurrent
+// use — it belongs to one graph's engine, and shards never share
+// engines.
+type Probe struct {
+	cfg Config
+
+	// Per-IO span machinery.
+	reg  *Span // the layer hand-off register
+	free *Span // span pool
+
+	// Phase breakdown.
+	hist  [NumPhases]metrics.Histogram
+	sum   [NumPhases]sim.Time
+	total metrics.Histogram // whole-span durations
+
+	// Flight recorder (see trace.go).
+	ev        []Event
+	evHead    int // next write slot
+	evLen     int
+	bgTracks  map[string]int
+	bgNames   []string
+	maxTenant int
+
+	// Sampler.
+	gauges     []gauge
+	nextSample sim.Time
+
+	// names counts instance labels handed out by Name, per kind.
+	names map[string]int
+}
+
+// New builds a probe from cfg. Callers normally go through core.Build,
+// which attaches the probe to the graph's engine.
+func New(cfg Config) *Probe {
+	if !cfg.Enabled() {
+		return nil
+	}
+	p := &Probe{cfg: cfg, maxTenant: -1}
+	if cfg.Trace {
+		n := cfg.TraceEvents
+		if n <= 0 {
+			n = DefaultTraceEvents
+		}
+		p.ev = make([]Event, 0, n)
+		p.bgTracks = make(map[string]int)
+	}
+	if cfg.Retain {
+		defaultMu.Lock()
+		retained = append(retained, p)
+		defaultMu.Unlock()
+	}
+	return p
+}
+
+// Get returns the probe attached to eng's observer slot, or nil.
+func Get(eng *sim.Engine) *Probe {
+	if eng == nil {
+		return nil
+	}
+	p, _ := eng.Observer().(*Probe)
+	return p
+}
+
+// Attach installs p (which may be nil) on eng's observer slot.
+func Attach(eng *sim.Engine, p *Probe) {
+	if p != nil {
+		eng.SetObserver(p)
+	}
+}
+
+// Config returns the probe's configuration.
+func (p *Probe) Config() Config {
+	if p == nil {
+		return Config{}
+	}
+	return p.cfg
+}
+
+// SetSpan loads the layer hand-off register: call immediately before
+// submitting an I/O to a child layer, so the child's Submit entry can
+// claim the span via TakeSpan.
+//
+//ullvet:noalloc bench=BenchmarkProbeDisabled
+func (p *Probe) SetSpan(sp *Span) {
+	if p == nil {
+		return
+	}
+	p.reg = sp
+}
+
+// TakeSpan claims and clears the hand-off register. Every Submit-style
+// layer entry calls it; background submissions (no SetSpan upstream)
+// get nil.
+//
+//ullvet:noalloc bench=BenchmarkProbeDisabled
+func (p *Probe) TakeSpan() *Span {
+	if p == nil {
+		return nil
+	}
+	sp := p.reg
+	p.reg = nil
+	return sp
+}
+
+// Start opens a per-IO span at now. Returns nil when the probe is
+// disabled; all Span methods are nil-safe, so callers never branch.
+func (p *Probe) Start(kind Kind, tenant int, now sim.Time) *Span {
+	if p == nil {
+		return nil
+	}
+	sp := p.free
+	if sp != nil {
+		p.free = sp.next
+		*sp = Span{}
+	} else {
+		sp = &Span{}
+	}
+	sp.kind = kind
+	sp.tenant = int32(tenant)
+	sp.start = now
+	sp.last = now
+	sp.tail = PComplete
+	if tenant > p.maxTenant {
+		p.maxTenant = tenant
+	}
+	return sp
+}
+
+// End closes a span at now: the remainder since the last mark is
+// attributed to the span's tail phase, the per-phase durations are
+// folded into the breakdown, the phase ladder is recorded into the
+// trace ring, and the span returns to the pool.
+func (p *Probe) End(sp *Span, now sim.Time) {
+	if p == nil || sp == nil {
+		return
+	}
+	sp.To(sp.tail, now)
+	if p.cfg.Breakdown {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if d := sp.dur[ph]; d > 0 {
+				p.hist[ph].Record(d)
+				p.sum[ph] += d
+			}
+		}
+		p.total.Record(now - sp.start)
+	}
+	if p.cfg.Trace {
+		p.traceSpan(sp, now)
+	}
+	p.maybeSample(now)
+	sp.next = p.free
+	p.free = sp
+}
+
+// Name hands out a unique instance label for kind ("dev" -> "dev0",
+// "dev1", ...) in construction order, so layers built several times in
+// one graph get distinct trace tracks deterministically.
+func (p *Probe) Name(kind string) string {
+	if p == nil {
+		return kind
+	}
+	if p.names == nil {
+		p.names = make(map[string]int)
+	}
+	n := p.names[kind]
+	p.names[kind] = n + 1
+	return fmt.Sprintf("%s%d", kind, n)
+}
+
+// Gauge registers a time-series source sampled at the configured
+// interval. Layers register at construction, so registration order —
+// and the sampled column order — is the deterministic lowering order.
+func (p *Probe) Gauge(name string, fn func() float64) {
+	if p == nil {
+		return
+	}
+	w := p.cfg.Sample
+	if w <= 0 {
+		w = sim.Millisecond
+	}
+	p.gauges = append(p.gauges, gauge{name: name, fn: fn, series: metrics.NewSeries(w)})
+}
+
+// maybeSample advances the sampler to now: sampling is driven by
+// observation hooks (span ends and emits) rather than engine events, so
+// the probe never schedules anything and Engine.Run drains exactly as
+// it would without it.
+func (p *Probe) maybeSample(now sim.Time) {
+	if p == nil || p.cfg.Sample <= 0 || len(p.gauges) == 0 {
+		return
+	}
+	for now >= p.nextSample {
+		at := p.nextSample
+		for i := range p.gauges {
+			g := &p.gauges[i]
+			g.series.Observe(at, g.fn())
+		}
+		p.nextSample += p.cfg.Sample
+	}
+}
+
+// Sample forces one sampler advance at now; layers with long quiet
+// periods (background actors) call it from their own hooks.
+func (p *Probe) Sample(now sim.Time) { p.maybeSample(now) }
+
+// SeriesPoint is one sampled value of one gauge.
+type SeriesPoint struct {
+	Name  string
+	T     sim.Time
+	Value float64
+}
+
+// Series returns every sampled point, gauges in registration order,
+// buckets in time order.
+func (p *Probe) Series() []SeriesPoint {
+	if p == nil {
+		return nil
+	}
+	var out []SeriesPoint
+	for _, g := range p.gauges {
+		for _, pt := range g.series.Points() {
+			if pt.Count == 0 {
+				continue
+			}
+			out = append(out, SeriesPoint{Name: g.name, T: pt.T, Value: pt.Mean})
+		}
+	}
+	return out
+}

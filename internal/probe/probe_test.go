@@ -1,0 +1,375 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestNilSafety drives every hook through a nil probe and nil span —
+// the disabled path every call site takes — and checks nothing panics
+// and every accessor degrades to its zero.
+func TestNilSafety(t *testing.T) {
+	var p *Probe
+	if p != nil || New(Config{}) != nil {
+		t.Fatal("disabled config must build a nil probe")
+	}
+	sp := p.Start(KRead, 0, 100)
+	if sp != nil {
+		t.Fatal("nil probe must open nil spans")
+	}
+	sp.To(PQueue, 200)
+	sp.Add(PCoreWait, 50)
+	sp.Tail(PCacheHit)
+	if sp.Start() != 0 || sp.Dur(PQueue) != 0 {
+		t.Fatal("nil span accessors must return zero")
+	}
+	p.SetSpan(sp)
+	if p.TakeSpan() != nil {
+		t.Fatal("nil probe register must stay empty")
+	}
+	p.End(sp, 300)
+	p.Emit("dev0/gc", "gc", 0, 10)
+	p.Gauge("x", func() float64 { return 1 })
+	p.Sample(1000)
+	if p.Events() != nil || p.Series() != nil || p.Breakdown() != nil {
+		t.Fatal("nil probe exports must be nil")
+	}
+	if got := p.Name("dev"); got != "dev" {
+		t.Fatalf("nil probe Name = %q, want bare kind", got)
+	}
+	var sb strings.Builder
+	if err := p.WriteSeriesCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := (*Breakdown)(nil).WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanPartition is the core invariant: the per-phase durations of a
+// closed span always sum to its end-to-end latency, whatever sequence
+// of To/Add marks (including out-of-order ones, which clamp).
+func TestSpanPartition(t *testing.T) {
+	p := New(Config{Breakdown: true})
+	sp := p.Start(KWrite, 0, 1000)
+	sp.Add(PCoreWait, 50) // known wait, shifts the baseline
+	sp.To(PSubmit, 1200)  // [1050, 1200] -> submit
+	sp.To(PQueue, 1500)
+	sp.To(PDevice, 2400)
+	sp.To(PQueue, 2300) // out of order: clamps, attributes nothing
+	p.End(sp, 2600)     // remainder -> default tail (complete)
+
+	b := p.Breakdown()
+	if b == nil {
+		t.Fatal("breakdown enabled but nil")
+	}
+	var grand sim.Time
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		grand += b.Sum[ph]
+	}
+	if want := sim.Time(2600 - 1000); grand != want {
+		t.Fatalf("phase sums = %d, want end-to-end %d", grand, want)
+	}
+	for ph, want := range map[Phase]sim.Time{
+		PCoreWait: 50, PSubmit: 150, PQueue: 300, PDevice: 900, PComplete: 200,
+	} {
+		if b.Sum[ph] != want {
+			t.Errorf("phase %s = %d, want %d", ph, b.Sum[ph], want)
+		}
+	}
+	if b.Total.Count() != 1 {
+		t.Fatalf("total count = %d, want 1", b.Total.Count())
+	}
+}
+
+// TestTailOverride: the last Tail call wins, and the remainder between
+// the final mark and End lands in that phase.
+func TestTailOverride(t *testing.T) {
+	p := New(Config{Breakdown: true})
+	sp := p.Start(KGet, 0, 0)
+	sp.Tail(PCacheHit) // e.g. the FS labels a synchronous hit...
+	sp.Tail(PKVRead)   // ...then the KV tier overrides after Submit returns
+	p.End(sp, 400)
+	b := p.Breakdown()
+	if b.Sum[PKVRead] != 400 || b.Sum[PCacheHit] != 0 {
+		t.Fatalf("tail override: kv_read=%d cache_hit=%d, want 400/0", b.Sum[PKVRead], b.Sum[PCacheHit])
+	}
+}
+
+// TestSpanPooling: ended spans recycle through the pool with state
+// fully reset.
+func TestSpanPooling(t *testing.T) {
+	p := New(Config{Breakdown: true})
+	sp := p.Start(KRead, 3, 100)
+	sp.To(PDevice, 900)
+	p.End(sp, 1000)
+	sp2 := p.Start(KWrite, 0, 2000)
+	if sp2 != sp {
+		t.Fatal("pool did not recycle the ended span")
+	}
+	if sp2.Dur(PDevice) != 0 || sp2.Start() != 2000 {
+		t.Fatal("recycled span carries stale state")
+	}
+}
+
+// TestRegisterHandOff: SetSpan/TakeSpan is take-and-clear, so a second
+// take (a background submission) gets nil.
+func TestRegisterHandOff(t *testing.T) {
+	p := New(Config{Breakdown: true})
+	sp := p.Start(KRead, 0, 0)
+	p.SetSpan(sp)
+	if got := p.TakeSpan(); got != sp {
+		t.Fatal("TakeSpan did not return the registered span")
+	}
+	if p.TakeSpan() != nil {
+		t.Fatal("register not cleared after take")
+	}
+}
+
+// TestRingDropOldest: the flight recorder keeps the newest window.
+func TestRingDropOldest(t *testing.T) {
+	p := New(Config{Trace: true, TraceEvents: 4})
+	for i := 0; i < 10; i++ {
+		p.Emit("t", "e", sim.Time(i*100), 10)
+	}
+	ev := p.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	if ev[0].Ts != 600 || ev[3].Ts != 900 {
+		t.Fatalf("ring window [%d, %d], want [600, 900]", ev[0].Ts, ev[3].Ts)
+	}
+}
+
+// TestTraceLadderReconciles: the ladder slices of a recorded span lie
+// back to back from the span start and their durations are exactly the
+// per-phase attribution.
+func TestTraceLadderReconciles(t *testing.T) {
+	p := New(Config{Breakdown: true, Trace: true})
+	sp := p.Start(KRead, 0, 1000)
+	sp.To(PSubmit, 1100)
+	sp.To(PDevice, 1900)
+	p.End(sp, 2000)
+
+	b := p.Breakdown()
+	ev := p.Events()
+	var ladder []Event
+	var enclosing *Event
+	for i := range ev {
+		if ev[i].Ladder {
+			ladder = append(ladder, ev[i])
+		} else {
+			enclosing = &ev[i]
+		}
+	}
+	if enclosing == nil || enclosing.Name != "read" || enclosing.Dur != 1000 {
+		t.Fatalf("bad enclosing event: %+v", enclosing)
+	}
+	at := sim.Time(1000)
+	var sum sim.Time
+	for _, e := range ladder {
+		if e.Ts != at {
+			t.Fatalf("ladder slice %s starts at %d, want %d (back-to-back)", e.Name, e.Ts, at)
+		}
+		if b.Sum[e.Phase] != e.Dur {
+			t.Fatalf("phase %s: ladder %d != breakdown %d", e.Name, e.Dur, b.Sum[e.Phase])
+		}
+		at += e.Dur
+		sum += e.Dur
+	}
+	if sum != enclosing.Dur {
+		t.Fatalf("ladder sums to %d, enclosing span is %d", sum, enclosing.Dur)
+	}
+}
+
+// TestSamplerObservationDriven: samples land on the fixed grid, driven
+// entirely by span ends and emits — a long gap is filled on the next
+// observation, and nothing samples before the first one.
+func TestSamplerObservationDriven(t *testing.T) {
+	v := 0.0
+	p := New(Config{Sample: 100})
+	p.Gauge("g", func() float64 { return v })
+	v = 1
+	p.Sample(250) // grid points 0, 100, 200
+	v = 2
+	p.Sample(450) // grid points 300, 400
+	pts := p.Series()
+	if len(pts) != 5 {
+		t.Fatalf("got %d samples, want 5", len(pts))
+	}
+	if pts[0].T != 0 || pts[0].Value != 1 || pts[4].T != 400 || pts[4].Value != 2 {
+		t.Fatalf("sample grid wrong: %+v", pts)
+	}
+}
+
+// TestNameDeterministic: instance labels count up per kind in call
+// order.
+func TestNameDeterministic(t *testing.T) {
+	p := New(Config{Trace: true})
+	got := []string{p.Name("dev"), p.Name("dev"), p.Name("fs"), p.Name("dev")}
+	want := []string{"dev0", "dev1", "fs0", "dev2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Name sequence %v, want %v", got, want)
+		}
+	}
+}
+
+// chromeEvent mirrors the trace-event wire form for round-trip checks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestWriteTraceJSON round-trips the export through encoding/json and
+// asserts the Chrome trace-event schema: a traceEvents array, pid/tid
+// on every event, metadata naming every pid group, and monotonically
+// nondecreasing timestamps per (pid, tid) track.
+func TestWriteTraceJSON(t *testing.T) {
+	p := New(Config{Breakdown: true, Trace: true, Sample: 100})
+	p.Gauge("queue0.inflight", func() float64 { return 2 })
+	for i := 0; i < 3; i++ {
+		sp := p.Start(KRead, i%2, sim.Time(1000*i))
+		sp.To(PDevice, sim.Time(1000*i+500))
+		p.End(sp, sim.Time(1000*i+700))
+	}
+	p.Emit("dev0/gc", "gc", 1500, 800)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	named := map[int]bool{}
+	lastTs := map[[2]int]float64{}
+	sawX, sawM, sawC := false, false, false
+	for _, e := range doc.TraceEvents {
+		if e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %q missing pid/tid", e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			sawM = true
+			if e.Name == "process_name" {
+				named[*e.Pid] = true
+				if e.Args["name"] == "" {
+					t.Fatalf("process_name metadata without a name: %+v", e)
+				}
+			}
+		case "X":
+			sawX = true
+			if e.Dur < 0 {
+				t.Fatalf("negative duration on %q", e.Name)
+			}
+			k := [2]int{*e.Pid, *e.Tid}
+			if e.Ts < lastTs[k] {
+				t.Fatalf("track %v timestamps regress: %v after %v", k, e.Ts, lastTs[k])
+			}
+			lastTs[k] = e.Ts
+		case "C":
+			sawC = true
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter %q without a value", e.Name)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if !sawX || !sawM || !sawC {
+		t.Fatalf("export missing event classes: X=%v M=%v C=%v", sawX, sawM, sawC)
+	}
+	for k := range lastTs {
+		if !named[k[0]] {
+			t.Fatalf("pid %d has events but no process_name metadata", k[0])
+		}
+	}
+}
+
+// TestWriteTraceMergesProbes: multiple probes land on disjoint pid
+// blocks.
+func TestWriteTraceMergesProbes(t *testing.T) {
+	mk := func() *Probe {
+		p := New(Config{Trace: true})
+		sp := p.Start(KRead, 0, 0)
+		p.End(sp, 100)
+		return p
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, mk(), nil, mk()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[*e.Pid] = true
+	}
+	if !pids[0*4+pidIO] || !pids[2*4+pidIO] {
+		t.Fatalf("probes share pid blocks: %v", pids)
+	}
+}
+
+// TestBreakdownMergeAndTable: Merge folds sums and histograms; the
+// rendered table lists only populated phases plus the total row.
+func TestBreakdownMergeAndTable(t *testing.T) {
+	mk := func(d sim.Time) *Probe {
+		p := New(Config{Breakdown: true})
+		sp := p.Start(KRead, 0, 0)
+		sp.To(PDevice, d)
+		p.End(sp, d)
+		return p
+	}
+	a, b := mk(100).Breakdown(), mk(300).Breakdown()
+	a.Merge(b)
+	if a.Sum[PDevice] != 400 || a.Hist[PDevice].Count() != 2 || a.Total.Count() != 2 {
+		t.Fatalf("merge wrong: sum=%d count=%d total=%d", a.Sum[PDevice], a.Hist[PDevice].Count(), a.Total.Count())
+	}
+	var sb strings.Builder
+	if err := a.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "device") || !strings.Contains(out, "total") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	if strings.Contains(out, "cache_hit") {
+		t.Fatalf("table lists an empty phase:\n%s", out)
+	}
+}
+
+// TestSeriesCSV: the gauge series exports one row per sampled bucket.
+func TestSeriesCSV(t *testing.T) {
+	p := New(Config{Sample: 100})
+	p.Gauge("g", func() float64 { return 7 })
+	p.Sample(250)
+	var sb strings.Builder
+	if err := p.WriteSeriesCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "gauge,t_ns,value\ng,0,7\ng,100,7\ng,200,7\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,150 @@
+package probe
+
+import "repro/internal/sim"
+
+// Phase identifies one attributable slice of an I/O's lifetime. Phase
+// marks partition the span's timeline: every To consumes the interval
+// since the previous mark exactly once, so the per-phase durations
+// always sum to the span's end-to-end latency.
+type Phase uint8
+
+// The phase set, spanning every layer of the stack.
+const (
+	// PAdmit: open-loop arrival to admission/issue (closed-loop spans
+	// never accrue it).
+	PAdmit Phase = iota
+	// PCoreWait: run-queue wait claiming a contended host core.
+	PCoreWait
+	// PSubmit: submission-path CPU from issue to the doorbell ring.
+	PSubmit
+	// PVolume: volume routing and per-leaf segment queueing.
+	PVolume
+	// PQueue: doorbell to device dispatch — PCIe, command fetch, and
+	// controller queue wait.
+	PQueue
+	// PDevice: device service (controller, firmware, media).
+	PDevice
+	// PComplete: completion delivery back to the issuer (CQE post,
+	// interrupt/poll, stack wakeup).
+	PComplete
+	// PCacheHit: page-cache hit service in the filesystem layer.
+	PCacheHit
+	// PCacheMiss: cache-miss fill delivery (the device trip itself is
+	// attributed to PQueue/PDevice as usual).
+	PCacheMiss
+	// PRMW: read-modify-write fill for a partial-page write.
+	PRMW
+	// PWriteback: fsync's data phase — draining dirty pages.
+	PWriteback
+	// PJournal: journal/log record writes of the fsync commit protocol.
+	PJournal
+	// PBarrier: device flush barriers of the commit protocol.
+	PBarrier
+	// PKVWal: KV write waiting on the WAL group commit.
+	PKVWal
+	// PKVMem: memtable and block-cache service in the KV tier.
+	PKVMem
+	// PKVRead: SSTable block read of a KV get (tail after the device).
+	PKVRead
+	// NumPhases bounds the per-span attribution array.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"admit", "core_wait", "submit", "volume", "queue", "device",
+	"complete", "cache_hit", "cache_miss", "rmw", "writeback",
+	"journal", "barrier", "kv_wal", "kv_mem", "kv_read",
+}
+
+func (ph Phase) String() string { return phaseNames[ph] }
+
+// Kind labels what a span measures.
+type Kind uint8
+
+// The span kinds the workload engines open.
+const (
+	KRead Kind = iota
+	KWrite
+	KFsync
+	KGet
+	KPut
+	numKinds
+)
+
+var kindNames = [numKinds]string{"read", "write", "fsync", "get", "put"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Span is one I/O's phase ledger: sim-time phase edges recorded as it
+// descends (and re-ascends) the layer stack. Spans are pooled by their
+// probe; all methods are safe on a nil receiver so disabled-probe call
+// sites stay branch-and-return.
+type Span struct {
+	kind   Kind
+	tenant int32
+	tail   Phase
+	start  sim.Time
+	last   sim.Time
+	dur    [NumPhases]sim.Time
+	next   *Span
+}
+
+// To marks a phase edge at now: the interval since the previous mark is
+// attributed to ph. Out-of-order times (possible when split segments of
+// one I/O interleave their marks) clamp to the last mark, keeping the
+// partition exact.
+//
+//ullvet:noalloc bench=BenchmarkProbeSpan
+func (s *Span) To(ph Phase, now sim.Time) {
+	if s == nil {
+		return
+	}
+	if now < s.last {
+		now = s.last
+	}
+	s.dur[ph] += now - s.last
+	s.last = now
+}
+
+// Add attributes a known duration to ph and shifts the attribution
+// baseline past it, so the following To does not count it again (the
+// core-wait case: the wait is known at claim time, but the submission
+// work that follows is marked by a later edge).
+//
+//ullvet:noalloc bench=BenchmarkProbeSpan
+func (s *Span) Add(ph Phase, d sim.Time) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.dur[ph] += d
+	s.last += d
+}
+
+// Tail selects the phase that absorbs the remainder between the final
+// mark and the span's end (default PComplete): layers that serve an
+// I/O without further edges — a cache hit, a memtable get — label the
+// delivery this way.
+//
+//ullvet:noalloc bench=BenchmarkProbeSpan
+func (s *Span) Tail(ph Phase) {
+	if s == nil {
+		return
+	}
+	s.tail = ph
+}
+
+// Start reports when the span was opened.
+func (s *Span) Start() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// Dur reports the duration attributed to ph so far.
+func (s *Span) Dur(ph Phase) sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.dur[ph]
+}

@@ -1,0 +1,237 @@
+// The flight recorder and its exports: a bounded ring of trace events
+// (foreground span phase ladders plus background-actor activity) dumped
+// as Chrome trace-event JSON — loadable in Perfetto or chrome://tracing
+// — and the sampled gauge series as counter events and CSV.
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Track process (pid) groups in the exported trace.
+const (
+	pidIO         = 1 // foreground I/O, one thread per tenant
+	pidBackground = 2 // background actors, one thread per registered name
+	pidCounters   = 3 // sampled gauges
+)
+
+// Event is one recorded trace slice.
+type Event struct {
+	Name  string
+	Pid   int
+	Tid   int
+	Ts    sim.Time
+	Dur   sim.Time
+	Phase Phase // valid when Ladder
+	// Ladder marks a phase slice of a span (Name is the phase); the
+	// enclosing span event has Ladder false and Name = the span kind.
+	Ladder bool
+}
+
+// push appends one event, dropping the oldest when the ring is full —
+// flight-recorder semantics: a bounded window ending at the present.
+func (p *Probe) push(e Event) {
+	if cap(p.ev) == 0 {
+		return
+	}
+	if len(p.ev) < cap(p.ev) {
+		p.ev = append(p.ev, e)
+		p.evLen = len(p.ev)
+		return
+	}
+	p.ev[p.evHead] = e
+	p.evHead++
+	if p.evHead == len(p.ev) {
+		p.evHead = 0
+	}
+}
+
+// traceSpan records a closed span: one enclosing event named by the
+// span kind, then one ladder slice per nonzero phase laid out
+// back-to-back from the span start in phase order. Slice lengths are
+// the accumulated per-phase durations, so per-phase sums over the trace
+// reconcile exactly with the Breakdown histograms.
+func (p *Probe) traceSpan(sp *Span, end sim.Time) {
+	tid := int(sp.tenant)
+	p.push(Event{Name: sp.kind.String(), Pid: pidIO, Tid: tid, Ts: sp.start, Dur: end - sp.start})
+	at := sp.start
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		d := sp.dur[ph]
+		if d <= 0 {
+			continue
+		}
+		p.push(Event{Name: ph.String(), Pid: pidIO, Tid: tid, Ts: at, Dur: d, Phase: ph, Ladder: true})
+		at += d
+	}
+}
+
+// Emit records one background-actor slice (a writeback batch, a
+// cleaning chunk, a compaction, a GC pass, an SQPOLL spin) on the named
+// background track. It also advances the sampler, so long foreground-
+// idle stretches still get their gauge samples.
+func (p *Probe) Emit(track, name string, start, dur sim.Time) {
+	if p == nil {
+		return
+	}
+	p.maybeSample(start + dur)
+	if !p.cfg.Trace {
+		return
+	}
+	tid, ok := p.bgTracks[track]
+	if !ok {
+		tid = len(p.bgNames)
+		p.bgTracks[track] = tid
+		p.bgNames = append(p.bgNames, track)
+	}
+	p.push(Event{Name: name, Pid: pidBackground, Tid: tid, Ts: start, Dur: dur})
+}
+
+// Events returns the recorded window in chronological order.
+func (p *Probe) Events() []Event {
+	if p == nil || p.evLen == 0 {
+		return nil
+	}
+	out := make([]Event, 0, p.evLen)
+	if len(p.ev) == cap(p.ev) {
+		out = append(out, p.ev[p.evHead:]...)
+		out = append(out, p.ev[:p.evHead]...)
+	} else {
+		out = append(out, p.ev...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+// jsonEvent is the Chrome trace-event wire form. Times are in
+// microseconds per the trace-event spec.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace writes the flight-recorder window (and the sampled gauge
+// series as counter events) as Chrome trace-event JSON. probes merges
+// additional probes into the same file on distinct pid groups — the
+// multi-shard case (ullsim -trace).
+func WriteTrace(w io.Writer, probes ...*Probe) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e jsonEvent) error {
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	for i, p := range probes {
+		if p == nil {
+			continue
+		}
+		// Each probe gets its own pid block so shards never interleave.
+		base := i * 4
+		if err := p.writeProbe(emit, base); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (p *Probe) writeProbe(emit func(jsonEvent) error, pidBase int) error {
+	meta := func(pid int, name string) error {
+		return emit(jsonEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name}})
+	}
+	thread := func(pid, tid int, name string) error {
+		return emit(jsonEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+	if err := meta(pidBase+pidIO, "io"); err != nil {
+		return err
+	}
+	for t := 0; t <= p.maxTenant; t++ {
+		if err := thread(pidBase+pidIO, t, fmt.Sprintf("tenant %d", t)); err != nil {
+			return err
+		}
+	}
+	if len(p.bgNames) > 0 {
+		if err := meta(pidBase+pidBackground, "background"); err != nil {
+			return err
+		}
+		for tid, name := range p.bgNames {
+			if err := thread(pidBase+pidBackground, tid, name); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range p.Events() {
+		cat := "io"
+		if e.Pid == pidBackground {
+			cat = "background"
+		} else if e.Ladder {
+			cat = "phase"
+		}
+		je := jsonEvent{Name: e.Name, Cat: cat, Ph: "X",
+			Ts: e.Ts.Micros(), Pid: pidBase + e.Pid, Tid: e.Tid}
+		// A zero-duration slice still renders; the spec wants dur >= 0
+		// and omitempty drops a 0, which Perfetto accepts.
+		je.Dur = e.Dur.Micros()
+		if err := emit(je); err != nil {
+			return err
+		}
+	}
+	if p.cfg.Sample > 0 {
+		if err := meta(pidBase+pidCounters, "samples"); err != nil {
+			return err
+		}
+		for _, pt := range p.Series() {
+			if err := emit(jsonEvent{Name: pt.Name, Cat: "sample", Ph: "C",
+				Ts: pt.T.Micros(), Pid: pidBase + pidCounters,
+				Args: map[string]any{"value": pt.Value}}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes the sampled gauge series as CSV: one row per
+// (gauge, bucket) with the bucket's mean value.
+func (p *Probe) WriteSeriesCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "gauge,t_ns,value\n"); err != nil {
+		return err
+	}
+	if p == nil {
+		return nil
+	}
+	for _, pt := range p.Series() {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g\n", pt.Name, int64(pt.T), pt.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -191,6 +191,12 @@ type Engine struct {
 
 	// Processed counts events executed since the engine was created.
 	Processed uint64
+
+	// obs is an opaque observer slot: the observability layer
+	// (internal/probe) parks its per-graph recorder here so every layer
+	// sharing the engine can find it without a dependency from sim on
+	// higher packages. The engine itself never touches it.
+	obs any
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -200,6 +206,13 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetObserver parks an opaque observer on the engine (see the obs
+// field); Observer returns it. The engine never inspects the value.
+func (e *Engine) SetObserver(o any) { e.obs = o }
+
+// Observer returns the value parked by SetObserver, or nil.
+func (e *Engine) Observer() any { return e.obs }
 
 // Pending reports the number of events waiting to fire, including
 // canceled events that have not been reaped yet.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/nvme"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -59,6 +60,7 @@ type Stack struct {
 	qp    *nvme.QueuePair
 	proc  *cpu.Proc
 	costs Costs
+	pr    *probe.Probe
 
 	// pending is a direct-mapped CID table (the CID space is uint16, so
 	// the table covers it fully — no hashing, no collisions).
@@ -86,6 +88,7 @@ type spdkReq struct {
 	offset int64
 	length int
 	cid    uint16
+	span   *probe.Span
 	fn     func()
 	next   *spdkReq
 }
@@ -100,11 +103,13 @@ func (s *Stack) getReq() *spdkReq {
 	if r == nil {
 		r = &spdkReq{s: s}
 		r.fn = func() {
+			r.s.pr.SetSpan(r.span)
 			if r.flush {
 				r.s.qp.SubmitFlush(r.cid)
 			} else {
 				r.s.qp.Submit(r.write, r.offset, r.length, r.cid)
 			}
+			r.span = nil
 			r.next = r.s.freeReq
 			r.s.freeReq = r
 		}
@@ -132,6 +137,7 @@ func NewStackOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, costs Costs
 		qp:      qp,
 		proc:    proc,
 		costs:   costs,
+		pr:      probe.Get(eng),
 		pending: make([]func(), 1<<16),
 	}
 	if proc.Set().Arbitrating() {
@@ -161,6 +167,7 @@ func (s *Stack) Flush(done func()) {
 }
 
 func (s *Stack) begin(write, flush bool, offset int64, length int, done func()) {
+	sp := s.pr.TakeSpan()
 	if !s.started {
 		s.started = true
 		s.firstStart = s.eng.Now()
@@ -176,6 +183,7 @@ func (s *Stack) begin(write, flush bool, offset int64, length int, done func()) 
 	r.offset = offset
 	r.length = length
 	r.cid = s.nextCID
+	r.span = sp
 	s.nextCID++
 	if s.pending[r.cid] != nil {
 		panic(fmt.Sprintf("spdk: CID %d reused while outstanding", r.cid))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/flash"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,10 @@ type Request struct {
 	Offset int64
 	Len    int
 	Done   func(end sim.Time)
+	// Span is the request's observability ledger (nil unless tracing is
+	// on); the queue pair sets it at submit and the device marks the
+	// queue-to-service edge. Purely observational.
+	Span *probe.Span
 }
 
 func (r *Request) kind() Op {
@@ -97,6 +102,11 @@ type Device struct {
 	// Per-unit GC low watermarks, jittered so reclaim onset staggers
 	// across units instead of stalling the whole device at once.
 	gcLow []int
+	// Observability: per-unit GC pass start times feed background trace
+	// events on the device's track. Nil probe when observability is off.
+	pr      *probe.Probe
+	gcTrack string
+	gcStart []sim.Time
 	// Flush batches waiting for an erased block, FIFO.
 	gcWaiters []*bufEntry
 
@@ -173,6 +183,10 @@ func NewDevice(cfg Config, eng *sim.Engine) *Device {
 	d.gcLow = make([]int, cfg.Units())
 	for i := range d.gcLow {
 		d.gcLow[i] = cfg.GCLowWater + d.rng.Intn(3)
+	}
+	if d.pr = probe.Get(eng); d.pr != nil {
+		d.gcTrack = d.pr.Name("dev") + "/gc"
+		d.gcStart = make([]sim.Time, cfg.Units())
 	}
 	d.buildAllocOrder()
 	d.bindHotPath()
@@ -296,6 +310,7 @@ func (d *Device) Submit(r *Request) {
 
 // dispatchCmd routes a decoded command to its execution path.
 func (d *Device) dispatchCmd(r *Request) {
+	r.Span.To(probe.PQueue, d.eng.Now())
 	switch r.kind() {
 	case OpWrite:
 		d.beginWrite(r)
@@ -682,6 +697,9 @@ func (d *Device) startUrgentGC() {
 func (d *Device) startGC(unit int) {
 	d.ftl.SetGCRunning(unit, true)
 	d.stats.GCRuns++
+	if d.pr != nil {
+		d.gcStart[unit] = d.eng.Now()
+	}
 	d.gcPass(unit)
 }
 
@@ -690,14 +708,25 @@ func (d *Device) startGC(unit int) {
 func (d *Device) gcPass(unit int) {
 	if d.ftl.FreeBlocks(unit) >= d.cfg.GCHighWater {
 		d.ftl.SetGCRunning(unit, false)
+		d.emitGC(unit)
 		return
 	}
 	block, valid, ok := d.ftl.Victim(unit)
 	if !ok {
 		d.ftl.SetGCRunning(unit, false)
+		d.emitGC(unit)
 		return
 	}
 	d.migrate(unit, block, valid, 0)
+}
+
+// emitGC records one finished GC pass as a background trace event.
+func (d *Device) emitGC(unit int) {
+	if d.pr == nil {
+		return
+	}
+	now := d.eng.Now()
+	d.pr.Emit(d.gcTrack, "gc", d.gcStart[unit], now-d.gcStart[unit])
 }
 
 // migrate relocates the valid slots of a victim block, one source flash

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/nvme"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -154,6 +155,8 @@ type Stack struct {
 	costs  Costs
 	mode   Mode
 	depth  int
+	pr     *probe.Probe
+	sqTrk  string // SQPOLL background trace track
 
 	// pending is a direct-mapped CID table (the CID space is uint16, so
 	// the table covers it fully — no hashing, no collisions).
@@ -189,6 +192,7 @@ type sqe struct {
 	offset int64
 	length int
 	cid    uint16
+	span   *probe.Span
 }
 
 // uringReq carries one SQE across the doorbell delay; fn is bound once
@@ -200,6 +204,7 @@ type uringReq struct {
 	offset int64
 	length int
 	cid    uint16
+	span   *probe.Span
 	fn     func()
 	next   *uringReq
 }
@@ -214,11 +219,13 @@ func (s *Stack) getReq() *uringReq {
 	if r == nil {
 		r = &uringReq{s: s}
 		r.fn = func() {
+			r.s.pr.SetSpan(r.span)
 			if r.flush {
 				r.s.qp.SubmitFlush(r.cid)
 			} else {
 				r.s.qp.Submit(r.write, r.offset, r.length, r.cid)
 			}
+			r.span = nil
 			r.next = r.s.freeReq
 			r.s.freeReq = r
 		}
@@ -291,8 +298,12 @@ func NewOn(eng *sim.Engine, qp *nvme.QueuePair, proc *cpu.Proc, sqProc *cpu.Proc
 		costs:   costs,
 		mode:    cfg.Mode,
 		depth:   depth,
+		pr:      probe.Get(eng),
 		pending: make([]func(), 1<<16),
 		delay:   costs.HybridDelayInit,
+	}
+	if s.pr != nil && cfg.Mode == SQPoll {
+		s.sqTrk = s.pr.Name("uring") + "/sqpoll"
 	}
 	if cfg.Mode == SQPoll && sqProc != proc && sqProc.Set().Arbitrating() {
 		sqProc.Pin()
@@ -345,7 +356,7 @@ func (s *Stack) begin(write, flush bool, offset int64, length int, done func()) 
 	}
 	s.pending[cid] = done
 	s.nOut++
-	s.sq = append(s.sq, sqe{write: write, flush: flush, offset: offset, length: length, cid: cid})
+	s.sq = append(s.sq, sqe{write: write, flush: flush, offset: offset, length: length, cid: cid, span: s.pr.TakeSpan()})
 
 	if len(s.sq) >= s.depth {
 		// SQ ring full: forced flush, no batching benefit left to wait for.
@@ -422,6 +433,8 @@ func (s *Stack) ring(e *sqe, at sim.Time) {
 	r.offset = e.offset
 	r.length = e.length
 	r.cid = e.cid
+	r.span = e.span
+	e.span = nil
 	s.eng.At(at, r.fn)
 }
 
@@ -598,6 +611,7 @@ func (s *Stack) Finalize(end sim.Time) {
 		return
 	}
 	s.finalized = true
+	s.pr.Emit(s.sqTrk, "sqpoll", s.firstStart, end-s.firstStart)
 	span := end - s.firstStart
 	// Subtract the work already charged explicitly to the thread so its
 	// core sums to ~100%, not above.

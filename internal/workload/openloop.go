@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -202,6 +203,10 @@ type openRunner struct {
 	ops      opSource
 	clock    *arrivalClock
 	clockRNG *sim.RNG // seeds the arrival clock once start() fixes t=0
+	tenant   int
+	pr       *probe.Probe
+	// Span kinds for the job's op classes (see spanKinds).
+	rdKind, wrKind probe.Kind
 
 	cap      int
 	queueCap int
@@ -253,10 +258,13 @@ func newOpenRunner(svc Service, job OpenJob, tenant int) *openRunner {
 		job:        job,
 		ops:        newOpSource(svc, &job.Spec, base.Fork()),
 		clockRNG:   base.Fork(),
+		tenant:     tenant,
+		pr:         probe.Get(svc.Engine()),
 		cap:        capIF,
 		queueCap:   qc,
 		cpuQuantum: job.CPU.quantum(),
 	}
+	r.rdKind, r.wrKind = spanKinds(&job.Spec)
 	r.arriveFn = r.arrive
 	r.res.Job = job
 	if job.SeriesBucket > 0 {
@@ -355,7 +363,10 @@ func (r *openRunner) issue(p pendingIO) {
 	if p.sync {
 		// Durability barriers ride the stack's own machinery; the budget
 		// meters I/O submission work only.
-		r.svc.Sync(func() { r.onDone(p) })
+		sp := r.pr.Start(probe.KFsync, r.tenant, p.arrival)
+		sp.To(probe.PAdmit, r.svc.Engine().Now())
+		r.pr.SetSpan(sp)
+		r.svc.Sync(func() { r.onDone(p, sp) })
 		return
 	}
 	r.res.Admitted++
@@ -376,13 +387,23 @@ func (r *openRunner) issue(p pendingIO) {
 	r.fire(p)
 }
 
-// fire submits one admitted (and, if budgeted, CPU-cleared) I/O.
+// fire submits one admitted (and, if budgeted, CPU-cleared) I/O. The
+// span opens here, backdated to the arrival, so dropped arrivals never
+// open one and PAdmit absorbs queueing plus any CPU-budget stall.
 func (r *openRunner) fire(p pendingIO) {
-	r.svc.Issue(p.write, p.offset, r.job.BlockSize, func() { r.onDone(p) })
+	kind := r.rdKind
+	if p.write {
+		kind = r.wrKind
+	}
+	sp := r.pr.Start(kind, r.tenant, p.arrival)
+	sp.To(probe.PAdmit, r.svc.Engine().Now())
+	r.pr.SetSpan(sp)
+	r.svc.Issue(p.write, p.offset, r.job.BlockSize, func() { r.onDone(p, sp) })
 }
 
-func (r *openRunner) onDone(p pendingIO) {
+func (r *openRunner) onDone(p pendingIO, sp *probe.Span) {
 	now := r.svc.Engine().Now()
+	r.pr.End(sp, now)
 	r.inFlight--
 	if p.sync {
 		// Fsync latency counts from arrival too, but lands in its own
@@ -405,6 +426,9 @@ func (r *openRunner) result() *OpenResult {
 	if w, ok := r.svc.(WearReporter); ok {
 		r.res.Wear = w.WearStats()
 	}
+	// One probe serves the whole graph, so on a multi-tenant run every
+	// tenant's Result carries the same aggregate breakdown.
+	r.res.Breakdown = r.pr.Breakdown()
 	return &r.res
 }
 

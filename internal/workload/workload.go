@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -104,6 +105,10 @@ type Result struct {
 	// amplification — in topology lowering order, when the service (or
 	// the host under it) exposes WearStats. Nil otherwise.
 	Wear []ssd.WearReport
+	// Breakdown is the per-phase latency attribution aggregated over the
+	// run's spans, when the service's engine carries a probe configured
+	// for breakdowns. Nil otherwise.
+	Breakdown *probe.Breakdown
 }
 
 // IOPS reports measured I/O operations per second.
@@ -270,6 +275,10 @@ type runner struct {
 	svc Service
 	job Job
 	ops opSource
+	pr  *probe.Probe
+	// Span kinds for the job's op classes: KGet/KPut on a keyed job,
+	// KRead/KWrite on a block job.
+	rdKind, wrKind probe.Kind
 
 	issued       int
 	completed    int
@@ -296,7 +305,9 @@ func newRunner(svc Service, job Job) *runner {
 		svc: svc,
 		job: job,
 		ops: newOpSource(svc, &job.Spec, sim.NewRNG(job.Seed^0x9e3779b9)),
+		pr:  probe.Get(svc.Engine()),
 	}
+	r.rdKind, r.wrKind = spanKinds(&job.Spec)
 	r.res.Job = job
 	if job.SeriesBucket > 0 {
 		r.res.Series = metrics.NewSeries(job.SeriesBucket)
@@ -343,7 +354,9 @@ func (r *runner) issueNext() bool {
 		r.pendingSyncs--
 		start := r.svc.Engine().Now()
 		r.res.Fsyncs++
-		r.svc.Sync(func() { r.onSyncDone(start) })
+		sp := r.pr.Start(probe.KFsync, 0, start)
+		r.pr.SetSpan(sp)
+		r.svc.Sync(func() { r.onSyncDone(start, sp) })
 		return true
 	}
 	if !r.wantMore() {
@@ -361,23 +374,32 @@ func (r *runner) issueNext() bool {
 	seq := r.issued
 	r.issued++
 	start := r.svc.Engine().Now()
+	kind := r.rdKind
+	if write {
+		kind = r.wrKind
+	}
+	sp := r.pr.Start(kind, 0, start)
+	r.pr.SetSpan(sp)
 	r.svc.Issue(write, offset, r.job.BlockSize, func() {
-		r.onDone(seq, write, offset, start)
+		r.onDone(seq, write, offset, start, sp)
 	})
 	return true
 }
 
-func (r *runner) onSyncDone(start sim.Time) {
+func (r *runner) onSyncDone(start sim.Time, sp *probe.Span) {
 	now := r.svc.Engine().Now()
+	r.pr.End(sp, now)
 	if r.m.measureSet || r.job.WarmupIOs == 0 && r.job.WarmupTime == 0 {
 		r.res.Fsync.Record(now - start)
 	}
 	r.issueNext()
 }
 
-func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time) {
+func (r *runner) onDone(seq int, write bool, offset int64, start sim.Time, sp *probe.Span) {
 	r.completed++
-	r.m.observe(seq, write, offset, start, r.svc.Engine().Now())
+	now := r.svc.Engine().Now()
+	r.pr.End(sp, now)
+	r.m.observe(seq, write, offset, start, now)
 	r.issueNext()
 }
 
@@ -386,5 +408,15 @@ func (r *runner) result() *Result {
 	if w, ok := r.svc.(WearReporter); ok {
 		r.res.Wear = w.WearStats()
 	}
+	r.res.Breakdown = r.pr.Breakdown()
 	return &r.res
+}
+
+// spanKinds maps a spec's op classes to span kinds: gets and puts on a
+// keyed job, reads and writes on a block job.
+func spanKinds(s *Spec) (rd, wr probe.Kind) {
+	if s.Keyspace.Keys > 0 {
+		return probe.KGet, probe.KPut
+	}
+	return probe.KRead, probe.KWrite
 }

@@ -1,0 +1,135 @@
+package repro_test
+
+// Observability acceptance tests at the public facade: the per-phase
+// breakdown must reconcile exactly with the flight-recorder trace (the
+// ladder slices are the histogram inputs, laid on a timeline), the
+// Chrome trace export must be valid JSON, and enabling probes must not
+// perturb a fixed-seed run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro"
+	"repro/internal/probe"
+)
+
+// fsyncSystem builds the quickstart filesystem topology: ordered-journal
+// ext4-style FS over an async-kernel Z-SSD stack.
+func fsyncSystem() *repro.TopologySystem {
+	return repro.BuildTopology(repro.Topology{
+		Root: repro.FSOn(repro.FSConfig{
+			CacheBytes: 64 << 20,
+			Journal:    repro.OrderedJournal,
+		}, repro.StackOn(repro.KernelAsync, 0, repro.ZSSD())),
+		Precondition: 0.5,
+	})
+}
+
+// fsyncJob is a small fsync-heavy write job (the ext-fsync shape).
+func fsyncJob() repro.Job {
+	return repro.Job{
+		Spec: repro.Spec{
+			Pattern:   repro.RandWrite,
+			BlockSize: 4096,
+			TotalIOs:  8000,
+			SyncEvery: 32,
+			Seed:      42,
+		},
+		QueueDepth: 4,
+	}
+}
+
+// TestObservabilityReconciliation is the PR's acceptance check: per-phase
+// sums over the trace ladder equal the Breakdown sums, the enclosing
+// span durations equal the grand total, and the Chrome export parses.
+func TestObservabilityReconciliation(t *testing.T) {
+	prev := repro.ProbeDefault()
+	repro.SetProbeDefault(repro.ProbeConfig{
+		Breakdown: true, Trace: true, TraceEvents: 1 << 20,
+	})
+	defer repro.SetProbeDefault(prev)
+
+	sys := fsyncSystem()
+	res := repro.RunJob(sys, fsyncJob())
+	bd := res.Breakdown
+	if bd == nil {
+		t.Fatal("Result.Breakdown nil with breakdowns enabled")
+	}
+	// The journaled-fsync phases must all be visible in the attribution.
+	// (No PDevice: buffered writes land in the cache, and the fsync span
+	// attributes its device waits to writeback/journal/barrier.)
+	for _, ph := range []repro.ProbePhase{probe.PCacheHit, probe.PWriteback, probe.PJournal, probe.PBarrier} {
+		if bd.Sum[ph] == 0 {
+			t.Errorf("phase %s absent from the fsync-heavy breakdown", ph)
+		}
+	}
+
+	// Reconcile trace vs breakdown. The ring was sized to hold every
+	// event, so ladder slices are exactly the breakdown's inputs.
+	var ladder [probe.NumPhases]int64
+	var enclosing, total int64
+	for _, e := range sys.Probe().Events() {
+		if e.Ladder {
+			ladder[e.Phase] += int64(e.Dur)
+		} else if e.Pid == 1 { // foreground I/O track; background emits are pid 2
+			enclosing += int64(e.Dur)
+		}
+	}
+	for ph := repro.ProbePhase(0); ph < probe.NumPhases; ph++ {
+		if got, want := ladder[ph], int64(bd.Sum[ph]); got != want {
+			t.Errorf("phase %s: trace ladder sums to %d ns, breakdown says %d ns", ph, got, want)
+		}
+		total += int64(bd.Sum[ph])
+	}
+	if enclosing != total {
+		t.Errorf("enclosing span durations sum to %d ns, breakdown grand total %d ns", enclosing, total)
+	}
+
+	// The export must be valid Chrome trace-event JSON: an object whose
+	// traceEvents array Perfetto and chrome://tracing load directly.
+	var buf bytes.Buffer
+	if err := repro.WriteTrace(&buf, sys.Probe()); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace JSON is empty")
+	}
+}
+
+// TestObservabilityIdentity runs the same fixed-seed job with probes off
+// and fully on: the measured results must be bit-identical, because
+// probes only observe — they never schedule events or draw randomness.
+func TestObservabilityIdentity(t *testing.T) {
+	run := func(cfg repro.ProbeConfig) *repro.Result {
+		prev := repro.ProbeDefault()
+		repro.SetProbeDefault(cfg)
+		defer repro.SetProbeDefault(prev)
+		return repro.RunJob(fsyncSystem(), fsyncJob())
+	}
+	off := run(repro.ProbeConfig{})
+	on := run(repro.ProbeConfig{Breakdown: true, Trace: true, Sample: repro.Millisecond})
+	if off.Breakdown != nil {
+		t.Error("Result.Breakdown non-nil with probes disabled")
+	}
+	if on.Breakdown == nil {
+		t.Error("Result.Breakdown nil with probes enabled")
+	}
+	if o, n := off.All.Summarize(), on.All.Summarize(); o != n {
+		t.Errorf("I/O latency summary differs probes on vs off:\noff %+v\non  %+v", o, n)
+	}
+	if o, n := off.Fsync.Summarize(), on.Fsync.Summarize(); o != n {
+		t.Errorf("fsync latency summary differs probes on vs off:\noff %+v\non  %+v", o, n)
+	}
+	if off.IOPS() != on.IOPS() || off.Wall != on.Wall || off.IOs != on.IOs {
+		t.Errorf("throughput differs probes on vs off: off (%.2f IOPS, wall %d) vs on (%.2f IOPS, wall %d)",
+			off.IOPS(), off.Wall, on.IOPS(), on.Wall)
+	}
+}

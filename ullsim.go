@@ -106,6 +106,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
@@ -114,6 +116,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/metrics"
 	"repro/internal/nbd"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/spdk"
 	"repro/internal/ssd"
@@ -223,6 +226,20 @@ type (
 	// Host is the contract every workload runner drives: any
 	// Target-rooted system.
 	Host = core.Host
+
+	// ProbeConfig selects what the observability probe records: phase
+	// breakdowns, the trace-event flight recorder, and the gauge sampler.
+	// The zero value disables everything at zero cost.
+	ProbeConfig = probe.Config
+	// Probe is one system's recorder (System.Probe / TopologySystem.Probe;
+	// nil when the build-time default config records nothing).
+	Probe = probe.Probe
+	// Breakdown is the per-phase latency attribution (Result.Breakdown).
+	Breakdown = probe.Breakdown
+	// ProbePhase identifies one attributable slice of an I/O's lifetime.
+	ProbePhase = probe.Phase
+	// ProbeSeriesPoint is one sampled gauge value (Probe.Series).
+	ProbeSeriesPoint = probe.SeriesPoint
 )
 
 // Volume router policies.
@@ -411,3 +428,15 @@ func SPDKNBD(dev DeviceConfig) NBDConfig   { return nbd.SPDKNBD(dev) }
 
 // NewNBDModel builds the simulated server-client system.
 func NewNBDModel(cfg NBDConfig) *NBDModel { return nbd.NewModel(cfg) }
+
+// SetProbeDefault installs cfg as the process-wide observability default
+// consulted when systems are built. Probes only observe: any setting
+// leaves fixed-seed simulation output byte-identical.
+func SetProbeDefault(cfg ProbeConfig) { probe.SetDefault(cfg) }
+
+// ProbeDefault returns the current process-wide probe default.
+func ProbeDefault() ProbeConfig { return probe.Default() }
+
+// WriteTrace writes the probes' flight-recorder windows as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func WriteTrace(w io.Writer, probes ...*Probe) error { return probe.WriteTrace(w, probes...) }
